@@ -1,0 +1,104 @@
+// Experiment E13 (extension; paper "Bigger Picture" item 3): toward
+// f-local tolerance with in-degree 2f+1.
+//
+// The paper establishes f = 1 at in-degree 3 and asks whether in-degree
+// 2f+1 suffices for general f. This prototype explores f = 2: a degree-5
+// grid (cycle_wide reach 2) with trimmed aggregation (H_min/H_max taken as
+// the 2nd-earliest / 2nd-latest neighbour reception) so one outlier per
+// side never enters the correction. We inject fault PAIRS into a shared
+// neighbourhood -- outside the base algorithm's model -- and compare the
+// paper's degree-3 grid against the degree-5 trimmed grid.
+#include <algorithm>
+#include <cstdio>
+
+#include "runner/experiment.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+namespace gtrix {
+namespace {
+
+struct Variant {
+  const char* name;
+  std::uint32_t reach;
+  std::uint32_t trim;
+};
+
+double run_variant(const Variant& variant, std::uint32_t columns, std::uint32_t layers,
+                   const std::vector<PlacedFault>& faults, std::uint64_t seed) {
+  ExperimentConfig config;
+  config.base_kind = BaseGraphKind::kCycle;
+  config.columns = columns;
+  config.cycle_reach = variant.reach;
+  config.trim = variant.trim;
+  config.layers = layers;
+  config.pulses = 18;
+  config.seed = seed;
+  config.faults = faults;
+  return run_experiment(config).skew.max_intra;
+}
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool large = Flags::bench_scale() == "large";
+  const std::uint32_t columns = static_cast<std::uint32_t>(
+      flags.get_int("columns", large ? 24 : 12));
+  const std::uint32_t layers = columns;
+  const auto seed = flags.get_u64("seed", 1);
+  const Params params = Params::with(1000.0, 10.0, 1.0005);
+
+  const Variant variants[] = {
+      {"degree-3 (paper)", 1, 0},
+      {"degree-5, no trim", 2, 0},
+      {"degree-5, trim 1", 2, 1},
+  };
+
+  struct Scenario {
+    const char* name;
+    std::vector<PlacedFault> faults;
+  };
+  const std::uint32_t mid = layers / 2;
+  const Scenario scenarios[] = {
+      {"fault-free", {}},
+      {"1 crash", {{4, mid, FaultSpec::crash()}}},
+      {"2 adjacent: crash + late offset",
+       {{4, mid, FaultSpec::crash()}, {5, mid, FaultSpec::static_offset(300.0)}}},
+      {"2 adjacent: opposite offsets",
+       {{4, mid, FaultSpec::static_offset(350.0)},
+        {5, mid, FaultSpec::static_offset(-350.0)}}},
+      {"2 adjacent: split pair",
+       {{4, mid, FaultSpec::split(250.0)}, {5, mid, FaultSpec::split(250.0)}}},
+  };
+
+  std::printf("== Extension: toward f=2 with in-degree 5 (open problem 3) ==\n");
+  std::printf("   cycle base, %u columns x %u layers; trimmed aggregation drops one\n"
+              "   outlier per side before computing H_min/H_max. kappa = %.1f\n\n",
+              columns, layers, params.kappa());
+
+  Table table({"scenario", "degree-3 (paper)", "degree-5 no trim", "degree-5 trim 1",
+               "trim-1 vs degree-3"});
+  for (const Scenario& scenario : scenarios) {
+    double skew[3];
+    for (int v = 0; v < 3; ++v) {
+      skew[v] = run_variant(variants[v], columns, layers, scenario.faults, seed);
+    }
+    table.row()
+        .add(scenario.name)
+        .add(skew[0], 1)
+        .add(skew[1], 1)
+        .add(skew[2], 1)
+        .add(skew[0] > 0 ? skew[2] / skew[0] : 0.0, 2);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("reading: on single faults all variants behave alike (the paper's\n"
+              "guarantee). On fault *pairs* in one neighbourhood -- beyond the 1-local\n"
+              "model -- the degree-3 grid degrades, while degree-5 with trim 1 absorbs\n"
+              "the pair at O(kappa), supporting the conjecture that in-degree 2f+1\n"
+              "suffices for f-local tolerance.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gtrix
+
+int main(int argc, char** argv) { return gtrix::run(argc, argv); }

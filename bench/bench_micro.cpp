@@ -1,0 +1,69 @@
+// Experiment E12: engine microbenchmarks (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "core/correction.hpp"
+#include "runner/experiment.hpp"
+#include "sim/event_queue.hpp"
+#include "support/rng.hpp"
+
+namespace gtrix {
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1e6);
+  for (auto _ : state) {
+    EventQueue q;
+    std::uint64_t sink = 0;
+    for (double t : times) q.schedule(t, [&sink](SimTime) { ++sink; });
+    while (q.run_next()) {
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_ComputeCorrection(benchmark::State& state) {
+  const Params params = Params::with(1000.0, 10.0, 1.0005);
+  Rng rng(2);
+  std::vector<std::array<double, 3>> inputs(256);
+  for (auto& in : inputs) {
+    const double own = rng.uniform(0.0, 100.0);
+    const double a = rng.uniform(-200.0, 200.0);
+    const double b = rng.uniform(-200.0, 200.0);
+    in = {own, own + std::min(a, b), own + std::max(a, b)};
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& in = inputs[i++ % inputs.size()];
+    benchmark::DoNotOptimize(compute_correction(in[0], in[1], in[2], params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ComputeCorrection);
+
+void BM_FullGridPulse(benchmark::State& state) {
+  // Cost of simulating one full grid wave (per-pulse amortized).
+  const auto columns = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    ExperimentConfig config;
+    config.columns = columns;
+    config.layers = columns;
+    config.pulses = 10;
+    config.seed = 3;
+    World world(config);
+    world.run_to_completion();
+    benchmark::DoNotOptimize(world.counters().iterations);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10);
+}
+BENCHMARK(BM_FullGridPulse)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gtrix
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Experiment E11 (ablation): the kappa design choice (Equation (1)).
+//
+// kappa must dominate the per-step measurement error u + (1-1/theta)
+// (Lambda - d); the paper's choice is exactly twice that. This sweep scales
+// kappa by 0.25x..4x of the Eq.(1) value (by scaling the u fed to the
+// algorithm while the real uncertainty stays fixed) and reports skew and
+// condition violations: undersized kappa breaks the slow/fast/jump
+// conditions, oversized kappa just inflates the skew linearly.
+#include <cstdio>
+
+#include "runner/experiment.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+namespace gtrix {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool large = Flags::bench_scale() == "large";
+  const std::uint32_t columns = static_cast<std::uint32_t>(
+      flags.get_int("columns", large ? 24 : 12));
+  const auto seed = flags.get_u64("seed", 1);
+
+  const double real_u = 10.0;
+  const double theta = 1.0005;
+  const Params reference = Params::with(1000.0, real_u, theta);
+
+  std::printf("== Ablation: kappa multiplier sweep (Eq. (1) design choice) ==\n");
+  std::printf("   real delay uncertainty stays u=%.0f; the algorithm's kappa is\n"
+              "   scaled by the multiplier. kappa(Eq.1) = %.2f\n\n",
+              real_u, reference.kappa());
+
+  Table table({"kappa mult", "algo kappa", "L last layer", "L/kappa_ref", "SC viol",
+               "FC viol", "JC viol", "median viol"});
+  for (const double mult : {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0}) {
+    ExperimentConfig config;
+    config.columns = columns;
+    config.layers = columns;
+    config.pulses = 18;
+    config.seed = seed;
+    // Scale kappa by lying to the algorithm about u (the drift term scales
+    // along via lambda - d which stays fixed; adjust u to hit the target).
+    const double drift_term = (1.0 - 1.0 / theta) * (reference.lambda - reference.d);
+    const double target_kappa = mult * reference.kappa();
+    const double fake_u = target_kappa / 2.0 - drift_term;
+    if (fake_u <= 0.0) continue;
+    config.params = Params::with(1000.0, fake_u, theta);
+    // Adversarial setting where margins matter: consistent +u measurement
+    // bias (own-copy edges slow) plus an oscillatory start, and one crash
+    // to exercise the median machinery.
+    config.delay_kind = DelayModelKind::kOwnSlowCrossFast;
+    config.layer0_jitter = 0.0;
+    config.layer0_offset_by_column.resize(columns);
+    for (std::uint32_t c = 0; c < columns; ++c) {
+      config.layer0_offset_by_column[c] = (c % 2 == 0) ? 4.0 * reference.kappa()
+                                                       : -4.0 * reference.kappa();
+    }
+    config.faults = {{columns / 2, columns / 2, FaultSpec::crash()}};
+    World world(config);
+    world.run_to_completion();
+    const SkewReport skew = world.skew();
+    // Conditions are checked against the REAL parameters: does the run
+    // still satisfy what the analysis needs?
+    const GridTrace trace = world.trace();
+    const auto [lo, hi] = default_window(world.recorder(), config.warmup);
+    const ConditionReport report = check_conditions(trace, reference, 5, lo, hi);
+    table.row()
+        .add(mult, 2)
+        .add(config.params.kappa(), 2)
+        .add(skew.intra_by_layer.back(), 1)
+        .add(skew.intra_by_layer.back() / reference.kappa(), 2)
+        .add(report.sc_violations)
+        .add(report.fc_violations)
+        .add(report.jc_violations)
+        .add(report.median_violations);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("reading: kappa below the Eq.(1) value leaves margins smaller than the\n"
+              "real measurement error, so the adversarial bias is not fully damped and\n"
+              "residual skew stays high relative to kappa; at multiplier >= 1 the\n"
+              "damping absorbs the bias and measured skew scales ~linearly in kappa\n"
+              "(the L = Theta(kappa log D) sensitivity). Violations are measured\n"
+              "against the Eq.(1) reference kappa: oversized corrections overshoot\n"
+              "the reference conditions' envelopes.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gtrix
+
+int main(int argc, char** argv) { return gtrix::run(argc, argv); }

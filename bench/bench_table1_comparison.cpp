@@ -1,0 +1,182 @@
+// Experiment E1 (Table 1): method comparison.
+//
+// The paper's Table 1 compares HEX, TRIX and Gradient TRIX on skew and
+// resilience. This harness measures local and global skew for each method
+// on the same grid sizes, fault-free and with one crash fault, and prints
+// rows in the table's spirit. The shape claims to verify:
+//  * Gradient TRIX's local skew ~ kappa log D, flat in D compared to TRIX,
+//  * naive TRIX's skew grows with D under adversarial (split) delays,
+//  * HEX pays ~d after a crash; Gradient TRIX pays O(kappa).
+#include <cstdio>
+#include <vector>
+
+#include "baseline/hex.hpp"
+#include "baseline/lynch_welch.hpp"
+#include "gcs/gcs.hpp"
+#include "runner/experiment.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+namespace gtrix {
+namespace {
+
+struct Row {
+  std::string method;
+  std::string scenario;
+  std::uint32_t diameter;
+  double local = 0.0;
+  double global = 0.0;
+  std::string paper_bound;
+};
+
+Row run_gradient(std::uint32_t columns, bool crash, DelayModelKind delays,
+                 std::uint64_t seed) {
+  ExperimentConfig config;
+  config.columns = columns;
+  config.layers = columns;
+  config.pulses = 16;
+  config.seed = seed;
+  config.delay_kind = delays;
+  config.delay_split_column = columns / 2;
+  if (crash) config.faults = {{columns / 2, columns / 3, FaultSpec::crash()}};
+  const ExperimentResult result = run_experiment(config);
+  Row row;
+  row.method = "GradientTRIX";
+  row.diameter = result.diameter;
+  row.local = result.skew.max_intra;
+  row.global = result.skew.global_skew;
+  row.paper_bound = "O(u logD) local, O(uD) global";
+  return row;
+}
+
+Row run_trix(std::uint32_t columns, bool crash, DelayModelKind delays,
+             std::uint64_t seed) {
+  ExperimentConfig config;
+  config.columns = columns;
+  config.layers = columns;
+  config.pulses = 16;
+  config.seed = seed;
+  config.algorithm = Algorithm::kTrixNaive;
+  config.delay_kind = delays;
+  config.delay_split_column = columns / 2;
+  if (crash) config.faults = {{columns / 2, columns / 3, FaultSpec::crash()}};
+  const ExperimentResult result = run_experiment(config);
+  Row row;
+  row.method = "TRIX";
+  row.diameter = result.diameter;
+  row.local = result.skew.max_intra;
+  row.global = result.skew.global_skew;
+  row.paper_bound = "O(uD) local, O(uD^2) global";
+  return row;
+}
+
+Row run_lw_row(std::uint64_t seed, bool faults) {
+  // Complete graph reference point: D = 1, tolerates f < n/3 Byzantine.
+  LynchWelchConfig config;
+  config.n = 16;
+  config.f = 5;
+  config.byzantine = faults ? 5 : 0;
+  config.rounds = 24;
+  config.seed = seed;
+  const LynchWelchResult result = run_lynch_welch(config);
+  Row row;
+  row.method = "LW (complete)";
+  row.diameter = 1;
+  row.local = result.max_skew_after_convergence;
+  row.global = result.max_skew_after_convergence;
+  row.paper_bound = "O(1); < n/3 Byzantine";
+  return row;
+}
+
+Row run_gcs_row(std::uint32_t columns, bool crash, std::uint64_t seed) {
+  GcsConfig config;
+  config.columns = columns;
+  config.seed = seed;
+  if (crash) config.crashes = {static_cast<BaseNodeId>(columns / 2)};
+  const GcsResult result = run_gcs(config);
+  Row row;
+  row.method = "GCS";
+  row.diameter = columns - 1;
+  row.local = result.local_skew;
+  row.global = result.global_skew;
+  row.paper_bound = "O(u logD) local, O(uD) global; crashes only";
+  return row;
+}
+
+Row run_hex_row(std::uint32_t columns, bool crash, std::uint64_t seed) {
+  HexConfig config;
+  config.columns = columns;
+  config.layers = columns;
+  config.pulses = 14;
+  config.seed = seed;
+  if (crash) config.crashes = {{columns / 2, columns / 3}};
+  const HexResult result = run_hex(config);
+  Row row;
+  row.method = "HEX";
+  row.diameter = columns - 1;
+  row.local = result.max_intra;
+  row.global = 0.0;  // HEX harness tracks local skew only
+  row.paper_bound = "d + O(u^2 D/d) local (+d per fault)";
+  return row;
+}
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool large = Flags::bench_scale() == "large";
+  std::vector<std::uint32_t> sizes = {8, 16, 32};
+  if (large) sizes = {8, 16, 32, 64, 128};
+  const auto seed = flags.get_u64("seed", 1);
+
+  std::printf("== Table 1: method comparison (measured skews, same substrate) ==\n");
+  std::printf("   delay model: adversarial column split (worst case for TRIX);\n");
+  std::printf("   'crash' adds one crash fault mid-grid. Time unit: d = 1000.\n\n");
+
+  Table table({"method", "scenario", "D", "local skew", "global skew", "paper bound"});
+  // Complete-graph reference rows (diameter 1; no grid scenario applies).
+  const Row lw_clean = run_lw_row(seed, false);
+  table.row().add(lw_clean.method).add("fault-free").add(std::uint64_t{1});
+  table.add(lw_clean.local, 1).add(lw_clean.global, 1).add(lw_clean.paper_bound);
+  const Row lw_byz = run_lw_row(seed, true);
+  table.row().add(lw_byz.method).add("5/16 Byzantine").add(std::uint64_t{1});
+  table.add(lw_byz.local, 1).add(lw_byz.global, 1).add(lw_byz.paper_bound);
+  for (const std::uint32_t columns : sizes) {
+    for (const bool crash : {false, true}) {
+      const char* scenario = crash ? "1 crash" : "fault-free";
+      const Row gcs = run_gcs_row(columns, crash, seed);
+      table.row().add(gcs.method).add(scenario).add(static_cast<std::uint64_t>(gcs.diameter));
+      table.add(gcs.local, 1).add(gcs.global, 1).add(gcs.paper_bound);
+      const Row hex = run_hex_row(columns, crash, seed);
+      table.row().add(hex.method).add(scenario).add(static_cast<std::uint64_t>(hex.diameter));
+      table.add(hex.local, 1).add("-").add(hex.paper_bound);
+      const Row trix = run_trix(columns, crash, DelayModelKind::kColumnSplit, seed);
+      table.row().add(trix.method).add(scenario).add(static_cast<std::uint64_t>(trix.diameter));
+      table.add(trix.local, 1).add(trix.global, 1).add(trix.paper_bound);
+      const Row grad = run_gradient(columns, crash, DelayModelKind::kColumnSplit, seed);
+      table.row().add(grad.method).add(scenario).add(static_cast<std::uint64_t>(grad.diameter));
+      table.add(grad.local, 1).add(grad.global, 1).add(grad.paper_bound);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("shape checks (paper Table 1):\n");
+  const Row trix_small = run_trix(sizes.front(), false, DelayModelKind::kColumnSplit, seed);
+  const Row trix_big = run_trix(sizes.back(), false, DelayModelKind::kColumnSplit, seed);
+  const Row grad_small = run_gradient(sizes.front(), false, DelayModelKind::kColumnSplit, seed);
+  const Row grad_big = run_gradient(sizes.back(), false, DelayModelKind::kColumnSplit, seed);
+  std::printf("  TRIX local skew growth  D=%u -> D=%u : %.1f -> %.1f (x%.2f; linear in D)\n",
+              trix_small.diameter, trix_big.diameter, trix_small.local, trix_big.local,
+              trix_big.local / trix_small.local);
+  std::printf("  GTRIX local skew growth D=%u -> D=%u : %.1f -> %.1f (x%.2f; ~log D)\n",
+              grad_small.diameter, grad_big.diameter, grad_small.local, grad_big.local,
+              grad_big.local / grad_small.local);
+  const Row hex_crash = run_hex_row(16, true, seed);
+  const Row grad_crash = run_gradient(16, true, DelayModelKind::kUniformRandom, seed);
+  std::printf("  crash cost at D=15: HEX %.1f (~d=1000) vs GradientTRIX %.1f (~kappa)\n",
+              hex_crash.local, grad_crash.local);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gtrix
+
+int main(int argc, char** argv) { return gtrix::run(argc, argv); }

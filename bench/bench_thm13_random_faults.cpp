@@ -1,0 +1,86 @@
+// Experiment E5 (Theorem 1.3): uniformly random faults.
+//
+// With nodes failing independently with probability p in o(n^-1/2), the
+// local skew stays O(kappa log D) w.h.p. -- the exponential compounding of
+// Theorem 1.2 never materializes because faults are sparse enough for the
+// self-stabilizing gradient machinery to flatten each disturbance before
+// the next one lands nearby. Sweep p (parameterized as p * sqrt(n)) over
+// many seeds and report skew quantiles.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "runner/experiment.hpp"
+#include "support/flags.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace gtrix {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool large = Flags::bench_scale() == "large";
+  const std::uint32_t columns = static_cast<std::uint32_t>(
+      flags.get_int("columns", large ? 32 : 16));
+  const std::uint32_t layers = columns;
+  const int seeds = static_cast<int>(flags.get_int("seeds", large ? 20 : 8));
+
+  const Grid grid(BaseGraph::line_replicated(columns), layers);
+  const double n = static_cast<double>(grid.node_count());
+  const Params params = Params::with(1000.0, 10.0, 1.0005);
+  const double bound = params.thm11_bound(columns - 1);
+
+  std::printf("== Theorem 1.3: random i.i.d. faults, skew vs p ==\n");
+  std::printf("   grid %ux%u (n=%u), %d seeds per row; mixed crash/offset/split faults\n"
+              "   bound: O(kappa log D); reference 4k(2+lgD) = %.1f\n\n",
+              columns, layers, grid.node_count(), seeds, bound);
+
+  Table table({"p*sqrt(n)", "p", "mean #faults", "skew mean", "skew p95", "skew max",
+               "max/bound"});
+  for (const double scaled : {0.0, 0.125, 0.25, 0.5, 1.0}) {
+    const double p = scaled / std::sqrt(n);
+    Summary skews;
+    Summary fault_counts;
+    std::vector<double> all;
+    for (int s = 0; s < seeds; ++s) {
+      ExperimentConfig config;
+      config.columns = columns;
+      config.layers = layers;
+      config.pulses = 18;
+      config.seed = 1000 + static_cast<std::uint64_t>(s);
+      Rng rng(config.seed * 77 + 13);
+      PlacementOptions options;
+      options.probability = p;
+      // Alternate the fault flavour per placement for variety.
+      auto faults = sample_iid_faults(grid, options, FaultSpec::crash(), rng);
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (i % 3 == 1) faults[i].spec = FaultSpec::static_offset(150.0);
+        if (i % 3 == 2) faults[i].spec = FaultSpec::split(100.0);
+      }
+      config.faults = faults;
+      const ExperimentResult result = run_experiment(config);
+      skews.add(result.skew.max_intra);
+      all.push_back(result.skew.max_intra);
+      fault_counts.add(static_cast<double>(faults.size()));
+    }
+    table.row()
+        .add(scaled, 3)
+        .add(p, 6)
+        .add(fault_counts.mean(), 1)
+        .add(skews.mean(), 1)
+        .add(quantile(all, 0.95), 1)
+        .add(skews.max(), 1)
+        .add(skews.max() / bound, 3);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: skew stays O(kappa log D) across the p range (max/bound < 1\n"
+              "for p in o(n^-1/2)); no blow-up as faults appear, unlike the adversarial\n"
+              "clustered placement of Theorem 1.2.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gtrix
+
+int main(int argc, char** argv) { return gtrix::run(argc, argv); }

@@ -1,0 +1,95 @@
+// Monte-Carlo fault-injection campaign.
+//
+// Sweeps the node failure probability p and, for each p, runs many seeds
+// with mixed fault flavours, reporting skew quantiles and the rate of
+// 1-locality violations (the model's capacity limit p in o(n^-1/2)).
+// Useful for answering "how hard can I push fault density before the
+// guarantees erode?" for a concrete grid.
+//
+//   ./fault_injection_campaign [--columns 16] [--seeds 10] [--csv]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "runner/experiment.hpp"
+#include "support/flags.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gtrix;
+  const Flags flags(argc, argv);
+  const auto columns = static_cast<std::uint32_t>(flags.get_int("columns", 16));
+  const auto layers = static_cast<std::uint32_t>(flags.get_int("layers", columns));
+  const int seeds = static_cast<int>(flags.get_int("seeds", 10));
+  const bool csv = flags.get_bool("csv", false);
+
+  const Grid grid(BaseGraph::line_replicated(columns), layers);
+  const double n = static_cast<double>(grid.node_count());
+  const Params params = Params::with(1000.0, 10.0, 1.0005);
+  const double bound = params.thm11_bound(columns - 1);
+
+  std::printf("fault-injection campaign: %ux%u grid (n=%u), %d seeds per point\n",
+              columns, layers, grid.node_count(), seeds);
+  std::printf("model capacity: p in o(n^-1/2) = o(%.4f)\n\n", 1.0 / std::sqrt(n));
+
+  Table table({"p", "E[#faults]", "skew p50", "skew p95", "skew max", "max/bound",
+               "1-local misses"});
+  for (const double scale : {0.05, 0.1, 0.2, 0.4, 0.8, 1.6}) {
+    const double p = scale / std::sqrt(n);
+    std::vector<double> skews;
+    Summary fault_count;
+    int locality_misses = 0;
+    for (int s = 0; s < seeds; ++s) {
+      ExperimentConfig config;
+      config.columns = columns;
+      config.layers = layers;
+      config.pulses = 18;
+      config.seed = 9000 + static_cast<std::uint64_t>(s);
+      Rng rng(config.seed * 31 + 7);
+      PlacementOptions options;
+      options.probability = p;
+      options.enforce_one_local = false;  // count violations instead
+      auto faults = sample_iid_faults(grid, options, FaultSpec::crash(), rng);
+      if (!is_one_local(grid, faults)) {
+        ++locality_misses;
+        // Resample within the model (the paper conditions on 1-locality).
+        // Past the capacity boundary this may be infeasible; skip the seed
+        // then -- exactly the regime where the model's guarantees end.
+        options.enforce_one_local = true;
+        try {
+          faults = sample_iid_faults(grid, options, FaultSpec::crash(), rng);
+        } catch (const std::logic_error&) {
+          options.enforce_one_local = false;
+          continue;
+        }
+        options.enforce_one_local = false;
+      }
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        switch (i % 4) {
+          case 1: faults[i].spec = FaultSpec::static_offset(rng.uniform(-200.0, 200.0)); break;
+          case 2: faults[i].spec = FaultSpec::split(120.0); break;
+          case 3: faults[i].spec = FaultSpec::fixed_period(1900.0 + rng.uniform(0.0, 200.0)); break;
+          default: break;
+        }
+      }
+      config.faults = faults;
+      const ExperimentResult result = run_experiment(config);
+      skews.push_back(result.skew.max_intra);
+      fault_count.add(static_cast<double>(faults.size()));
+    }
+    table.row()
+        .add(p, 5)
+        .add(fault_count.mean(), 1)
+        .add(quantile(skews, 0.5), 1)
+        .add(quantile(skews, 0.95), 1)
+        .add(quantile(skews, 1.0), 1)
+        .add(quantile(skews, 1.0) / bound, 3)
+        .add(std::to_string(locality_misses) + "/" + std::to_string(seeds));
+  }
+  std::printf("%s", csv ? table.render_csv().c_str() : table.render().c_str());
+  std::printf("\nreading: within the model capacity the max skew stays a small multiple\n"
+              "of kappa; 1-locality misses (two faulty in-neighbours somewhere) rise\n"
+              "as p approaches n^-1/2 -- exactly the regime boundary the paper draws.\n");
+  return 0;
+}

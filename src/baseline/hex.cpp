@@ -1,0 +1,170 @@
+#include "baseline/hex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "support/check.hpp"
+
+namespace gtrix {
+
+namespace {
+
+struct HexNodeState {
+  std::map<std::int64_t, std::uint32_t> copies;  // wave -> copies received
+  std::int64_t fired_watermark = 0;              // waves <= this already fired
+  bool crashed = false;
+};
+
+struct HexSim {
+  const HexConfig& cfg;
+  Simulator sim;
+  Rng rng;
+  std::vector<HexNodeState> state;                       // index c + l * columns
+  std::vector<std::vector<std::vector<double>>> times;   // [c][l][k], NaN = none
+  std::uint64_t fired = 0;
+
+  explicit HexSim(const HexConfig& c)
+      : cfg(c), rng(c.seed ^ 0x48455821ULL) {
+    state.resize(static_cast<std::size_t>(cfg.columns) * cfg.layers);
+    times.assign(cfg.columns,
+                 std::vector<std::vector<double>>(
+                     cfg.layers, std::vector<double>(
+                                     static_cast<std::size_t>(cfg.pulses) + 1,
+                                     std::numeric_limits<double>::quiet_NaN())));
+  }
+
+  std::size_t index(std::uint32_t c, std::uint32_t l) const {
+    return static_cast<std::size_t>(l) * cfg.columns + c;
+  }
+
+  double edge_delay() { return rng.uniform(cfg.d - cfg.u, cfg.d); }
+
+  /// Next-layer targets of (c, l): (c, l+1), (c+1, l+1), with mirrored
+  /// feeds at both boundaries so every node has two preceding-layer
+  /// in-neighbours (the HEX boundary treatment).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> up_neighbors(std::uint32_t c,
+                                                                    std::uint32_t l) const {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+    if (l + 1 >= cfg.layers) return out;
+    out.emplace_back(c, l + 1);
+    if (c + 1 < cfg.columns) {
+      out.emplace_back(c + 1, l + 1);
+    } else if (c > 0) {
+      out.emplace_back(c - 1, l + 1);  // right boundary mirror
+    }
+    if (c == 1) out.emplace_back(0, l + 1);  // left boundary mirror
+    return out;
+  }
+
+  /// Out-neighbours of (c, l): next layer plus same-layer (c-1, l), (c+1, l).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out_neighbors(std::uint32_t c,
+                                                                     std::uint32_t l) const {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> out = up_neighbors(c, l);
+    if (c > 0) out.emplace_back(c - 1, l);
+    if (c + 1 < cfg.columns) out.emplace_back(c + 1, l);
+    return out;
+  }
+
+  void deliver(std::uint32_t c, std::uint32_t l, std::int64_t wave, SimTime t) {
+    sim.at(t, [this, c, l, wave](SimTime now) { receive(c, l, wave, now); });
+  }
+
+  void receive(std::uint32_t c, std::uint32_t l, std::int64_t wave, SimTime now) {
+    HexNodeState& node = state[index(c, l)];
+    if (node.crashed || wave <= node.fired_watermark) return;
+    const std::uint32_t copies = ++node.copies[wave];
+    if (copies >= 2) {
+      node.copies.erase(wave);
+      node.fired_watermark = std::max(node.fired_watermark, wave);
+      fire(c, l, wave, now);
+    }
+  }
+
+  void fire(std::uint32_t c, std::uint32_t l, std::int64_t wave, SimTime now) {
+    ++fired;
+    if (wave >= 1 && wave <= cfg.pulses) {
+      times[c][l][static_cast<std::size_t>(wave)] = now;
+    }
+    for (const auto& [nc, nl] : out_neighbors(c, l)) {
+      if (nl == l && nc != c && state[index(nc, nl)].crashed) continue;
+      deliver(nc, nl, wave, now + edge_delay());
+    }
+  }
+
+  void run() {
+    // Mark crashes.
+    for (const auto& [c, l] : cfg.crashes) {
+      GTRIX_CHECK(c < cfg.columns && l < cfg.layers);
+      state[index(c, l)].crashed = true;
+    }
+    // Layer 0: emitters with static per-column offsets.
+    std::vector<double> offsets(cfg.columns);
+    for (auto& o : offsets) o = rng.uniform(0.0, cfg.input_jitter);
+    for (std::uint32_t c = 0; c < cfg.columns; ++c) {
+      if (state[index(c, 0)].crashed) continue;
+      for (std::int64_t k = 1; k <= cfg.pulses; ++k) {
+        const SimTime t = static_cast<double>(k) * cfg.period + offsets[c];
+        sim.at(t, [this, c, k](SimTime now) {
+          ++fired;
+          times[c][0][static_cast<std::size_t>(k)] = now;
+          // Layer-0 nodes only feed the next layer.
+          for (const auto& [nc, nl] : up_neighbors(c, 0)) {
+            deliver(nc, nl, k, now + edge_delay());
+          }
+        });
+      }
+    }
+    sim.run_all();
+  }
+};
+
+}  // namespace
+
+HexResult run_hex(const HexConfig& config) {
+  HexSim hex(config);
+  hex.run();
+
+  // A crash dents the wavefront by ~d; the dent's cliff spreads outward one
+  // column per layer (the "+d per fault" pathology of HEX), so the only
+  // region guaranteed unaffected is the layers before the first crash.
+  std::uint32_t first_crash_layer = config.layers;
+  for (const auto& [c, l] : config.crashes) {
+    (void)c;
+    first_crash_layer = std::min(first_crash_layer, l);
+  }
+  auto crashed = [&](std::uint32_t c, std::uint32_t l) {
+    return hex.state[hex.index(c, l)].crashed;
+  };
+
+  HexResult result;
+  result.pulses_fired = hex.fired;
+  result.intra_by_layer.assign(config.layers, 0.0);
+  const std::int64_t k_lo = std::min<std::int64_t>(3, config.pulses);
+  const std::int64_t k_hi = std::max<std::int64_t>(k_lo, config.pulses - 2);
+  for (std::uint32_t l = 0; l < config.layers; ++l) {
+    double worst = 0.0;
+    double worst_away = 0.0;
+    for (std::uint32_t c = 0; c + 1 < config.columns; ++c) {
+      if (crashed(c, l) || crashed(c + 1, l)) continue;
+      for (std::int64_t k = k_lo; k <= k_hi; ++k) {
+        const double ta = hex.times[c][l][static_cast<std::size_t>(k)];
+        const double tb = hex.times[c + 1][l][static_cast<std::size_t>(k)];
+        if (std::isnan(ta) || std::isnan(tb)) continue;
+        const double skew = std::abs(ta - tb);
+        worst = std::max(worst, skew);
+        if (l < first_crash_layer) worst_away = std::max(worst_away, skew);
+      }
+    }
+    result.intra_by_layer[l] = worst;
+    result.max_intra = std::max(result.max_intra, worst);
+    result.max_intra_away_from_faults = std::max(result.max_intra_away_from_faults, worst_away);
+  }
+  return result;
+}
+
+}  // namespace gtrix

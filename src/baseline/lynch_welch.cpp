@@ -1,0 +1,100 @@
+#include "baseline/lynch_welch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace gtrix {
+
+namespace {
+
+/// Round-synchronous implementation: because every correct node's pulse
+/// lands within a bounded window of the round start, the round abstraction
+/// is exact and the simulation can proceed round by round (the standard
+/// analysis frame for [WL88]).
+struct LwNode {
+  double hw_rate = 1.0;
+  double clock_offset = 0.0;  ///< logical round-start offset (real time units)
+  bool byzantine = false;
+};
+
+}  // namespace
+
+LynchWelchResult run_lynch_welch(const LynchWelchConfig& config) {
+  GTRIX_CHECK_MSG(config.n >= 4, "need at least 4 nodes");
+  GTRIX_CHECK_MSG(3 * config.f < config.n, "requires f < n/3");
+  GTRIX_CHECK_MSG(config.byzantine <= config.f, "actual faults must be <= f");
+
+  Rng rng(config.seed ^ 0x4C57ULL);
+  std::vector<LwNode> nodes(config.n);
+  for (auto& node : nodes) {
+    node.hw_rate = rng.uniform(1.0, config.theta);
+    node.clock_offset = rng.uniform(0.0, config.initial_spread);
+  }
+  for (std::uint32_t b = 0; b < config.byzantine; ++b) nodes[b].byzantine = true;
+
+  LynchWelchResult result;
+  double round_base = 0.0;  // real time of nominal round start
+
+  for (std::uint32_t round = 0; round < config.rounds; ++round) {
+    // Correct node i pulses at round_base + clock_offset_i (its drift is
+    // folded into the offset update below).
+    std::vector<double> pulse_time(config.n);
+    double correct_min = std::numeric_limits<double>::infinity();
+    double correct_max = -std::numeric_limits<double>::infinity();
+    for (std::uint32_t i = 0; i < config.n; ++i) {
+      if (nodes[i].byzantine) {
+        // Byzantine: anywhere in a window around the correct cluster.
+        pulse_time[i] = round_base + rng.uniform(-config.initial_spread,
+                                                 2.0 * config.initial_spread);
+      } else {
+        pulse_time[i] = round_base + nodes[i].clock_offset;
+        correct_min = std::min(correct_min, pulse_time[i]);
+        correct_max = std::max(correct_max, pulse_time[i]);
+      }
+    }
+    result.skew_by_round.push_back(correct_max - correct_min);
+
+    // Each correct node i receives node j's pulse at pulse_time[j] + delay,
+    // sorts receptions, discards f lowest/highest, adjusts by the midpoint.
+    std::vector<LwNode> next = nodes;
+    for (std::uint32_t i = 0; i < config.n; ++i) {
+      if (nodes[i].byzantine) continue;
+      std::vector<double> receptions;
+      receptions.reserve(config.n);
+      for (std::uint32_t j = 0; j < config.n; ++j) {
+        receptions.push_back(pulse_time[j] + rng.uniform(config.d - config.u, config.d));
+      }
+      std::sort(receptions.begin(), receptions.end());
+      const double lo = receptions[config.f];
+      const double hi = receptions[receptions.size() - 1 - config.f];
+      const double midpoint = (lo + hi) / 2.0;
+      // Expected reception of a perfectly synchronized pulse: own pulse
+      // time plus the nominal delay d - u/2.
+      const double expected = pulse_time[i] + config.d - config.u / 2.0;
+      const double adjustment = midpoint - expected;
+      // Apply adjustment; accumulate one round of hardware drift relative
+      // to nominal (rate 1) progress.
+      const double drift = (nodes[i].hw_rate - 1.0) * config.round_length;
+      next[i].clock_offset = nodes[i].clock_offset + adjustment + drift;
+    }
+    nodes = std::move(next);
+    round_base += config.round_length;
+  }
+
+  if (!result.skew_by_round.empty()) {
+    result.final_skew = result.skew_by_round.back();
+    const std::size_t half = result.skew_by_round.size() / 2;
+    for (std::size_t r = half; r < result.skew_by_round.size(); ++r) {
+      result.max_skew_after_convergence =
+          std::max(result.max_skew_after_convergence, result.skew_by_round[r]);
+    }
+  }
+  return result;
+}
+
+}  // namespace gtrix

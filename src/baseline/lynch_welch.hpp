@@ -1,0 +1,42 @@
+// Baseline: the Lynch-Welch fault-tolerant clock synchronization algorithm
+// [WL88] (paper Table 1, row "LW"). Complete graph (D = 1), tolerates
+// f < n/3 Byzantine nodes, O(1) skew (in u).
+//
+// Round structure: every round each node broadcasts a pulse when its local
+// estimate of round start is reached; each node collects the n reception
+// times, discards the f smallest and f largest, and adjusts its clock by
+// the midpoint of the remaining extremes minus its own expected reception
+// time. Skews contract towards ~u + drift per round.
+//
+// Self-contained simulation; used by the Table 1 harness to show the
+// complete-graph reference point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gtrix {
+
+struct LynchWelchConfig {
+  std::uint32_t n = 8;        ///< nodes (complete graph)
+  std::uint32_t f = 2;        ///< tolerated Byzantine nodes (< n/3)
+  double d = 1000.0;          ///< max message delay
+  double u = 10.0;            ///< delay uncertainty
+  double theta = 1.0005;      ///< hardware clock rate bound
+  double round_length = 4000.0;  ///< nominal local time per round
+  std::uint32_t rounds = 20;
+  double initial_spread = 200.0;  ///< initial clock offsets in [0, spread)
+  std::uint64_t seed = 1;
+  std::uint32_t byzantine = 0;  ///< actual faulty nodes (pulse at random times)
+};
+
+struct LynchWelchResult {
+  /// Max |t_i - t_j| over correct nodes' pulse times, per round.
+  std::vector<double> skew_by_round;
+  double final_skew = 0.0;
+  double max_skew_after_convergence = 0.0;  ///< max over the last half
+};
+
+LynchWelchResult run_lynch_welch(const LynchWelchConfig& config);
+
+}  // namespace gtrix

@@ -1,0 +1,101 @@
+#include "baseline/trix_node.hpp"
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+TrixNaiveNode::TrixNaiveNode(Simulator& sim, Network& net, NetNodeId self,
+                             HardwareClock clock, std::vector<NetNodeId> preds,
+                             Params params, Recorder* recorder)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      clock_(std::move(clock)),
+      preds_(std::move(preds)),
+      params_(params),
+      recorder_(recorder) {
+  GTRIX_CHECK_MSG(preds_.size() >= 2 && preds_.size() <= kMaxSlots,
+                  "naive TRIX node needs 2..5 predecessors");
+}
+
+int TrixNaiveNode::slot_of(NetNodeId from) const {
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    if (preds_[i] == from) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void TrixNaiveNode::on_pulse(NetNodeId from, EdgeId /*edge*/, const Pulse& pulse,
+                             SimTime now) {
+  const int slot = slot_of(from);
+  if (slot < 0) return;
+  const LocalTime h = clock_.to_local(now);
+  if (seen_[static_cast<std::size_t>(slot)]) {
+    // Second message from the same predecessor within this iteration: it
+    // belongs to the next wave; queue it.
+    if (pending_.size() >= kPendingCap) pending_.pop_front();
+    pending_.push_back(PendingMsg{from, h, pulse.stamp});
+    return;
+  }
+  process(from, h, pulse.stamp, now);
+}
+
+void TrixNaiveNode::process(NetNodeId from, LocalTime h, Sigma sigma, SimTime /*now*/) {
+  const auto slot = static_cast<std::size_t>(slot_of(from));
+  seen_[slot] = true;
+  slot_sigma_[slot] = sigma;
+  ++seen_count_;
+  if (seen_count_ == 2 && !armed_) {
+    // Second copy: forward after the nominal wait (the paper's "wait for
+    // the second copy of each pulse before forwarding", Fig. 1).
+    armed_ = true;
+    const std::uint64_t gen = ++gen_;
+    const LocalTime target = h + params_.lambda - params_.d;
+    sim_.at(clock_.to_real(target), [this, gen, target](SimTime t) {
+      if (gen != gen_) return;
+      fire(t, target);
+    });
+  }
+}
+
+void TrixNaiveNode::fire(SimTime now, LocalTime fire_local) {
+  (void)fire_local;
+  const Sigma sigma = estimate_sigma();
+  if (recorder_ != nullptr) recorder_->record_pulse(self_, sigma, now);
+  ++forwarded_;
+  net_.broadcast(self_, Pulse{sigma});
+  reset();
+  while (!pending_.empty() && !armed_) {
+    const PendingMsg msg = pending_.front();
+    pending_.pop_front();
+    if (!seen_[static_cast<std::size_t>(slot_of(msg.from))]) {
+      process(msg.from, msg.h_arrival, msg.sigma, now);
+    }
+  }
+}
+
+void TrixNaiveNode::reset() {
+  seen_.fill(false);
+  slot_sigma_.fill(0);
+  seen_count_ = 0;
+  armed_ = false;
+  ++gen_;
+}
+
+Sigma TrixNaiveNode::estimate_sigma() const {
+  std::array<Sigma, kMaxSlots> vals{};
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    if (seen_[i]) vals[n++] = slot_sigma_[i];
+  }
+  if (n == 0) return 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t same = 0;
+    for (std::size_t j = 0; j < n; ++j) same += vals[j] == vals[i] ? 1U : 0U;
+    if (same >= 2) return vals[i];
+  }
+  if (seen_[0]) return slot_sigma_[0];
+  return vals[0];
+}
+
+}  // namespace gtrix

@@ -1,0 +1,64 @@
+// Baseline: naive TRIX pulse forwarding [LW20] on the same grid as the
+// Gradient TRIX algorithm. Each node waits for the *second* copy of a pulse
+// from its (up to three) predecessors and forwards Lambda - d local time
+// later. Resilient to one faulty predecessor, but skews accumulate
+// Theta(u D) across layers (paper Fig. 1 left) -- the pathology Gradient
+// TRIX removes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "clock/hardware_clock.hpp"
+#include "core/params.hpp"
+#include "metrics/recorder.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace gtrix {
+
+class TrixNaiveNode final : public PulseSink {
+ public:
+  TrixNaiveNode(Simulator& sim, Network& net, NetNodeId self, HardwareClock clock,
+                std::vector<NetNodeId> preds, Params params, Recorder* recorder);
+
+  void on_pulse(NetNodeId from, EdgeId edge, const Pulse& pulse, SimTime now) override;
+
+  std::uint64_t pulses_forwarded() const noexcept { return forwarded_; }
+
+ private:
+  static constexpr std::size_t kMaxSlots = 5;
+  static constexpr std::size_t kPendingCap = 16;
+
+  struct PendingMsg {
+    NetNodeId from;
+    LocalTime h_arrival;
+    Sigma sigma;
+  };
+
+  int slot_of(NetNodeId from) const;
+  void process(NetNodeId from, LocalTime h, Sigma sigma, SimTime now);
+  void fire(SimTime now, LocalTime fire_local);
+  void reset();
+  Sigma estimate_sigma() const;
+
+  Simulator& sim_;
+  Network& net_;
+  NetNodeId self_;
+  HardwareClock clock_;
+  std::vector<NetNodeId> preds_;
+  Params params_;
+  Recorder* recorder_;
+
+  bool armed_ = false;  // second copy seen; broadcast scheduled
+  std::array<bool, kMaxSlots> seen_{};
+  std::array<Sigma, kMaxSlots> slot_sigma_{};
+  std::size_t seen_count_ = 0;
+  std::uint64_t gen_ = 0;
+  std::deque<PendingMsg> pending_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace gtrix

@@ -1,0 +1,67 @@
+#include "clock/hardware_clock.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+HardwareClock::HardwareClock(double rate, LocalTime offset) {
+  GTRIX_CHECK_MSG(rate > 0.0, "clock rate must be positive");
+  segments_.push_back(Segment{0.0, offset, rate});
+}
+
+HardwareClock::HardwareClock(std::vector<std::pair<SimTime, double>> breakpoints,
+                             LocalTime offset) {
+  GTRIX_CHECK_MSG(!breakpoints.empty(), "empty rate schedule");
+  GTRIX_CHECK_MSG(breakpoints.front().first == 0.0, "schedule must start at t=0");
+  LocalTime h = offset;
+  for (std::size_t i = 0; i < breakpoints.size(); ++i) {
+    const auto [t0, rate] = breakpoints[i];
+    GTRIX_CHECK_MSG(rate > 0.0, "clock rate must be positive");
+    if (i > 0) {
+      GTRIX_CHECK_MSG(t0 > breakpoints[i - 1].first, "breakpoints must increase");
+      h += breakpoints[i - 1].second * (t0 - breakpoints[i - 1].first);
+    }
+    segments_.push_back(Segment{t0, h, rate});
+  }
+}
+
+LocalTime HardwareClock::to_local(SimTime t) const {
+  GTRIX_CHECK_MSG(t >= 0.0, "negative real time");
+  // Find the last segment with t0 <= t.
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), t,
+                             [](SimTime v, const Segment& s) { return v < s.t0; });
+  const Segment& seg = *std::prev(it);
+  return seg.h0 + seg.rate * (t - seg.t0);
+}
+
+SimTime HardwareClock::to_real(LocalTime h) const {
+  GTRIX_CHECK_MSG(h >= segments_.front().h0, "local time precedes clock origin");
+  // Find the last segment with h0 <= h. h0 is increasing because rates are
+  // positive and breakpoints increase.
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), h,
+                             [](LocalTime v, const Segment& s) { return v < s.h0; });
+  const Segment& seg = *std::prev(it);
+  return seg.t0 + (h - seg.h0) / seg.rate;
+}
+
+double HardwareClock::rate_at(SimTime t) const {
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), t,
+                             [](SimTime v, const Segment& s) { return v < s.t0; });
+  return std::prev(it)->rate;
+}
+
+double HardwareClock::min_rate() const {
+  double r = segments_.front().rate;
+  for (const auto& s : segments_) r = std::min(r, s.rate);
+  return r;
+}
+
+double HardwareClock::max_rate() const {
+  double r = segments_.front().rate;
+  for (const auto& s : segments_) r = std::max(r, s.rate);
+  return r;
+}
+
+}  // namespace gtrix

@@ -1,0 +1,56 @@
+// Hardware clocks H_v : real time -> local time with bounded drift.
+//
+// The model (paper §2, "Local Clocks and Computations") requires
+//   t' - t <= H(t') - H(t) <= theta * (t' - t)   for all t < t',
+// i.e. instantaneous rate within [1, theta]. The algorithm only measures
+// durations and schedules "wait until H(t) = X" events, so clocks must be
+// invertible: to_real(to_local(t)) == t.
+//
+// Two implementations:
+//  * static rate (the paper's default assumption: speeds change negligibly),
+//  * piecewise-linear rate schedule (used for the Corollary 1.5 experiments
+//    on slowly varying clock speeds).
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gtrix {
+
+class HardwareClock {
+ public:
+  /// Constant-rate clock: H(t) = offset + rate * t. rate must be >= some
+  /// positive value; the paper requires rate in [1, theta].
+  HardwareClock(double rate, LocalTime offset);
+
+  /// Piecewise-linear clock. `breakpoints` holds (real time, rate) pairs
+  /// sorted by time; the i-th rate applies from breakpoints[i] until
+  /// breakpoints[i+1] (the last applies forever). The first breakpoint must
+  /// be at real time 0. `offset` is H(0).
+  HardwareClock(std::vector<std::pair<SimTime, double>> breakpoints, LocalTime offset);
+
+  /// Local reading at real time t (t >= 0).
+  LocalTime to_local(SimTime t) const;
+
+  /// Real time at which the local reading reaches h (h >= H(0)).
+  SimTime to_real(LocalTime h) const;
+
+  /// Instantaneous rate at real time t.
+  double rate_at(SimTime t) const;
+
+  /// Minimum / maximum instantaneous rate over the whole schedule.
+  double min_rate() const;
+  double max_rate() const;
+
+ private:
+  struct Segment {
+    SimTime t0;      // segment start, real time
+    LocalTime h0;    // H(t0)
+    double rate;     // slope on [t0, next.t0)
+  };
+
+  std::vector<Segment> segments_;  // sorted by t0; first has t0 == 0
+};
+
+}  // namespace gtrix

@@ -1,0 +1,64 @@
+#include "core/correction.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+double discrete_min_max(double a, double b, double kappa, std::int64_t* s_star) {
+  GTRIX_CHECK_MSG(kappa > 0.0, "kappa must be positive");
+  GTRIX_CHECK_MSG(a <= b, "require a <= b (h_max >= h_min)");
+  // f(s) = max(a + 4 s kappa, b - 4 s kappa) is convex piecewise-linear in s
+  // with continuous minimum at s* = (b - a) / (8 kappa) >= 0; over the
+  // integers the minimum is at floor(s*) or ceil(s*), clamped to s >= 0.
+  const double continuous = (b - a) / (8.0 * kappa);
+  const auto lo = static_cast<std::int64_t>(std::max(0.0, std::floor(continuous)));
+  const std::int64_t hi = lo + 1;
+  auto f = [&](std::int64_t s) {
+    const double shift = 4.0 * static_cast<double>(s) * kappa;
+    return std::max(a + shift, b - shift);
+  };
+  const double f_lo = f(lo);
+  const double f_hi = f(hi);
+  if (s_star != nullptr) *s_star = f_lo <= f_hi ? lo : hi;
+  return std::min(f_lo, f_hi);
+}
+
+Correction compute_correction(double h_own, double h_min, double h_max,
+                              const Params& params, bool jump_condition) {
+  GTRIX_CHECK_MSG(std::isfinite(h_own) && std::isfinite(h_min) && std::isfinite(h_max),
+                  "correction inputs must be finite");
+  const double kappa = params.kappa();
+  const double a = h_own - h_max;
+  const double b = h_own - h_min;
+
+  Correction result;
+  result.delta = discrete_min_max(a, b, kappa, &result.s_star) - kappa / 2.0;
+
+  if (!jump_condition) {
+    // Figure 5 ablation: follow the raw estimate wherever it points. The
+    // slow/fast conditions still hold, but overshoots are not damped.
+    result.value = result.delta;
+    result.branch = result.delta < 0.0 ? CorrectionBranch::kNegativeJump
+                    : result.delta > params.theta * kappa
+                        ? CorrectionBranch::kPositiveJump
+                        : CorrectionBranch::kWithin;
+    return result;
+  }
+
+  if (result.delta < 0.0) {
+    result.branch = CorrectionBranch::kNegativeJump;
+    result.value = std::min(b + 1.5 * kappa, 0.0);
+  } else if (result.delta > params.theta * kappa) {
+    result.branch = CorrectionBranch::kPositiveJump;
+    result.value = std::max(a - 1.5 * kappa, params.theta * kappa);
+  } else {
+    result.branch = CorrectionBranch::kWithin;
+    result.value = result.delta;
+  }
+  return result;
+}
+
+}  // namespace gtrix

@@ -1,0 +1,50 @@
+// The correction value C_{v,l} (paper §3, Algorithms 1 and 3).
+//
+// Given the local reception times H_own (pulse from the node's own copy on
+// the previous layer), H_min (first neighbour copy) and H_max (last
+// neighbour copy), the node computes
+//
+//   Delta = min_{s in N} max{ H_own - H_max + 4 s kappa,
+//                             H_own - H_min - 4 s kappa } - kappa / 2
+//
+// and clamps it into [0, theta kappa] with the damped overrides that
+// implement the slow/fast/jump conditions and median sticking:
+//
+//   Delta < 0          ->  C = min{ H_own - H_min + 3 kappa / 2, 0 }
+//   Delta > theta kappa -> C = max{ H_own - H_max - 3 kappa / 2, theta kappa }
+//
+// The node then broadcasts at local time H_own + Lambda - d - C.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace gtrix {
+
+enum class CorrectionBranch : std::uint8_t {
+  kWithin,         ///< Delta in [0, theta kappa]; C = Delta
+  kNegativeJump,   ///< Delta < 0 (node's own copy was early; delay pulse)
+  kPositiveJump,   ///< Delta > theta kappa (own copy was late; speed up)
+};
+
+struct Correction {
+  double delta = 0.0;          ///< Delta before clamping
+  double value = 0.0;          ///< C_{v,l}
+  std::int64_t s_star = 0;     ///< minimizing s
+  CorrectionBranch branch = CorrectionBranch::kWithin;
+};
+
+/// Computes C_{v,l}. Requires h_min <= h_max and finite inputs.
+/// `jump_condition` enables the damped overrides (Definition 4.5); when
+/// false the raw Delta is used unclamped, which reproduces the Figure 5
+/// oscillation pathology.
+Correction compute_correction(double h_own, double h_min, double h_max,
+                              const Params& params, bool jump_condition = true);
+
+/// The inner discrete minimization only:
+/// min_{s in N} max{A + 4 s kappa, B - 4 s kappa} with A = h_own - h_max,
+/// B = h_own - h_min. Exposed for unit tests against a brute-force scan.
+double discrete_min_max(double a, double b, double kappa, std::int64_t* s_star = nullptr);
+
+}  // namespace gtrix

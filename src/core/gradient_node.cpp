@@ -1,0 +1,409 @@
+#include "core/gradient_node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+namespace {
+constexpr double kGuardSlack = 1e-9;  // float-noise tolerance in guard checks
+}
+
+GradientTrixNode::GradientTrixNode(Simulator& sim, Network& net, NetNodeId self,
+                                   HardwareClock clock, std::vector<NetNodeId> preds,
+                                   GradientNodeConfig config, Recorder* recorder)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      clock_(std::move(clock)),
+      preds_(std::move(preds)),
+      config_(config),
+      recorder_(recorder) {
+  GTRIX_CHECK_MSG(preds_.size() >= 2, "node needs its own copy plus >= 1 neighbour");
+  GTRIX_CHECK_MSG(preds_.size() <= kMaxSlots, "too many predecessors");
+}
+
+int GradientTrixNode::slot_of(NetNodeId from) const {
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    if (preds_[i] == from) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void GradientTrixNode::on_pulse(NetNodeId from, EdgeId /*edge*/, const Pulse& pulse,
+                                SimTime now) {
+  const int slot = slot_of(from);
+  if (slot < 0) return;  // not one of our predecessors
+  const LocalTime h = clock_.to_local(now);
+  if (phase_ != Phase::kCollect) {
+    // The pulse decision for this iteration is already made. A message from
+    // a slot not yet seen still belongs to the *current* wave (Lemma B.1:
+    // e.g. the own-copy pulse arriving after the timeout branch committed,
+    // or the last neighbour arriving after the until-loop expired): consume
+    // it so it cannot leak into the next iteration. Repeats belong to the
+    // next wave and are queued.
+    const auto uslot = static_cast<std::size_t>(slot);
+    if (!slot_seen_[uslot]) {
+      slot_seen_[uslot] = true;
+      if (slot > 0) r_[uslot] = true;
+      slot_sigma_[uslot] = pulse.stamp;
+      ++counters_.late_absorbed;
+      return;
+    }
+    if (pending_.size() >= kPendingCap) {
+      pending_.pop_front();
+      ++counters_.pending_overflow;
+    }
+    pending_.push_back(PendingMsg{from, h, pulse.stamp});
+    return;
+  }
+  process_message(from, h, pulse.stamp, now);
+}
+
+void GradientTrixNode::process_message(NetNodeId from, LocalTime h, Sigma sigma,
+                                       SimTime now) {
+  const int slot = slot_of(from);
+  GTRIX_CHECK(slot >= 0);
+  const auto uslot = static_cast<std::size_t>(slot);
+  bool changed = false;
+  if (slot == 0) {
+    // Pulse from the node's own copy (v, l-1).
+    if (!std::isfinite(h_own_)) {
+      h_own_ = h;
+      slot_seen_[0] = true;
+      slot_sigma_[0] = sigma;
+      changed = true;
+    } else {
+      ++counters_.duplicate_drops;
+    }
+  } else {
+    // Pulse from a neighbour copy (w, l-1). With trimming, H_min is the
+    // (trim+1)-th earliest and H_max the (deg - trim)-th reception; the
+    // paper's rule is trim = 0 (first and last).
+    if (!r_[uslot]) {
+      std::size_t seen_before = 0;
+      for (std::size_t i = 1; i < preds_.size(); ++i) seen_before += r_[i] ? 1U : 0U;
+      const std::size_t degree = preds_.size() - 1;
+      const std::size_t trim = config_.trim;
+      GTRIX_CHECK_MSG(2 * trim < degree, "trim too large for degree");
+      if (seen_before == trim) {
+        h_min_ = h;
+        if (config_.self_stabilizing || config_.startup_watchdog) arm_watchdog();
+      }
+      r_[uslot] = true;
+      slot_seen_[uslot] = true;
+      slot_sigma_[uslot] = sigma;
+      if (seen_before + 1 == degree - trim) h_max_ = h;
+      changed = true;
+    } else {
+      ++counters_.duplicate_drops;
+    }
+  }
+  if (changed) update_until(now, clock_.to_local(now));
+}
+
+std::pair<LocalTime, LocalTime> GradientTrixNode::thresholds() const {
+  // thr1 (H_max + kappa/2 + theta kappa) is the timeout for a *missing*
+  // own-copy pulse: once every neighbour has been heard, any correct own
+  // copy would arrive within this margin (see Lemma B.1's case analysis;
+  // if the until-loop could expire via thr1 with H_own known, Algorithm 3
+  // would not be equivalent to Algorithm 1, contradicting Lemma B.2).
+  // thr2 (2 H_own - H_min + 2 kappa) is the symmetric wait for the last
+  // neighbour once the own copy is known.
+  const double kappa = config_.params.kappa();
+  const LocalTime thr1 = (!std::isfinite(h_own_) && std::isfinite(h_max_))
+                             ? h_max_ + kappa / 2.0 + config_.params.theta * kappa
+                             : kLocalInfinity;
+  const LocalTime thr2 = (std::isfinite(h_own_) && std::isfinite(h_min_))
+                             ? 2.0 * h_own_ - h_min_ + 2.0 * kappa
+                             : kLocalInfinity;
+  return {thr1, thr2};
+}
+
+void GradientTrixNode::update_until(SimTime now, LocalTime now_local) {
+  if (config_.simplified) {
+    // Algorithm 1: wait until H_own, H_min, H_max are all known.
+    if (std::isfinite(h_own_) && std::isfinite(h_min_) && std::isfinite(h_max_)) {
+      exit_collect(now, now_local);
+    }
+    return;
+  }
+  if (!std::isfinite(h_min_)) return;  // until requires H_min < inf
+  const auto [thr1, thr2] = thresholds();
+  const LocalTime thr = std::min(thr1, thr2);
+  if (!std::isfinite(thr)) return;  // keep collecting, no deadline yet
+  if (now_local >= thr) {
+    exit_collect(now, now_local);
+    return;
+  }
+  arm_until_timer(thr);
+}
+
+void GradientTrixNode::arm_until_timer(LocalTime threshold) {
+  if (until_event_) {
+    sim_.cancel(*until_event_);
+    until_event_.reset();
+  }
+  const std::uint64_t gen = ++until_gen_;
+  const SimTime fire_at = std::max(clock_.to_real(threshold), sim_.now());
+  until_event_ = sim_.at(fire_at, [this, gen, threshold](SimTime now) {
+    if (gen != until_gen_ || phase_ != Phase::kCollect) return;
+    until_event_.reset();
+    // Pass the exact local threshold so the branch test below compares the
+    // same floating-point value that defined the deadline.
+    exit_collect(now, threshold);
+  });
+}
+
+void GradientTrixNode::arm_watchdog() {
+  // Algorithm 4's Wait() helper: once the first neighbour pulse is stored,
+  // all remaining correct pulses must follow within theta (2 L + u) local
+  // time; if neither the own-copy nor the last neighbour pulse shows up, the
+  // stored partial state stems from a spurious message and is cleared.
+  const std::uint64_t gen = ++watchdog_gen_;
+  const double interval =
+      config_.params.theta * (2.0 * config_.skew_bound_hint + config_.params.u);
+  const LocalTime fire_local = clock_.to_local(sim_.now()) + interval;
+  sim_.at(clock_.to_real(fire_local), [this, gen](SimTime /*now*/) {
+    if (gen != watchdog_gen_ || phase_ != Phase::kCollect) return;
+    if (std::isfinite(h_min_) && !std::isfinite(h_own_) && !std::isfinite(h_max_)) {
+      h_min_ = kLocalInfinity;
+      for (std::size_t i = 1; i < preds_.size(); ++i) {
+        r_[i] = false;
+        slot_seen_[i] = false;
+        slot_sigma_[i] = 0;
+      }
+      ++counters_.watchdog_resets;
+      ++until_gen_;  // any armed until-timer is now meaningless
+      if (until_event_) {
+        sim_.cancel(*until_event_);
+        until_event_.reset();
+      }
+    }
+  });
+}
+
+void GradientTrixNode::exit_collect(SimTime now, LocalTime now_local) {
+  ++until_gen_;
+  if (until_event_) {
+    sim_.cancel(*until_event_);
+    until_event_.reset();
+  }
+  ++watchdog_gen_;
+
+  const Params& p = config_.params;
+  const double kappa = p.kappa();
+
+  IterationRecord rec;
+  rec.sigma = estimate_sigma();
+  rec.h_own = h_own_;
+  rec.h_min = h_min_;
+  rec.h_max = h_max_;
+  rec.own_missing = !std::isfinite(h_own_);
+  rec.max_missing = !std::isfinite(h_max_);
+  rec.slot_count = static_cast<std::uint8_t>(preds_.size());
+  rec.slot_sigma = slot_sigma_;
+  rec.slot_seen = slot_seen_;
+
+  const bool branch1 = !config_.simplified && !std::isfinite(h_own_);
+
+  if (branch1) {
+    // Algorithm 3 first branch: the own-copy pulse never showed up before
+    // H_max + kappa/2 + theta kappa local time; pulse from the last
+    // neighbour reception instead: H_max + 3 kappa/2 + Lambda - d.
+    rec.timeout_branch = true;
+    ++counters_.timeout_branches;
+    if (config_.self_stabilizing && h_max_ > now_local + kGuardSlack) {
+      ++counters_.guard_aborts;  // corrupted state: reception in the future
+      finish_iteration_without_pulse(now);
+      return;
+    }
+    const LocalTime target = h_max_ + 1.5 * kappa + p.lambda - p.d;
+    rec.correction = 0.0;  // no own reference; no correction defined
+    schedule_broadcast(now, target + config_.broadcast_offset, rec);
+    return;
+  }
+
+  // Second branch: H_own and H_min are known (the until condition exited via
+  // 2 H_own - H_min + 2 kappa). H_max may still be missing: the node has
+  // waited long enough that any correct last-neighbour pulse would have
+  // arrived, so the H_own - H_max term is treated as -infinity ("infinity
+  // cancels out", §3) and the computation collapses to the Delta < 0 branch
+  // with C = min{H_own - H_min + 3 kappa/2, 0} -- exactly the value
+  // Algorithm 1 computes in that regime (Lemma B.2, second case).
+  GTRIX_CHECK_MSG(std::isfinite(h_own_) && std::isfinite(h_min_),
+                  "branch 2 requires own and first-neighbour receptions");
+  Correction c;
+  if (!std::isfinite(h_max_)) {
+    c.branch = CorrectionBranch::kNegativeJump;
+    c.delta = -std::numeric_limits<double>::infinity();
+    c.value = std::min(h_own_ - h_min_ + 1.5 * kappa, 0.0);
+  } else {
+    // h_max < h_min can only result from corrupted state (receptions are
+    // processed in arrival order); clamp so the computation stays defined.
+    const double h_max_eff = std::max(h_max_, h_min_);
+    c = compute_correction(h_own_, h_min_, h_max_eff, p, config_.jump_condition);
+  }
+  rec.correction = c.value;
+  const LocalTime target = h_own_ + p.lambda - p.d - c.value;
+
+  if (config_.self_stabilizing) {
+    const bool future_own = h_own_ > now_local + kGuardSlack;
+    const bool future_min = c.value < 0.0 && h_min_ > now_local + kGuardSlack;
+    const bool absurd_wait = target > now_local + (p.lambda - p.d) + kGuardSlack;
+    if (future_own || future_min || absurd_wait) {
+      ++counters_.guard_aborts;
+      finish_iteration_without_pulse(now);
+      return;
+    }
+  }
+  schedule_broadcast(now, target + config_.broadcast_offset, rec);
+}
+
+void GradientTrixNode::finish_iteration_without_pulse(SimTime now) {
+  reset_iteration_state();
+  phase_ = Phase::kCollect;
+  drain_pending(now);
+}
+
+void GradientTrixNode::schedule_broadcast(SimTime now, LocalTime target,
+                                          IterationRecord record) {
+  staged_record_ = record;
+  phase_ = Phase::kWaitBroadcast;
+  const LocalTime now_local = clock_.to_local(now);
+  if (target <= now_local) {
+    // "wait until H(t) = X" with X already reached: act immediately. This
+    // occurs during initialization and stabilization; steady-state
+    // iterations always schedule into the future (Lemma B.1).
+    ++counters_.late_broadcasts;
+    staged_record_.late = true;
+    do_broadcast(now, now_local);
+    return;
+  }
+  const std::uint64_t gen = ++broadcast_gen_;
+  sim_.at(clock_.to_real(target), [this, gen, target](SimTime t) {
+    if (gen != broadcast_gen_ || phase_ != Phase::kWaitBroadcast) return;
+    do_broadcast(t, target);
+  });
+}
+
+void GradientTrixNode::do_broadcast(SimTime now, LocalTime fire_local) {
+  ++broadcast_gen_;  // invalidate any still-armed broadcast timer
+  staged_record_.pulse_time = now;
+  staged_record_.pulse_local = fire_local;
+  last_sigma_ = staged_record_.sigma;
+  const Pulse pulse{staged_record_.sigma};
+  if (recorder_ != nullptr) {
+    recorder_->record_pulse(self_, staged_record_.sigma, now);
+    recorder_->record_iteration(self_, staged_record_);
+  }
+  ++counters_.iterations;
+  if (send_override_) {
+    send_override_(pulse, now);
+  } else {
+    net_.broadcast(self_, pulse);
+  }
+  reset_iteration_state();
+  phase_ = Phase::kCollect;
+  drain_pending(now);
+}
+
+void GradientTrixNode::reset_iteration_state() {
+  h_own_ = kLocalInfinity;
+  h_min_ = kLocalInfinity;
+  h_max_ = kLocalInfinity;
+  r_.fill(false);
+  slot_seen_.fill(false);
+  slot_sigma_.fill(0);
+  ++until_gen_;
+  ++watchdog_gen_;
+  if (until_event_) {
+    sim_.cancel(*until_event_);
+    until_event_.reset();
+  }
+}
+
+void GradientTrixNode::drain_pending(SimTime now) {
+  while (!pending_.empty() && phase_ == Phase::kCollect) {
+    const PendingMsg msg = pending_.front();
+    pending_.pop_front();
+    process_message(msg.from, msg.h_arrival, msg.sigma, now);
+  }
+}
+
+Sigma GradientTrixNode::estimate_sigma() const {
+  // Fault-tolerant wave recovery: take any value reported by two or more
+  // predecessors (at most one predecessor is faulty). Without a majority
+  // (e.g. a Byzantine own copy with a drifting label plus a single correct
+  // neighbour), prefer continuity with the node's own wave sequence --
+  // waves advance by exactly one per iteration in correct operation -- and
+  // only then fall back to the own copy's value.
+  std::array<Sigma, kMaxSlots> vals{};
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    if (slot_seen_[i]) vals[n++] = slot_sigma_[i];
+  }
+  if (n == 0) return last_sigma_ + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t same = 0;
+    for (std::size_t j = 0; j < n; ++j) same += vals[j] == vals[i] ? 1U : 0U;
+    if (same >= 2) return vals[i];
+  }
+  if (counters_.iterations > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (vals[i] == last_sigma_ + 1) return vals[i];
+    }
+  }
+  if (slot_seen_[0]) return slot_sigma_[0];
+  return vals[0];
+}
+
+void GradientTrixNode::corrupt_state(Rng& rng) {
+  // Arbitrary transient fault (Theorem 1.6): scramble every register and
+  // control-flow bit. Pending messages and armed timers are dropped /
+  // invalidated; freshly scheduled garbage may include a bogus broadcast.
+  reset_iteration_state();
+  pending_.clear();
+  const LocalTime now_local = clock_.to_local(sim_.now());
+  const double lambda = config_.params.lambda;
+  const Sigma bogus_sigma = rng.uniform_int(-4, 4);
+
+  if (rng.bernoulli(0.5)) {
+    phase_ = Phase::kCollect;
+    // Random subset of receptions with random timestamps (possibly in the
+    // "future" -- exactly the inconsistency Algorithm 4's guards detect).
+    if (rng.bernoulli(0.7)) {
+      h_own_ = now_local + rng.uniform(-2.0 * lambda, lambda);
+      slot_seen_[0] = true;
+      slot_sigma_[0] = bogus_sigma;
+    }
+    if (rng.bernoulli(0.7)) {
+      h_min_ = now_local + rng.uniform(-2.0 * lambda, lambda);
+      for (std::size_t i = 1; i < preds_.size(); ++i) {
+        if (rng.bernoulli(0.5)) {
+          r_[i] = true;
+          slot_seen_[i] = true;
+          slot_sigma_[i] = bogus_sigma + rng.uniform_int(-1, 1);
+        }
+      }
+      bool all = true;
+      for (std::size_t i = 1; i < preds_.size(); ++i) all = all && r_[i];
+      if (all) h_max_ = h_min_ + rng.uniform(0.0, lambda);
+    }
+  } else {
+    // Mid-wait with a garbage target.
+    IterationRecord rec;
+    rec.sigma = bogus_sigma;
+    rec.correction = rng.uniform(-lambda / 4.0, lambda / 4.0);
+    rec.h_own = now_local;
+    rec.h_min = now_local;
+    rec.h_max = now_local;
+    const LocalTime target = now_local + rng.uniform(0.0, 2.0 * lambda);
+    // Do not count this garbage emission as a normal late broadcast.
+    schedule_broadcast(sim_.now(), target, rec);
+  }
+}
+
+}  // namespace gtrix

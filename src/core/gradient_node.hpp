@@ -1,0 +1,168 @@
+// The Gradient TRIX pulse-forwarding node: the paper's core contribution.
+//
+// Implements, per configuration:
+//  * Algorithm 1 (simplified; §3.1) -- waits for all three reception times,
+//    valid only when all predecessors are correct and sending,
+//  * Algorithm 3 (full; Appendix B) -- tolerates a silent or misbehaving
+//    predecessor via the timeout condition
+//        H_min < inf  and  H(t) >= min{ H_max + kappa/2 + theta kappa,
+//                                       2 H_own - H_min + 2 kappa },
+//  * Algorithm 4 (self-stabilizing; Appendix C) -- adds the watchdog that
+//    clears half-filled state and guards on every waiting statement.
+//
+// In each iteration the node timestamps its predecessors' pulses with its
+// hardware clock, computes the correction C_{v,l} (see core/correction.hpp)
+// and broadcasts at local time H_own + Lambda - d - C_{v,l}.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "clock/hardware_clock.hpp"
+#include "core/correction.hpp"
+#include "core/params.hpp"
+#include "metrics/recorder.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace gtrix {
+
+struct GradientNodeConfig {
+  Params params;
+
+  /// Algorithm 1 instead of Algorithm 3. Requires fault-free predecessors.
+  bool simplified = false;
+
+  /// Algorithm 4 wait-statement guards (Appendix C).
+  bool self_stabilizing = false;
+
+  /// Appendix C watchdog: once the first neighbour pulse of an iteration is
+  /// stored, the own-copy or last-neighbour pulse must follow within
+  /// theta (2 L + u) local time or the stored state is stale and cleared.
+  /// Has no effect after stabilization (Observation C.4) but is required to
+  /// recover from arbitrary initial conditions -- including cold start of
+  /// deep layers under Appendix-A line input, where early iterations would
+  /// otherwise group pulses of different waves. On by default.
+  bool startup_watchdog = true;
+
+  /// Jump condition (Definition 4.5). Disabling reproduces Figure 5.
+  bool jump_condition = true;
+
+  /// Estimate \bar{L} of the steady-state local skew, used by the
+  /// self-stabilization watchdog interval theta (2 \bar{L} + u). Callers
+  /// typically pass params.thm11_bound(D).
+  double skew_bound_hint = 0.0;
+
+  /// Static shift applied to the broadcast time (local units). Zero for
+  /// correct nodes; fault wrappers use it to model static delay faults.
+  double broadcast_offset = 0.0;
+
+  /// EXTENSION (paper "Bigger Picture" item 3): trimmed aggregation.
+  /// H_min is the (trim+1)-th earliest neighbour reception and H_max the
+  /// (deg - trim)-th, so `trim` outliers on each side cannot influence the
+  /// correction at all. trim = 0 is the paper's algorithm. With trim = 1 on
+  /// an in-degree-5 grid (cycle_wide reach 2), a node withstands a faulty
+  /// own copy plus one arbitrary neighbour, or two neighbours pulling in
+  /// opposite directions. Requires 2 * trim < neighbour count.
+  std::uint32_t trim = 0;
+};
+
+class GradientTrixNode final : public PulseSink {
+ public:
+  /// `preds` lists the network ids of the predecessors, own copy first --
+  /// exactly Grid::predecessors mapped to network ids. The clock is owned.
+  GradientTrixNode(Simulator& sim, Network& net, NetNodeId self, HardwareClock clock,
+                   std::vector<NetNodeId> preds, GradientNodeConfig config,
+                   Recorder* recorder);
+
+  GradientTrixNode(const GradientTrixNode&) = delete;
+  GradientTrixNode& operator=(const GradientTrixNode&) = delete;
+
+  void on_pulse(NetNodeId from, EdgeId edge, const Pulse& pulse, SimTime now) override;
+
+  /// Replaces the default broadcast with a custom emitter (fault wrappers).
+  /// Arguments: the pulse the node would have broadcast, and the time.
+  using SendOverride = std::function<void(const Pulse&, SimTime)>;
+  void set_send_override(SendOverride fn) { send_override_ = std::move(fn); }
+
+  /// Randomizes all mutable state (phase, reception times, flags, timers)
+  /// to model a transient fault / arbitrary initial state (Theorem 1.6).
+  void corrupt_state(Rng& rng);
+
+  struct Counters {
+    std::uint64_t iterations = 0;         ///< completed (broadcast) iterations
+    std::uint64_t late_broadcasts = 0;    ///< broadcast target already passed
+    std::uint64_t guard_aborts = 0;       ///< Alg 4 wait-guard trips (no broadcast)
+    std::uint64_t watchdog_resets = 0;    ///< Alg 4 partial-state clears
+    std::uint64_t duplicate_drops = 0;    ///< repeated pulse within an iteration
+    std::uint64_t pending_overflow = 0;   ///< pending queue cap exceeded
+    std::uint64_t timeout_branches = 0;   ///< Alg 3 first branch taken
+    std::uint64_t late_absorbed = 0;      ///< current-wave pulses consumed mid-wait
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+  const HardwareClock& clock() const noexcept { return clock_; }
+  NetNodeId id() const noexcept { return self_; }
+
+ private:
+  enum class Phase { kCollect, kWaitBroadcast };
+
+  static constexpr std::size_t kMaxSlots = IterationRecord::kMaxSlots;
+  static constexpr std::size_t kPendingCap = 16;
+
+  struct PendingMsg {
+    NetNodeId from;
+    LocalTime h_arrival;
+    Sigma sigma;
+  };
+
+  int slot_of(NetNodeId from) const;
+  void process_message(NetNodeId from, LocalTime h, Sigma sigma, SimTime now);
+  void update_until(SimTime now, LocalTime now_local);
+  void arm_until_timer(LocalTime threshold);
+  void arm_watchdog();
+  void exit_collect(SimTime now, LocalTime now_local);
+  void finish_iteration_without_pulse(SimTime now);
+  void schedule_broadcast(SimTime now, LocalTime target, IterationRecord record);
+  void do_broadcast(SimTime now, LocalTime fire_local);
+  void reset_iteration_state();
+  void drain_pending(SimTime now);
+  Sigma estimate_sigma() const;
+  std::pair<LocalTime, LocalTime> thresholds() const;  ///< (thr1, thr2); inf if unset
+
+  Simulator& sim_;
+  Network& net_;
+  NetNodeId self_;
+  HardwareClock clock_;
+  std::vector<NetNodeId> preds_;  // slot order; [0] is the own copy
+  GradientNodeConfig config_;
+  Recorder* recorder_;  // non-owning; may be null
+  SendOverride send_override_;
+
+  // Per-iteration state (Algorithm 3 variables).
+  Phase phase_ = Phase::kCollect;
+  LocalTime h_own_ = kLocalInfinity;
+  LocalTime h_min_ = kLocalInfinity;
+  LocalTime h_max_ = kLocalInfinity;
+  std::array<bool, kMaxSlots> r_{};                 // neighbour-received flags (slot 1..)
+  std::array<bool, kMaxSlots> slot_seen_{};
+  std::array<Sigma, kMaxSlots> slot_sigma_{};
+  std::deque<PendingMsg> pending_;
+
+  // Timer bookkeeping. Generation counters invalidate stale timer lambdas.
+  std::uint64_t until_gen_ = 0;
+  std::optional<EventId> until_event_;
+  std::uint64_t broadcast_gen_ = 0;
+  std::uint64_t watchdog_gen_ = 0;
+
+  IterationRecord staged_record_{};  // filled at exit_collect, recorded at fire
+  Sigma last_sigma_ = 0;             // wave label of the last broadcast
+  Counters counters_;
+};
+
+}  // namespace gtrix

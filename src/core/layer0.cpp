@@ -1,0 +1,98 @@
+#include "core/layer0.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+ClockSource::ClockSource(Simulator& sim, Network& net, NetNodeId self, Params params,
+                         std::int64_t pulse_count, Recorder* recorder)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      params_(params),
+      pulse_count_(pulse_count),
+      recorder_(recorder) {}
+
+void ClockSource::start() {
+  for (std::int64_t k = 1; k <= pulse_count_; ++k) {
+    const SimTime t = static_cast<double>(k - 1) * params_.lambda;
+    const Sigma sigma = k - 1;
+    sim_.at(t, [this, sigma](SimTime now) {
+      if (recorder_ != nullptr) recorder_->record_pulse(self_, sigma, now);
+      net_.broadcast(self_, Pulse{sigma});
+    });
+  }
+}
+
+Layer0LineNode::Layer0LineNode(Simulator& sim, Network& net, NetNodeId self,
+                               HardwareClock clock, NetNodeId line_pred, Params params,
+                               Recorder* recorder)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      clock_(std::move(clock)),
+      line_pred_(line_pred),
+      params_(params),
+      recorder_(recorder) {}
+
+void Layer0LineNode::on_pulse(NetNodeId from, EdgeId /*edge*/, const Pulse& pulse,
+                              SimTime now) {
+  if (from != line_pred_) return;
+  // Algorithm 2: H := H(t). Receptions overwrite unconditionally, which is
+  // what makes the scheme self-stabilizing (proof of Lemma A.1).
+  stored_h_ = clock_.to_local(now);
+  out_sigma_ = pulse.stamp + 1;  // each line hop advances the wave label
+  const std::uint64_t gen = ++gen_;
+  const LocalTime target = stored_h_ + params_.lambda - params_.d;
+  sim_.at(clock_.to_real(target), [this, gen](SimTime t) {
+    if (gen != gen_) return;  // superseded by a newer reception
+    broadcast(t);
+  });
+}
+
+void Layer0LineNode::broadcast(SimTime now) {
+  if (recorder_ != nullptr) recorder_->record_pulse(self_, out_sigma_, now);
+  ++forwarded_;
+  net_.broadcast(self_, Pulse{out_sigma_});
+}
+
+void Layer0LineNode::corrupt_state(Rng& rng) {
+  ++gen_;  // drop any armed broadcast
+  const LocalTime now_local = clock_.to_local(sim_.now());
+  stored_h_ = now_local + rng.uniform(-params_.lambda, params_.lambda);
+  out_sigma_ = rng.uniform_int(-4, 4);
+  if (rng.bernoulli(0.5)) {
+    const std::uint64_t gen = ++gen_;
+    const LocalTime target = now_local + rng.uniform(0.0, params_.lambda);
+    sim_.at(clock_.to_real(target), [this, gen](SimTime t) {
+      if (gen != gen_) return;
+      broadcast(t);
+    });
+  }
+}
+
+IdealEmitter::IdealEmitter(Simulator& sim, Network& net, NetNodeId self, double offset,
+                           Params params, std::int64_t pulse_count, Recorder* recorder)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      offset_(offset),
+      params_(params),
+      pulse_count_(pulse_count),
+      recorder_(recorder) {
+  GTRIX_CHECK_MSG(offset_ >= 0.0, "emitter offset must be non-negative");
+}
+
+void IdealEmitter::start() {
+  for (std::int64_t k = 1; k <= pulse_count_; ++k) {
+    const SimTime t = static_cast<double>(k) * params_.lambda + offset_;
+    sim_.at(t, [this, k](SimTime now) {
+      if (recorder_ != nullptr) recorder_->record_pulse(self_, k, now);
+      net_.broadcast(self_, Pulse{k});
+    });
+  }
+}
+
+}  // namespace gtrix

@@ -1,0 +1,98 @@
+// Layer-0 pulse generation (paper Appendix A).
+//
+// Two interchangeable realizations:
+//  * ClockSource + Layer0LineNode: the paper's Algorithm 2. A perfect-period
+//    source (which by definition provides "true" time, §2) feeds a line of
+//    forwarding nodes; each node re-broadcasts Lambda - d local time after a
+//    reception, overwriting its single stored timestamp on every reception,
+//    which makes the scheme self-stabilizing (Lemma A.1).
+//  * IdealEmitter: directly generates layer-0 pulses at k Lambda + offset_v,
+//    matching the analysis precondition L_0 <= kappa/2 without the
+//    position-staggering of the line scheme. Used by the theorem benches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "clock/hardware_clock.hpp"
+#include "core/params.hpp"
+#include "metrics/recorder.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace gtrix {
+
+/// The clock reference driving layer 0. Generates pulse k at (k-1) Lambda
+/// with wave stamp k-1; the stamp convention makes every line hop add one
+/// (see DESIGN.md on sigma indexing).
+class ClockSource {
+ public:
+  ClockSource(Simulator& sim, Network& net, NetNodeId self, Params params,
+              std::int64_t pulse_count, Recorder* recorder);
+
+  /// Schedules all pulses; call once before running the simulation.
+  void start();
+
+  NetNodeId id() const noexcept { return self_; }
+
+ private:
+  Simulator& sim_;
+  Network& net_;
+  NetNodeId self_;
+  Params params_;
+  std::int64_t pulse_count_;
+  Recorder* recorder_;
+};
+
+/// Algorithm 2: layer-0 line forwarding node.
+class Layer0LineNode final : public PulseSink {
+ public:
+  Layer0LineNode(Simulator& sim, Network& net, NetNodeId self, HardwareClock clock,
+                 NetNodeId line_pred, Params params, Recorder* recorder);
+
+  void on_pulse(NetNodeId from, EdgeId edge, const Pulse& pulse, SimTime now) override;
+
+  /// Scrambles the stored timestamp / pending broadcast (Theorem 1.6 tests).
+  void corrupt_state(Rng& rng);
+
+  std::uint64_t pulses_forwarded() const noexcept { return forwarded_; }
+
+ private:
+  void broadcast(SimTime now);
+
+  Simulator& sim_;
+  Network& net_;
+  NetNodeId self_;
+  HardwareClock clock_;
+  NetNodeId line_pred_;
+  Params params_;
+  Recorder* recorder_;
+
+  LocalTime stored_h_ = kLocalInfinity;  // Algorithm 2's H
+  Sigma out_sigma_ = 0;
+  std::uint64_t gen_ = 0;  // invalidates superseded broadcast timers
+  std::uint64_t forwarded_ = 0;
+};
+
+/// Ideal layer-0 node: pulses at k Lambda + offset with stamp k.
+class IdealEmitter {
+ public:
+  IdealEmitter(Simulator& sim, Network& net, NetNodeId self, double offset,
+               Params params, std::int64_t pulse_count, Recorder* recorder);
+
+  void start();
+
+  NetNodeId id() const noexcept { return self_; }
+
+ private:
+  Simulator& sim_;
+  Network& net_;
+  NetNodeId self_;
+  double offset_;
+  Params params_;
+  std::int64_t pulse_count_;
+  Recorder* recorder_;
+};
+
+}  // namespace gtrix

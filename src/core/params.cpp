@@ -1,0 +1,96 @@
+#include "core/params.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+double Params::kappa() const noexcept {
+  return 2.0 * (u + (1.0 - 1.0 / theta) * (lambda - d));
+}
+
+double Params::thm11_bound(std::uint32_t diameter) const noexcept {
+  return 4.0 * kappa() * (2.0 + std::log2(static_cast<double>(diameter)));
+}
+
+double Params::psi1_bound(std::uint32_t diameter) const noexcept {
+  return 2.0 * kappa() * static_cast<double>(diameter);
+}
+
+double Params::global_skew_bound(std::uint32_t diameter) const noexcept {
+  return 6.0 * kappa() * static_cast<double>(diameter);
+}
+
+double Params::thm12_bound(std::uint32_t diameter, std::uint32_t faults) const noexcept {
+  // B_i = 4 kappa (2 + log2 D) 5^i sum_{j=0..i} 5^-j (proof of Theorem 1.2).
+  double geo = 0.0;
+  for (std::uint32_t j = 0; j <= faults; ++j) geo += std::pow(5.0, -static_cast<double>(j));
+  return thm11_bound(diameter) * std::pow(5.0, static_cast<double>(faults)) * geo;
+}
+
+std::string Params::validate(std::uint32_t diameter, double safety) const {
+  std::ostringstream why;
+  if (!(u >= 0.0) || !(u < d)) {
+    why << "require 0 <= u < d (u=" << u << ", d=" << d << ")";
+    return why.str();
+  }
+  if (!(theta > 1.0)) {
+    why << "require theta > 1 (theta=" << theta << ")";
+    return why.str();
+  }
+  if (!(lambda > d)) {
+    why << "require Lambda > d (Lambda=" << lambda << ", d=" << d << ")";
+    return why.str();
+  }
+  const double bound = thm11_bound(diameter);
+  const double need_lambda = safety * theta * (bound + u) + d;  // Eq. (2)
+  if (lambda < need_lambda) {
+    why << "Eq(2) violated: Lambda=" << lambda << " < " << need_lambda
+        << " = C*theta*(L+u)+d with C=" << safety << ", L=" << bound;
+    return why.str();
+  }
+  const double need_d = safety * (theta * (bound + u) + kappa());  // Eq. (3)
+  if (d < need_d) {
+    why << "Eq(3) violated: d=" << d << " < " << need_d
+        << " = C*(theta*(L+u)+kappa) with C=" << safety << ", L=" << bound;
+    return why.str();
+  }
+  return {};
+}
+
+Params Params::with(double d, double u, double theta) {
+  Params p;
+  p.d = d;
+  p.u = u;
+  p.theta = theta;
+  p.lambda = 2.0 * d;
+  return p;
+}
+
+Params Params::derive_for(std::uint32_t diameter, double u, double theta, double safety) {
+  GTRIX_CHECK_MSG(theta > 1.0, "theta must exceed 1");
+  double d = 20.0 * (u > 0.0 ? u : 1.0);
+  for (int iteration = 0; iteration < 64; ++iteration) {
+    Params p = Params::with(d, u, theta);
+    const double bound = p.thm11_bound(diameter);
+    const double need_d =
+        std::max(safety * (theta * (bound + u) + p.kappa()),  // Eq. (3)
+                 safety * theta * (bound + u));               // Eq. (2) with Lambda=2d
+    if (d >= need_d) return p;
+    d = need_d * 1.05;  // small overshoot to converge quickly
+  }
+  Params p = Params::with(d, u, theta);
+  GTRIX_CHECK_MSG(p.valid_for(diameter, safety), "parameter derivation failed to converge");
+  return p;
+}
+
+std::string Params::describe() const {
+  std::ostringstream out;
+  out << "d=" << d << " u=" << u << " theta=" << theta << " Lambda=" << lambda
+      << " kappa=" << kappa();
+  return out.str();
+}
+
+}  // namespace gtrix

@@ -1,0 +1,29 @@
+#include "fault/behaviors.hpp"
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+FixedPeriodRogue::FixedPeriodRogue(Simulator& sim, Network& net, NetNodeId self,
+                                   double period, double first_at,
+                                   std::int64_t max_pulses, Recorder* recorder)
+    : sim_(sim), net_(net), self_(self), period_(period), first_at_(first_at),
+      max_pulses_(max_pulses), recorder_(recorder) {
+  GTRIX_CHECK_MSG(period_ > 0.0, "rogue period must be positive");
+}
+
+void FixedPeriodRogue::start() {
+  sim_.at(first_at_, [this](SimTime now) { tick(now); });
+}
+
+void FixedPeriodRogue::tick(SimTime now) {
+  ++sigma_;
+  ++emitted_;
+  if (recorder_ != nullptr) recorder_->record_pulse(self_, sigma_, now);
+  net_.broadcast(self_, Pulse{sigma_});
+  if (static_cast<std::int64_t>(emitted_) < max_pulses_) {
+    sim_.at(now + period_, [this](SimTime t) { tick(t); });
+  }
+}
+
+}  // namespace gtrix

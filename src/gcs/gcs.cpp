@@ -1,0 +1,174 @@
+#include "gcs/gcs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/simulator.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace gtrix {
+
+namespace {
+
+struct GcsNodeState {
+  double hw_rate = 1.0;       // hardware clock rate in [1, theta]
+  bool fast = false;          // fast mode active
+  bool crashed = false;
+  double logical = 0.0;       // L_v at `updated_at`
+  SimTime updated_at = 0.0;   // real time of last logical-clock update
+  // Neighbour estimates: value at reception plus nominal advance since.
+  std::vector<double> est_value;     // received L_w
+  std::vector<SimTime> est_at;       // reception real time
+  std::vector<bool> est_valid;
+};
+
+class GcsSim {
+ public:
+  explicit GcsSim(const GcsConfig& config)
+      : cfg_(config),
+        graph_(BaseGraph::line_replicated(config.columns)),
+        rng_(config.seed ^ 0x6C5347ULL) {
+    const std::uint32_t n = graph_.node_count();
+    nodes_.resize(n);
+    for (BaseNodeId v = 0; v < n; ++v) {
+      GcsNodeState& node = nodes_[v];
+      node.hw_rate = rng_.uniform(1.0, cfg_.theta);
+      const std::size_t degree = graph_.neighbors(v).size();
+      node.est_value.assign(degree, 0.0);
+      node.est_at.assign(degree, 0.0);
+      node.est_valid.assign(degree, false);
+    }
+    for (BaseNodeId v : cfg_.crashes) nodes_.at(v).crashed = true;
+    // Estimate-error scale: delay uncertainty plus drift across one
+    // broadcast interval (the continuous kappa).
+    kappa_g_ = cfg_.u + (cfg_.theta - 1.0) * (cfg_.d + cfg_.broadcast_interval);
+  }
+
+  GcsResult run() {
+    // Stagger initial broadcasts to avoid artificial synchrony.
+    for (BaseNodeId v = 0; v < graph_.node_count(); ++v) {
+      if (nodes_[v].crashed) continue;
+      sim_.at(rng_.uniform(0.0, cfg_.broadcast_interval),
+              [this, v](SimTime now) { broadcast(v, now); });
+    }
+    for (SimTime t = cfg_.sample_interval; t <= cfg_.run_time;
+         t += cfg_.sample_interval) {
+      sim_.at(t, [this](SimTime now) { sample(now); });
+    }
+    sim_.run_all();
+    result_.kappa_g = kappa_g_;
+    return result_;
+  }
+
+ private:
+  double logical_at(const GcsNodeState& node, SimTime now) const {
+    const double rate = node.hw_rate * (node.fast ? 1.0 + cfg_.mu : 1.0);
+    return node.logical + rate * (now - node.updated_at);
+  }
+
+  void advance(GcsNodeState& node, SimTime now) {
+    node.logical = logical_at(node, now);
+    node.updated_at = now;
+  }
+
+  /// Neighbour estimate advanced at nominal rate 1 since reception.
+  double estimate(const GcsNodeState& node, std::size_t slot, SimTime now) const {
+    return node.est_value[slot] + (now - node.est_at[slot]);
+  }
+
+  void update_mode(BaseNodeId v, SimTime now) {
+    GcsNodeState& node = nodes_[v];
+    advance(node, now);
+    double ahead = -std::numeric_limits<double>::infinity();
+    double behind = std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (std::size_t slot = 0; slot < node.est_valid.size(); ++slot) {
+      if (!node.est_valid[slot]) continue;
+      any = true;
+      const double offset = estimate(node, slot, now) - node.logical;
+      ahead = std::max(ahead, offset);
+      behind = std::min(behind, offset);
+    }
+    bool fast = false;
+    if (any && ahead > 0.0) {
+      // fast <=> exists s >= 1: ahead >= (4s-2) kappa and behind >= -4s kappa.
+      const auto s_max = static_cast<std::int64_t>(
+          std::floor((ahead + 2.0 * kappa_g_) / (4.0 * kappa_g_)));
+      for (std::int64_t s = 1; s <= s_max; ++s) {
+        if (behind >= -4.0 * static_cast<double>(s) * kappa_g_) {
+          fast = true;
+          break;
+        }
+      }
+    }
+    if (fast && !node.fast) ++result_.fast_mode_activations;
+    node.fast = fast;
+  }
+
+  void broadcast(BaseNodeId v, SimTime now) {
+    GcsNodeState& node = nodes_[v];
+    if (node.crashed) return;
+    update_mode(v, now);
+    const double value = node.logical;
+    const auto neighbors = graph_.neighbors(v);
+    for (BaseNodeId w : neighbors) {
+      if (nodes_[w].crashed) continue;
+      // Slot of v in w's neighbour list.
+      const auto wn = graph_.neighbors(w);
+      const auto it = std::find(wn.begin(), wn.end(), v);
+      const auto slot = static_cast<std::size_t>(it - wn.begin());
+      const double delay = rng_.uniform(cfg_.d - cfg_.u, cfg_.d);
+      sim_.at(now + delay, [this, w, slot, value](SimTime at) {
+        GcsNodeState& receiver = nodes_[w];
+        if (receiver.crashed) return;
+        // Estimate: sender's value plus the nominal (minimum) delay.
+        receiver.est_value[slot] = value + (cfg_.d - cfg_.u);
+        receiver.est_at[slot] = at;
+        receiver.est_valid[slot] = true;
+        update_mode(w, at);
+      });
+    }
+    // Next broadcast after broadcast_interval local time.
+    const double real_gap = cfg_.broadcast_interval / node.hw_rate;
+    if (now + real_gap <= cfg_.run_time) {
+      sim_.at(now + real_gap, [this, v](SimTime at) { broadcast(v, at); });
+    }
+  }
+
+  void sample(SimTime now) {
+    if (now < cfg_.warmup) return;
+    ++result_.samples;
+    for (BaseNodeId v = 0; v < graph_.node_count(); ++v) {
+      if (nodes_[v].crashed) continue;
+      const double lv = logical_at(nodes_[v], now);
+      for (BaseNodeId w = 0; w < graph_.node_count(); ++w) {
+        if (w == v || nodes_[w].crashed) continue;
+        const double diff = std::abs(lv - logical_at(nodes_[w], now));
+        result_.global_skew = std::max(result_.global_skew, diff);
+        if (graph_.has_edge(v, w)) {
+          result_.local_skew = std::max(result_.local_skew, diff);
+        }
+      }
+    }
+  }
+
+  GcsConfig cfg_;
+  BaseGraph graph_;
+  Rng rng_;
+  Simulator sim_;
+  std::vector<GcsNodeState> nodes_;
+  double kappa_g_ = 0.0;
+  GcsResult result_;
+};
+
+}  // namespace
+
+GcsResult run_gcs(const GcsConfig& config) {
+  GTRIX_CHECK_MSG(config.mu > 0.0, "fast-mode boost must be positive");
+  GcsSim sim(config);
+  return sim.run();
+}
+
+}  // namespace gtrix

@@ -1,0 +1,55 @@
+// Baseline: continuous gradient clock synchronization [LLW10/KO09] -- the
+// algorithm Gradient TRIX simulates in discretized, fault-tolerant form
+// (paper Table 1, row "GCS").
+//
+// Each node runs a logical clock L_v at its hardware rate, optionally
+// boosted by a factor (1 + mu) when in "fast mode". Nodes broadcast their
+// logical clock value to all neighbours every broadcast_interval; receivers
+// keep estimates (received value, advanced at nominal rate since
+// reception). Fast mode follows the paper's fast-condition shape
+// (Definition 4.4, continuous analogue):
+//
+//   fast  <=>  exists s >= 1:  max_w est_w - L_v >= (4s - 2) kappa_g
+//              and             min_w est_w - L_v >= -4s kappa_g
+//
+// i.e. catch up when some neighbour is far ahead unless another is so far
+// behind that catching up would hurt it. With kappa_g ~ estimate error this
+// yields O(kappa_g log D) local skew [LLW10]. No fault tolerance beyond
+// crashes: a Byzantine node could drag its neighbours arbitrarily.
+//
+// Self-contained simulation on an undirected base graph; the harness
+// samples the logical clocks periodically and reports skews.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/base_graph.hpp"
+
+namespace gtrix {
+
+struct GcsConfig {
+  std::uint32_t columns = 16;      ///< replicated-line columns
+  double d = 1000.0;               ///< max message delay
+  double u = 10.0;                 ///< delay uncertainty
+  double theta = 1.0005;           ///< hardware clock rate bound
+  double mu = 0.05;                ///< fast-mode boost (rate * (1 + mu))
+  double broadcast_interval = 500.0;  ///< local time between estimate broadcasts
+  double run_time = 200000.0;      ///< simulated real time
+  double sample_interval = 2000.0; ///< skew sampling period
+  double warmup = 40000.0;         ///< ignore samples before this time
+  std::uint64_t seed = 1;
+  std::vector<BaseNodeId> crashes; ///< nodes that stop participating at t=0
+};
+
+struct GcsResult {
+  double local_skew = 0.0;   ///< max |L_v - L_w| over adjacent correct pairs
+  double global_skew = 0.0;  ///< max |L_v - L_w| over all correct pairs
+  double kappa_g = 0.0;      ///< estimate-error scale used by the conditions
+  std::uint64_t samples = 0;
+  std::uint64_t fast_mode_activations = 0;
+};
+
+GcsResult run_gcs(const GcsConfig& config);
+
+}  // namespace gtrix

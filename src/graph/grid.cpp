@@ -1,0 +1,54 @@
+#include "graph/grid.hpp"
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+Grid::Grid(BaseGraph base, std::uint32_t layers) : base_(std::move(base)), layers_(layers) {
+  GTRIX_CHECK_MSG(layers >= 1, "grid needs at least one layer");
+  const std::uint32_t bn = base_.node_count();
+  in_template_.resize(bn);
+  for (BaseNodeId v = 0; v < bn; ++v) {
+    auto& tmpl = in_template_[v];
+    tmpl.push_back(v);  // own copy first
+    for (BaseNodeId w : base_.neighbors(v)) tmpl.push_back(w);
+  }
+  preds_.resize(node_count());
+  succs_.resize(node_count());
+  for (std::uint32_t l = 0; l < layers_; ++l) {
+    for (BaseNodeId v = 0; v < bn; ++v) {
+      const GridNodeId me = id(v, l);
+      if (l >= 1) {
+        for (BaseNodeId w : in_template_[v]) preds_[me].push_back(id(w, l - 1));
+      }
+      if (l + 1 < layers_) {
+        for (BaseNodeId w : in_template_[v]) succs_[me].push_back(id(w, l + 1));
+      }
+    }
+  }
+}
+
+GridNodeId Grid::id(BaseNodeId v, std::uint32_t layer) const {
+  GTRIX_CHECK(v < base_.node_count() && layer < layers_);
+  return layer * base_.node_count() + v;
+}
+
+std::span<const GridNodeId> Grid::predecessors(GridNodeId id) const {
+  return preds_.at(id);
+}
+
+std::span<const GridNodeId> Grid::successors(GridNodeId id) const {
+  return succs_.at(id);
+}
+
+std::string Grid::label(GridNodeId id) const {
+  return "(" + base_.label(base_of(id)) + ", " + std::to_string(layer_of(id)) + ")";
+}
+
+std::uint64_t Grid::edge_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : succs_) total += s.size();
+  return total;
+}
+
+}  // namespace gtrix

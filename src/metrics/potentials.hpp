@@ -1,0 +1,30 @@
+// The analysis potentials of Definition 4.1:
+//
+//   psi^s_{v,w}(l) = t_{v,l} - t_{w,l} - 4 s kappa d(v,w),   Psi^s(l) = max_{v,w} psi
+//   xi^s_{v,w}(l)  = t_{v,l} - t_{w,l} - (4s-2) kappa d(v,w), Xi^s(l) = max_{v,w} xi
+//
+// Observation 4.2 converts Psi^s bounds into local skew bounds:
+// Psi^s(l) <= P  implies  L_l <= P + 4 s kappa.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "metrics/skew.hpp"
+
+namespace gtrix {
+
+/// Psi^s(l) for wave sigma; NaN if fewer than two correct pulses exist.
+double psi_s(const GridTrace& trace, const Params& params, std::uint32_t layer,
+             Sigma sigma, std::uint32_t s);
+
+/// Xi^s(l) for wave sigma.
+double xi_s(const GridTrace& trace, const Params& params, std::uint32_t layer,
+            Sigma sigma, std::uint32_t s);
+
+/// Max over sigma in [lo, hi] of Psi^s per layer.
+std::vector<double> psi_profile(const GridTrace& trace, const Params& params,
+                                std::uint32_t s, Sigma lo, Sigma hi);
+
+}  // namespace gtrix

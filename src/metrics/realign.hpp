@@ -1,0 +1,32 @@
+// Post-run wave-label realignment.
+//
+// Wave labels (sigma) are metrics-only bookkeeping; the algorithm never
+// reads them. After a system-wide transient fault the *pulses* re-converge
+// (Theorem 1.6), but a recovered region can carry a consistently shifted
+// label (its members outvote the boundary). This pass re-derives each
+// node's label offset from its steady pulse times -- in steady state
+// t^sigma = sigma * Lambda + intercept with intercept == layer * Lambda +
+// phase, anchored at layer 0 (whose emitters are never corrupted) -- and
+// shifts the node's log so labels are globally consistent again. This is
+// the measurement-side counterpart of Appendix C's "re-establish a
+// consistent interpretation of what the k-th pulse is".
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/skew.hpp"
+
+namespace gtrix {
+
+struct RealignStats {
+  std::uint32_t nodes_shifted = 0;
+  std::int64_t max_abs_shift = 0;
+};
+
+/// Realigns labels in `recorder` (via the trace's node mapping) using the
+/// last up-to-`tail_pulses` pulses of each node. `lambda` is the nominal
+/// period. Nodes with fewer than 3 recorded pulses are left untouched.
+RealignStats realign_wave_labels(Recorder& recorder, const GridTrace& trace,
+                                 double lambda, std::size_t tail_pulses = 8);
+
+}  // namespace gtrix

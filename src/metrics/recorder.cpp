@@ -1,0 +1,97 @@
+#include "metrics/recorder.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+void Recorder::register_node(RecNodeId node, NodeMeta meta) {
+  if (node >= metas_.size()) {
+    metas_.resize(node + 1);
+    logs_.resize(node + 1);
+  }
+  metas_[node] = meta;
+}
+
+void Recorder::record_pulse(RecNodeId node, Sigma sigma, SimTime t) {
+  GTRIX_CHECK_MSG(node < logs_.size(), "pulse from unregistered node");
+  NodeLog& log = logs_[node];
+  if (log.first_sigma == kInvalidSigma) {
+    log.first_sigma = sigma;
+  }
+  if (sigma < log.first_sigma) {
+    // Prepend capacity (rare: only when a node's sigma estimate jitters
+    // backwards during stabilization).
+    const auto shift = static_cast<std::size_t>(log.first_sigma - sigma);
+    log.times.insert(log.times.begin(), shift, std::numeric_limits<double>::quiet_NaN());
+    log.first_sigma = sigma;
+  }
+  const auto idx = static_cast<std::size_t>(sigma - log.first_sigma);
+  if (idx >= log.times.size()) {
+    log.times.resize(idx + 1, std::numeric_limits<double>::quiet_NaN());
+  }
+  log.times[idx] = t;
+  ++pulses_recorded_;
+  if (min_sigma_ == kInvalidSigma || sigma < min_sigma_) min_sigma_ = sigma;
+  if (max_sigma_ == kInvalidSigma || sigma > max_sigma_) max_sigma_ = sigma;
+}
+
+void Recorder::record_iteration(RecNodeId node, const IterationRecord& record) {
+  GTRIX_CHECK_MSG(node < logs_.size(), "iteration from unregistered node");
+  logs_[node].iterations.push_back(record);
+}
+
+std::optional<SimTime> Recorder::pulse_time(RecNodeId node, Sigma sigma) const {
+  if (node >= logs_.size()) return std::nullopt;
+  const NodeLog& log = logs_[node];
+  if (log.first_sigma == kInvalidSigma || sigma < log.first_sigma) return std::nullopt;
+  const auto idx = static_cast<std::size_t>(sigma - log.first_sigma);
+  if (idx >= log.times.size()) return std::nullopt;
+  const double t = log.times[idx];
+  if (std::isnan(t)) return std::nullopt;
+  return t;
+}
+
+const std::vector<IterationRecord>& Recorder::iterations(RecNodeId node) const {
+  return logs_.at(node).iterations;
+}
+
+Sigma Recorder::steady_from(RecNodeId node, Sigma warmup_pulses) const {
+  if (node >= logs_.size()) return kInvalidSigma;
+  const NodeLog& log = logs_[node];
+  if (log.first_sigma == kInvalidSigma) return kInvalidSigma;
+  Sigma skipped = 0;
+  for (std::size_t i = 0; i < log.times.size(); ++i) {
+    if (std::isnan(log.times[i])) continue;
+    if (skipped == warmup_pulses) return log.first_sigma + static_cast<Sigma>(i);
+    ++skipped;
+  }
+  return kInvalidSigma;
+}
+
+void Recorder::shift_node_sigma(RecNodeId node, Sigma delta) {
+  if (node >= logs_.size() || delta == 0) return;
+  NodeLog& log = logs_[node];
+  if (log.first_sigma == kInvalidSigma) return;
+  log.first_sigma += delta;
+  for (IterationRecord& it : log.iterations) it.sigma += delta;
+  if (min_sigma_ != kInvalidSigma) {
+    // Conservative widening of the global range.
+    min_sigma_ = std::min(min_sigma_, log.first_sigma);
+    max_sigma_ = std::max(max_sigma_, log.first_sigma +
+                                          static_cast<Sigma>(log.times.size()) - 1);
+  }
+}
+
+Sigma Recorder::last_recorded(RecNodeId node) const {
+  if (node >= logs_.size()) return kInvalidSigma;
+  const NodeLog& log = logs_[node];
+  if (log.first_sigma == kInvalidSigma) return kInvalidSigma;
+  for (std::size_t i = log.times.size(); i-- > 0;) {
+    if (!std::isnan(log.times[i])) return log.first_sigma + static_cast<Sigma>(i);
+  }
+  return kInvalidSigma;
+}
+
+}  // namespace gtrix

@@ -1,0 +1,106 @@
+// Execution trace recording.
+//
+// Pulses are recorded per node against a wave index sigma (the paper's pulse
+// index after the layer/position-dependent index shift, see DESIGN.md §2).
+// Iteration records additionally capture the correction C_{v,l} and the
+// local reception times that produced it, so the slow/fast/jump conditions
+// (Definitions 4.3-4.5) and the basic lemma inequalities can be verified
+// post-hoc by metrics/conditions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gtrix {
+
+using RecNodeId = std::uint32_t;
+using Sigma = std::int64_t;
+
+struct IterationRecord {
+  Sigma sigma = 0;
+  double correction = 0.0;       ///< C_{v,l}
+  double h_own = 0.0;            ///< local reception times as used
+  double h_min = 0.0;
+  double h_max = 0.0;
+  bool own_missing = false;      ///< own-copy pulse never arrived in time
+  bool max_missing = false;      ///< last neighbour pulse never arrived (h_max substituted)
+  bool timeout_branch = false;   ///< Algorithm 3 first branch (H_max + k/2 + theta k)
+  bool late = false;             ///< broadcast target had already passed (init/stabilization)
+  SimTime pulse_time = 0.0;      ///< real broadcast time
+  LocalTime pulse_local = 0.0;
+
+  /// Which predecessor slots delivered a pulse this iteration and the wave
+  /// index each carried (slot 0 = own copy). Used to verify Lemma B.1.
+  static constexpr std::size_t kMaxSlots = 5;
+  std::uint8_t slot_count = 0;
+  std::array<Sigma, kMaxSlots> slot_sigma{};
+  std::array<bool, kMaxSlots> slot_seen{};
+};
+
+struct NodeMeta {
+  std::uint32_t layer = 0;
+  std::uint32_t base = 0;        ///< base-graph node id (for grid nodes)
+  std::uint32_t column = 0;
+  bool faulty = false;
+  bool is_source = false;
+};
+
+class Recorder {
+ public:
+  Recorder() = default;
+
+  void register_node(RecNodeId node, NodeMeta meta);
+  const NodeMeta& meta(RecNodeId node) const { return metas_.at(node); }
+  std::uint32_t node_count() const noexcept { return static_cast<std::uint32_t>(metas_.size()); }
+
+  void record_pulse(RecNodeId node, Sigma sigma, SimTime t);
+  void record_iteration(RecNodeId node, const IterationRecord& record);
+
+  /// Pulse time of `node` at wave `sigma`, if recorded.
+  std::optional<SimTime> pulse_time(RecNodeId node, Sigma sigma) const;
+
+  /// Wave of the (warmup_pulses + 1)-th recorded pulse of `node`
+  /// (kInvalidSigma if the node recorded fewer pulses). Used to skip each
+  /// node's startup transient, which spans different waves per node.
+  Sigma steady_from(RecNodeId node, Sigma warmup_pulses) const;
+
+  /// Wave of the last recorded pulse (kInvalidSigma if none).
+  Sigma last_recorded(RecNodeId node) const;
+
+  /// Shifts every wave label of `node` by `delta` (pulses and iteration
+  /// records). Used by post-run label realignment after transient faults:
+  /// the algorithm's behaviour is label-free, but majority bookkeeping can
+  /// leave a recovered region with a consistent off-by-k label.
+  void shift_node_sigma(RecNodeId node, Sigma delta);
+
+  /// All iteration records of a node, in recording order.
+  const std::vector<IterationRecord>& iterations(RecNodeId node) const;
+
+  /// Smallest / largest sigma recorded for any node (kInvalidSigma if none).
+  Sigma min_sigma() const noexcept { return min_sigma_; }
+  Sigma max_sigma() const noexcept { return max_sigma_; }
+
+  std::uint64_t pulse_count() const noexcept { return pulses_recorded_; }
+
+  static constexpr Sigma kInvalidSigma = std::numeric_limits<Sigma>::min();
+
+ private:
+  struct NodeLog {
+    Sigma first_sigma = kInvalidSigma;
+    std::vector<SimTime> times;  ///< indexed sigma - first_sigma; NaN = missing
+    std::vector<IterationRecord> iterations;
+  };
+
+  std::vector<NodeMeta> metas_;
+  std::vector<NodeLog> logs_;
+  Sigma min_sigma_ = kInvalidSigma;
+  Sigma max_sigma_ = kInvalidSigma;
+  std::uint64_t pulses_recorded_ = 0;
+};
+
+}  // namespace gtrix

@@ -1,0 +1,131 @@
+#include "metrics/skew.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+std::optional<SimTime> GridTrace::steady_pulse(GridNodeId g, Sigma s) const {
+  const RecNodeId id = rec_id(g);
+  const Sigma from = recorder->steady_from(id, node_warmup);
+  if (from == Recorder::kInvalidSigma || s < from) return std::nullopt;
+  const Sigma last = recorder->last_recorded(id);
+  if (last == Recorder::kInvalidSigma || s > last - node_tail) return std::nullopt;
+  return recorder->pulse_time(id, s);
+}
+
+SkewReport compute_skew(const GridTrace& trace, Sigma lo, Sigma hi) {
+  GTRIX_CHECK(trace.grid != nullptr && trace.recorder != nullptr);
+  const Grid& grid = *trace.grid;
+  const BaseGraph& base = grid.base();
+  const auto edges = base.edges();
+
+  SkewReport report;
+  report.sigma_lo = lo;
+  report.sigma_hi = hi;
+  report.intra_by_layer.assign(grid.layers(), 0.0);
+  report.inter_by_layer.assign(grid.layers() > 0 ? grid.layers() - 1 : 0, 0.0);
+  report.spread_by_layer.assign(grid.layers(), 0.0);
+
+  for (std::uint32_t layer = 0; layer < grid.layers(); ++layer) {
+    double intra = 0.0;
+    double spread = 0.0;
+    for (Sigma s = lo; s <= hi; ++s) {
+      // Intra-layer: adjacent pairs, same sigma.
+      for (const auto& [a, b] : edges) {
+        const GridNodeId ga = grid.id(a, layer);
+        const GridNodeId gb = grid.id(b, layer);
+        if (trace.is_faulty(ga) || trace.is_faulty(gb)) {
+          ++report.pairs_skipped;
+          continue;
+        }
+        const auto ta = trace.steady_pulse(ga, s);
+        const auto tb = trace.steady_pulse(gb, s);
+        if (!ta || !tb) {
+          ++report.pairs_skipped;
+          continue;
+        }
+        ++report.pairs_checked;
+        intra = std::max(intra, std::abs(*ta - *tb));
+      }
+      // Layer spread (global skew component).
+      double tmin = std::numeric_limits<double>::infinity();
+      double tmax = -std::numeric_limits<double>::infinity();
+      for (BaseNodeId v = 0; v < base.node_count(); ++v) {
+        const GridNodeId g = grid.id(v, layer);
+        if (trace.is_faulty(g)) continue;
+        const auto t = trace.steady_pulse(g, s);
+        if (!t) continue;
+        tmin = std::min(tmin, *t);
+        tmax = std::max(tmax, *t);
+      }
+      if (tmax >= tmin) spread = std::max(spread, tmax - tmin);
+    }
+    report.intra_by_layer[layer] = intra;
+    report.spread_by_layer[layer] = spread;
+    report.max_intra = std::max(report.max_intra, intra);
+    report.global_skew = std::max(report.global_skew, spread);
+  }
+
+  // Inter-layer: |t^{sigma+1}_{v,l} - t^sigma_{w,l+1}| along grid edges.
+  for (std::uint32_t layer = 0; layer + 1 < grid.layers(); ++layer) {
+    double inter = 0.0;
+    for (BaseNodeId v = 0; v < base.node_count(); ++v) {
+      const GridNodeId gv = grid.id(v, layer);
+      if (trace.is_faulty(gv)) continue;
+      for (GridNodeId gw : grid.successors(gv)) {
+        if (trace.is_faulty(gw)) continue;
+        for (Sigma s = lo; s <= hi; ++s) {
+          const auto tv = trace.steady_pulse(gv, s + 1);
+          const auto tw = trace.steady_pulse(gw, s);
+          if (!tv || !tw) {
+            ++report.pairs_skipped;
+            continue;
+          }
+          ++report.pairs_checked;
+          inter = std::max(inter, std::abs(*tv - *tw));
+        }
+      }
+    }
+    report.inter_by_layer[layer] = inter;
+    report.max_inter = std::max(report.max_inter, inter);
+  }
+
+  report.local_skew = std::max(report.max_intra, report.max_inter);
+  return report;
+}
+
+std::vector<double> intra_skew_by_sigma(const GridTrace& trace, std::uint32_t layer,
+                                        Sigma lo, Sigma hi) {
+  const Grid& grid = *trace.grid;
+  const auto edges = grid.base().edges();
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(hi - lo + 1));
+  for (Sigma s = lo; s <= hi; ++s) {
+    double worst = std::numeric_limits<double>::quiet_NaN();
+    for (const auto& [a, b] : edges) {
+      const GridNodeId ga = grid.id(a, layer);
+      const GridNodeId gb = grid.id(b, layer);
+      if (trace.is_faulty(ga) || trace.is_faulty(gb)) continue;
+      const auto ta = trace.steady_pulse(ga, s);
+      const auto tb = trace.steady_pulse(gb, s);
+      if (!ta || !tb) continue;
+      const double skew = std::abs(*ta - *tb);
+      if (std::isnan(worst) || skew > worst) worst = skew;
+    }
+    out.push_back(worst);
+  }
+  return out;
+}
+
+std::pair<Sigma, Sigma> default_window(const Recorder& recorder, Sigma warmup) {
+  (void)warmup;  // per-node steady filtering handles transients; the global
+                 // window just bounds the sigma sweep.
+  if (recorder.min_sigma() == Recorder::kInvalidSigma) return {0, -1};
+  return {recorder.min_sigma(), recorder.max_sigma()};
+}
+
+}  // namespace gtrix

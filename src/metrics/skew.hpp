@@ -1,0 +1,65 @@
+// Skew measures (paper §2, "Output and Skew").
+//
+// All comparisons are between same-sigma pulses (intra-layer) or sigma+1 at
+// layer l versus sigma at layer l+1 (inter-layer), which is exactly the
+// paper's L_l and L_{l,l+1} after the index shift discussed in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/grid.hpp"
+#include "metrics/recorder.hpp"
+
+namespace gtrix {
+
+/// Joins the grid structure with the recorded trace. `node_ids[g]` is the
+/// recorder id of grid node g (identity in the standard runner wiring).
+struct GridTrace {
+  const Grid* grid = nullptr;
+  const Recorder* recorder = nullptr;
+  std::vector<RecNodeId> node_ids;
+
+  /// Per-node steady-state filter: a node's first `node_warmup` pulses and
+  /// last `node_tail` pulses are excluded from measurements. Startup
+  /// transients span different waves at different grid positions (notably
+  /// under Appendix-A line input), so the filter is per node, not global.
+  Sigma node_warmup = 3;
+  Sigma node_tail = 1;
+
+  RecNodeId rec_id(GridNodeId g) const { return node_ids.at(g); }
+  bool is_faulty(GridNodeId g) const { return recorder->meta(rec_id(g)).faulty; }
+
+  /// Pulse time of grid node g at wave s, but only within the node's steady
+  /// window; nullopt otherwise.
+  std::optional<SimTime> steady_pulse(GridNodeId g, Sigma s) const;
+};
+
+struct SkewReport {
+  std::vector<double> intra_by_layer;  ///< max_sigma L_l(sigma) per layer
+  std::vector<double> inter_by_layer;  ///< max_sigma L_{l,l+1}(sigma)
+  std::vector<double> spread_by_layer; ///< max-min pulse time within layer (global skew)
+  double max_intra = 0.0;              ///< sup_l L_l
+  double max_inter = 0.0;              ///< sup_l L_{l,l+1}
+  double local_skew = 0.0;             ///< L = max(max_intra, max_inter)
+  double global_skew = 0.0;            ///< max layer spread
+  Sigma sigma_lo = 0;
+  Sigma sigma_hi = 0;
+  std::uint64_t pairs_checked = 0;
+  std::uint64_t pairs_skipped = 0;     ///< missing pulse or faulty endpoint
+};
+
+/// Computes all skew measures over waves sigma in [lo, hi].
+SkewReport compute_skew(const GridTrace& trace, Sigma lo, Sigma hi);
+
+/// Intra-layer skew of one layer per wave (series over sigma); NaN where no
+/// adjacent correct pair had both pulses recorded.
+std::vector<double> intra_skew_by_sigma(const GridTrace& trace, std::uint32_t layer,
+                                        Sigma lo, Sigma hi);
+
+/// Default measurement window for a run: skips `warmup` waves at the start
+/// and 2 at the end (the last waves are perturbed by the source stopping).
+std::pair<Sigma, Sigma> default_window(const Recorder& recorder, Sigma warmup);
+
+}  // namespace gtrix

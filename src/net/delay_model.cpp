@@ -1,0 +1,30 @@
+#include "net/delay_model.hpp"
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+double DelayModel::sample(std::uint32_t from_column, std::uint32_t to_column,
+                          std::uint32_t from_layer, std::uint32_t to_layer,
+                          Rng& rng) const {
+  (void)from_layer;
+  (void)to_layer;
+  GTRIX_CHECK_MSG(u >= 0.0 && u < d, "require 0 <= u < d");
+  switch (kind) {
+    case DelayModelKind::kUniformRandom:
+      return rng.uniform(d - u, d);
+    case DelayModelKind::kAllMax:
+      return d;
+    case DelayModelKind::kAllMin:
+      return d - u;
+    case DelayModelKind::kColumnSplit:
+      return from_column < split_column ? d - u : d;
+    case DelayModelKind::kAlternating:
+      return (to_column % 2 == 0) ? d : d - u;
+    case DelayModelKind::kOwnSlowCrossFast:
+      return from_column == to_column ? d : d - u;
+  }
+  return d;
+}
+
+}  // namespace gtrix

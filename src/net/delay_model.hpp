@@ -1,0 +1,35 @@
+// Strategies for assigning static per-edge delays delta_e in [d-u, d].
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace gtrix {
+
+enum class DelayModelKind {
+  kUniformRandom,  ///< i.i.d. uniform in [d-u, d] (default realistic model)
+  kAllMax,         ///< every edge at d
+  kAllMin,         ///< every edge at d-u
+  kColumnSplit,    ///< edges leaving columns < split_column get d-u, others d
+                   ///< (the Fig. 1 adversarial scenario for naive TRIX)
+  kAlternating,    ///< d-u / d alternating by destination-column parity
+  kOwnSlowCrossFast,  ///< own-copy edges d, cross edges d-u: every offset
+                      ///< measurement overestimates by u, the consistent
+                      ///< overshoot the jump condition exists to damp
+                      ///< (Figure 5 scenario)
+};
+
+struct DelayModel {
+  DelayModelKind kind = DelayModelKind::kUniformRandom;
+  double d = 1000.0;  ///< maximum end-to-end delay
+  double u = 10.0;    ///< delay uncertainty
+  std::uint32_t split_column = 0;  ///< for kColumnSplit
+
+  /// Delay for an edge described by its endpoints' columns and layers.
+  /// `rng` is consumed only by the random model.
+  double sample(std::uint32_t from_column, std::uint32_t to_column,
+                std::uint32_t from_layer, std::uint32_t to_layer, Rng& rng) const;
+};
+
+}  // namespace gtrix

@@ -1,0 +1,70 @@
+#include "net/network.hpp"
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+NetNodeId Network::add_node(PulseSink* sink) {
+  const NetNodeId id = static_cast<NetNodeId>(sinks_.size());
+  sinks_.push_back(sink);
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+void Network::set_sink(NetNodeId node, PulseSink* sink) { sinks_.at(node) = sink; }
+
+EdgeId Network::add_edge(NetNodeId from, NetNodeId to, double delay) {
+  GTRIX_CHECK_MSG(delay > 0.0, "edge delay must be positive");
+  GTRIX_CHECK(from < sinks_.size() && to < sinks_.size());
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{from, to, delay});
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+void Network::set_edge_delay(EdgeId e, double delay) {
+  GTRIX_CHECK_MSG(delay > 0.0, "edge delay must be positive");
+  edges_.at(e).delay = delay;
+}
+
+bool Network::find_edge(NetNodeId from, NetNodeId to, EdgeId& out) const {
+  for (EdgeId e : out_.at(from)) {
+    if (edges_[e].to == to) {
+      out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Network::send(EdgeId e, const Pulse& pulse) {
+  const Edge& edge = edges_.at(e);
+  double delay = edge.delay;
+  if (modulation_) delay += modulation_(e, sim_.now());
+  GTRIX_CHECK_MSG(delay > 0.0, "modulated delay must stay positive");
+  ++sent_;
+  deliver(edge.from, e, edge.to, pulse, sim_.now() + delay);
+}
+
+void Network::broadcast(NetNodeId from, const Pulse& pulse) {
+  for (EdgeId e : out_.at(from)) send(e, pulse);
+}
+
+void Network::inject(NetNodeId from, NetNodeId to, const Pulse& pulse, SimTime t) {
+  GTRIX_CHECK_MSG(t >= sim_.now(), "cannot inject into the past");
+  ++sent_;
+  deliver(from, static_cast<EdgeId>(-1), to, pulse, t);
+}
+
+void Network::deliver(NetNodeId from, EdgeId edge, NetNodeId to, const Pulse& pulse,
+                      SimTime at) {
+  sim_.at(at, [this, from, edge, to, pulse](SimTime now) {
+    ++delivered_;
+    PulseSink* sink = sinks_[to];
+    if (sink != nullptr) sink->on_pulse(from, edge, pulse, now);
+  });
+}
+
+}  // namespace gtrix

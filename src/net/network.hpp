@@ -1,0 +1,113 @@
+// Message transport between nodes (paper §2, "Communication").
+//
+// Each directed edge e has an unknown but fixed delay delta_e in [d-u, d];
+// every pulse sent over e is delivered delta_e later. An optional global
+// modulation hook lets experiments vary delays slowly over time
+// (Corollary 1.5); the modulated delay is clamped to [d-u, d] by the caller
+// that installs the hook.
+//
+// Faulty nodes may send point-to-point on individual out-edges at arbitrary
+// times (§2: edge faults are mapped to node faults), so send() is per-edge;
+// broadcast() is the well-behaved path used by correct nodes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace gtrix {
+
+using NetNodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// A clock pulse. `stamp` is a metrics-only wave index: correct algorithm
+/// code never reads it to make decisions (the paper's pulses carry no data);
+/// it exists so the harness can associate pulses across nodes.
+struct Pulse {
+  std::int64_t stamp = 0;
+};
+
+/// Receiver interface implemented by algorithm nodes and fault behaviours.
+class PulseSink {
+ public:
+  virtual ~PulseSink() = default;
+
+  /// `from` is the sending node, `edge` the delivering edge.
+  virtual void on_pulse(NetNodeId from, EdgeId edge, const Pulse& pulse, SimTime now) = 0;
+};
+
+class Network {
+ public:
+  explicit Network(Simulator& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node. `sink` is non-owning and may be null initially
+  /// (wired later via set_sink); it must outlive the network runs.
+  NetNodeId add_node(PulseSink* sink = nullptr);
+  void set_sink(NetNodeId node, PulseSink* sink);
+
+  /// Adds a directed edge with fixed delay (must be positive).
+  EdgeId add_edge(NetNodeId from, NetNodeId to, double delay);
+
+  std::uint32_t node_count() const noexcept { return static_cast<std::uint32_t>(sinks_.size()); }
+  std::uint32_t edge_count() const noexcept { return static_cast<std::uint32_t>(edges_.size()); }
+
+  NetNodeId edge_from(EdgeId e) const { return edges_.at(e).from; }
+  NetNodeId edge_to(EdgeId e) const { return edges_.at(e).to; }
+  double edge_delay(EdgeId e) const { return edges_.at(e).delay; }
+  void set_edge_delay(EdgeId e, double delay);
+
+  std::span<const EdgeId> out_edges(NetNodeId node) const { return out_.at(node); }
+  std::span<const EdgeId> in_edges(NetNodeId node) const { return in_.at(node); }
+
+  /// Finds the edge from -> to; returns true and sets `out` on success.
+  bool find_edge(NetNodeId from, NetNodeId to, EdgeId& out) const;
+
+  /// Sends a pulse on one edge; delivery after the edge's (possibly
+  /// modulated) delay.
+  void send(EdgeId e, const Pulse& pulse);
+
+  /// Sends on every out-edge of `from`.
+  void broadcast(NetNodeId from, const Pulse& pulse);
+
+  /// Delivers a pulse directly to `to` at absolute time `t` with a synthetic
+  /// source. Used to model spurious in-flight messages for self-stabilization
+  /// experiments and ideal layer-0 input.
+  void inject(NetNodeId from, NetNodeId to, const Pulse& pulse, SimTime t);
+
+  /// Optional slow delay modulation: extra(e, send_time) is added to the
+  /// static delay. The installer is responsible for keeping the total within
+  /// the model bounds.
+  using DelayModulation = std::function<double(EdgeId, SimTime)>;
+  void set_delay_modulation(DelayModulation fn) { modulation_ = std::move(fn); }
+
+  std::uint64_t messages_sent() const noexcept { return sent_; }
+  std::uint64_t messages_delivered() const noexcept { return delivered_; }
+
+  Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  struct Edge {
+    NetNodeId from;
+    NetNodeId to;
+    double delay;
+  };
+
+  void deliver(NetNodeId from, EdgeId edge, NetNodeId to, const Pulse& pulse, SimTime at);
+
+  Simulator& sim_;
+  std::vector<PulseSink*> sinks_;  // non-owning
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  DelayModulation modulation_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace gtrix

@@ -1,0 +1,389 @@
+#include "runner/experiment.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+BaseGraph World::make_base(const ExperimentConfig& config) {
+  switch (config.base_kind) {
+    case BaseGraphKind::kLineReplicated:
+      return BaseGraph::line_replicated(config.columns);
+    case BaseGraphKind::kCycle:
+      return BaseGraph::cycle_wide(config.columns, config.cycle_reach);
+    case BaseGraphKind::kPath:
+      return BaseGraph::path(config.columns);
+  }
+  return BaseGraph::line_replicated(config.columns);
+}
+
+World::World(ExperimentConfig config)
+    : config_(std::move(config)), grid_(make_base(config_), config_.layers), sim_(), net_(sim_) {
+  GTRIX_CHECK_MSG(config_.layers >= 2, "need at least layer 0 and one algorithm layer");
+  GTRIX_CHECK_MSG(config_.pulses >= 1, "need at least one pulse");
+
+  delay_model_.kind = config_.delay_kind;
+  delay_model_.d = config_.params.d;
+  delay_model_.u = config_.params.u;
+  delay_model_.split_column = config_.delay_split_column;
+
+  for (const PlacedFault& f : config_.faults) {
+    fault_map_[grid_.id(f.base, f.layer)] = f.spec;
+  }
+
+  Rng master(config_.seed);
+  Rng delay_rng = master.split("delays");
+  Rng clock_rng = master.split("clocks");
+  Rng layer0_rng = master.split("layer0");
+  Rng fault_rng = master.split("faults");
+
+  sinks_.resize(grid_.node_count() + 1);  // +1 possible source slot
+  gradient_by_grid_.assign(grid_.node_count(), nullptr);
+  layer0_by_grid_.assign(grid_.node_count(), nullptr);
+
+  build_network(delay_rng);
+  build_layer0(clock_rng, layer0_rng);
+  build_algorithm_nodes(clock_rng, fault_rng);
+}
+
+World::~World() = default;
+
+void World::build_network(Rng& delay_rng) {
+  const BaseGraph& base = grid_.base();
+  // Grid nodes get network ids equal to their grid ids.
+  for (GridNodeId g = 0; g < grid_.node_count(); ++g) {
+    const NetNodeId id = net_.add_node(nullptr);
+    GTRIX_CHECK(id == g);
+    NodeMeta meta;
+    meta.layer = grid_.layer_of(g);
+    meta.base = grid_.base_of(g);
+    meta.column = base.column(grid_.base_of(g));
+    meta.faulty = fault_map_.contains(g);
+    recorder_.register_node(g, meta);
+  }
+  if (config_.layer0 == Layer0Mode::kLinePropagation) {
+    source_id_ = net_.add_node(nullptr);
+    NodeMeta meta;
+    meta.is_source = true;
+    recorder_.register_node(source_id_, meta);
+  }
+  // Inter-layer edges, deterministic order.
+  for (GridNodeId g = 0; g < grid_.node_count(); ++g) {
+    const std::uint32_t from_col = base.column(grid_.base_of(g));
+    const std::uint32_t from_layer = grid_.layer_of(g);
+    for (GridNodeId succ : grid_.successors(g)) {
+      const double delay = delay_model_.sample(from_col, base.column(grid_.base_of(succ)),
+                                               from_layer, grid_.layer_of(succ), delay_rng);
+      net_.add_edge(g, succ, delay);
+    }
+  }
+  // Layer-0 line edges (Appendix A wiring).
+  if (config_.layer0 == Layer0Mode::kLinePropagation) {
+    // Source feeds every column-0 node.
+    for (BaseNodeId v : base.nodes_in_column(0)) {
+      const double delay = delay_model_.sample(0, 0, 0, 0, delay_rng);
+      net_.add_edge(source_id_, grid_.id(v, 0), delay);
+    }
+    // Column c's primary node feeds every node of column c+1.
+    for (std::uint32_t c = 0; c + 1 < base.column_count(); ++c) {
+      const BaseNodeId primary = base.nodes_in_column(c).front();
+      for (BaseNodeId w : base.nodes_in_column(c + 1)) {
+        const double delay = delay_model_.sample(c, c + 1, 0, 0, delay_rng);
+        net_.add_edge(grid_.id(primary, 0), grid_.id(w, 0), delay);
+      }
+    }
+  }
+}
+
+HardwareClock World::make_clock(Rng& rng, std::uint32_t column) const {
+  const double theta = config_.params.theta;
+  double rate = 1.0;
+  switch (config_.clock_model) {
+    case ClockModelKind::kRandomStatic:
+      rate = rng.uniform(1.0, theta);
+      break;
+    case ClockModelKind::kAllFast:
+      rate = theta;
+      break;
+    case ClockModelKind::kAllSlow:
+      rate = 1.0;
+      break;
+    case ClockModelKind::kAlternating:
+      rate = column % 2 == 0 ? 1.0 : theta;
+      break;
+  }
+  const double offset = rng.uniform(0.0, config_.params.lambda);
+  return HardwareClock(rate, offset);
+}
+
+void World::build_layer0(Rng& clock_rng, Rng& layer0_rng) {
+  const BaseGraph& base = grid_.base();
+  const double kappa = config_.params.kappa();
+  const double jitter = config_.layer0_jitter >= 0.0 ? config_.layer0_jitter : kappa / 2.0;
+
+  if (config_.layer0 == Layer0Mode::kIdealJitter) {
+    // Deterministic per-column pattern, shifted so all offsets stay >= 0
+    // (a uniform shift of layer 0 is unobservable in skew metrics).
+    double pattern_shift = 0.0;
+    for (const double extra : config_.layer0_offset_by_column) {
+      pattern_shift = std::max(pattern_shift, -extra);
+    }
+    for (BaseNodeId v = 0; v < base.node_count(); ++v) {
+      const GridNodeId g = grid_.id(v, 0);
+      (void)clock_rng.next_u64();  // keep clock stream aligned across modes
+      double offset = layer0_rng.uniform(0.0, jitter) + pattern_shift;
+      const std::uint32_t column = base.column(v);
+      if (column < config_.layer0_offset_by_column.size()) {
+        offset += config_.layer0_offset_by_column[column];
+      }
+      const auto fault_it = fault_map_.find(g);
+      if (fault_it != fault_map_.end()) {
+        if (fault_it->second.kind == FaultKind::kCrash) continue;  // silent
+        offset = std::max(0.0, offset + fault_it->second.offset);
+      }
+      auto emitter = std::make_unique<IdealEmitter>(sim_, net_, g, offset, config_.params,
+                                                    config_.pulses, &recorder_);
+      emitter->start();
+      emitters_.push_back(std::move(emitter));
+    }
+    return;
+  }
+
+  // Line propagation (Algorithm 2).
+  source_ = std::make_unique<ClockSource>(sim_, net_, source_id_, config_.params,
+                                          config_.pulses, &recorder_);
+  source_->start();
+  for (BaseNodeId v = 0; v < base.node_count(); ++v) {
+    const GridNodeId g = grid_.id(v, 0);
+    const std::uint32_t col = base.column(v);
+    const NetNodeId line_pred =
+        col == 0 ? source_id_ : grid_.id(base.nodes_in_column(col - 1).front(), 0);
+    const auto fault_it = fault_map_.find(g);
+    if (fault_it != fault_map_.end()) {
+      GTRIX_CHECK_MSG(fault_it->second.kind == FaultKind::kCrash,
+                      "layer-0 line faults support kCrash only");
+      auto sink = std::make_unique<CrashSink>();
+      net_.set_sink(g, sink.get());
+      sinks_[g] = std::move(sink);
+      (void)clock_rng.next_u64();
+      continue;
+    }
+    auto node = std::make_unique<Layer0LineNode>(sim_, net_, g, make_clock(clock_rng, col),
+                                                 line_pred, config_.params, &recorder_);
+    layer0_by_grid_[g] = node.get();
+    net_.set_sink(g, node.get());
+    sinks_[g] = std::move(node);
+  }
+}
+
+void World::build_algorithm_nodes(Rng& clock_rng, Rng& fault_rng) {
+  const BaseGraph& base = grid_.base();
+  const std::uint32_t diameter = base.diameter();
+
+  for (GridNodeId g = 0; g < grid_.node_count(); ++g) {
+    const std::uint32_t layer = grid_.layer_of(g);
+    if (layer == 0) continue;
+    const std::uint32_t column = base.column(grid_.base_of(g));
+    HardwareClock clock = make_clock(clock_rng, column);
+
+    const auto preds_span = grid_.predecessors(g);
+    std::vector<NetNodeId> preds(preds_span.begin(), preds_span.end());
+
+    const auto fault_it = fault_map_.find(g);
+    const FaultSpec* spec = fault_it == fault_map_.end() ? nullptr : &fault_it->second;
+
+    if (spec != nullptr && spec->kind == FaultKind::kCrash) {
+      auto sink = std::make_unique<CrashSink>();
+      net_.set_sink(g, sink.get());
+      sinks_[g] = std::move(sink);
+      continue;
+    }
+    if (spec != nullptr && spec->kind == FaultKind::kFixedPeriod) {
+      const double period = spec->period > 0.0 ? spec->period : config_.params.lambda;
+      const double first_at = (static_cast<double>(layer) + 1.0) * config_.params.lambda;
+      auto rogue = std::make_unique<FixedPeriodRogue>(sim_, net_, g, period, first_at,
+                                                      config_.pulses, &recorder_);
+      rogue->start();
+      rogues_.push_back(rogue.get());
+      net_.set_sink(g, rogue.get());
+      sinks_[g] = std::move(rogue);
+      continue;
+    }
+
+    if (config_.algorithm == Algorithm::kTrixNaive) {
+      GTRIX_CHECK_MSG(spec == nullptr, "naive TRIX supports crash/fixed-period faults only");
+      auto node = std::make_unique<TrixNaiveNode>(sim_, net_, g, std::move(clock),
+                                                  std::move(preds), config_.params,
+                                                  &recorder_);
+      net_.set_sink(g, node.get());
+      sinks_[g] = std::move(node);
+      continue;
+    }
+
+    GradientNodeConfig node_config;
+    node_config.params = config_.params;
+    node_config.simplified = config_.algorithm == Algorithm::kGradientSimplified;
+    node_config.self_stabilizing = config_.self_stabilizing;
+    node_config.jump_condition = config_.jump_condition;
+    node_config.trim = config_.trim;
+    node_config.skew_bound_hint = config_.params.thm11_bound(diameter);
+    if (spec != nullptr && spec->kind == FaultKind::kStaticOffset) {
+      node_config.broadcast_offset = spec->offset;
+    }
+    if (spec != nullptr && (spec->kind == FaultKind::kSplit || spec->kind == FaultKind::kJitter)) {
+      node_config.broadcast_offset = -spec->alpha;
+    }
+
+    auto node = std::make_unique<GradientTrixNode>(sim_, net_, g, std::move(clock),
+                                                   std::move(preds), node_config, &recorder_);
+    if (spec != nullptr) install_fault(g, *spec, node.get(), fault_rng);
+    gradient_by_grid_[g] = node.get();
+    net_.set_sink(g, node.get());
+    sinks_[g] = std::move(node);
+  }
+}
+
+void World::install_fault(GridNodeId g, const FaultSpec& spec, GradientTrixNode* node,
+                          Rng& fault_rng) {
+  switch (spec.kind) {
+    case FaultKind::kStaticOffset:
+      // Handled via broadcast_offset; no override needed.
+      return;
+    case FaultKind::kSplit: {
+      // Send early to lower-column successors, late to higher-column ones.
+      // The node already fires alpha early (broadcast_offset = -alpha);
+      // per-edge extras of 0 / alpha / 2 alpha realize -alpha / 0 / +alpha.
+      const std::uint32_t own_col = grid_.base().column(grid_.base_of(g));
+      std::vector<std::pair<EdgeId, double>> plan;
+      for (EdgeId e : net_.out_edges(g)) {
+        const auto to_col = grid_.base().column(grid_.base_of(net_.edge_to(e)));
+        double extra = spec.alpha;  // same column: on time
+        if (to_col < own_col) extra = 0.0;
+        if (to_col > own_col) extra = 2.0 * spec.alpha;
+        plan.emplace_back(e, extra);
+      }
+      node->set_send_override([this, plan](const Pulse& pulse, SimTime now) {
+        for (const auto& [edge, extra] : plan) {
+          if (extra <= 0.0) {
+            net_.send(edge, pulse);
+          } else {
+            sim_.at(now + extra, [this, edge, pulse](SimTime) { net_.send(edge, pulse); });
+          }
+        }
+      });
+      return;
+    }
+    case FaultKind::kJitter: {
+      auto runtime = std::make_unique<FaultRuntime>();
+      runtime->rng = fault_rng.split("jitter");
+      FaultRuntime* rt = runtime.get();
+      fault_runtimes_.push_back(std::move(runtime));
+      const double alpha = spec.alpha;
+      node->set_send_override([this, rt, alpha, g](const Pulse& pulse, SimTime now) {
+        for (EdgeId e : net_.out_edges(g)) {
+          const double extra = rt->rng.uniform(0.0, 2.0 * alpha);
+          sim_.at(now + extra, [this, e, pulse](SimTime) { net_.send(e, pulse); });
+        }
+      });
+      return;
+    }
+    case FaultKind::kMuteAfter: {
+      auto runtime = std::make_unique<FaultRuntime>();
+      FaultRuntime* rt = runtime.get();
+      fault_runtimes_.push_back(std::move(runtime));
+      const std::int64_t after = spec.after;
+      node->set_send_override([this, rt, after, g](const Pulse& pulse, SimTime) {
+        if (rt->sent >= after) return;  // silent from now on
+        ++rt->sent;
+        net_.broadcast(g, pulse);
+      });
+      return;
+    }
+    case FaultKind::kCrash:
+    case FaultKind::kFixedPeriod:
+      GTRIX_CHECK_MSG(false, "handled before node construction");
+  }
+}
+
+void World::run_to_completion() { sim_.run_all(); }
+
+void World::corrupt_fraction(double fraction, Rng& rng) {
+  for (GridNodeId g = 0; g < grid_.node_count(); ++g) {
+    if (gradient_by_grid_[g] != nullptr && rng.bernoulli(fraction)) {
+      gradient_by_grid_[g]->corrupt_state(rng);
+    } else if (layer0_by_grid_[g] != nullptr && rng.bernoulli(fraction)) {
+      layer0_by_grid_[g]->corrupt_state(rng);
+    }
+  }
+}
+
+GridTrace World::trace() const {
+  GridTrace t;
+  t.grid = &grid_;
+  t.recorder = &recorder_;
+  t.node_ids.resize(grid_.node_count());
+  for (GridNodeId g = 0; g < grid_.node_count(); ++g) t.node_ids[g] = g;
+  t.node_warmup = config_.warmup;
+  t.node_tail = 1;
+  return t;
+}
+
+SkewReport World::skew() const {
+  const auto [lo, hi] = default_window(recorder_, config_.warmup);
+  return skew_window(lo, hi);
+}
+
+SkewReport World::skew_window(Sigma lo, Sigma hi) const {
+  const GridTrace t = trace();
+  return compute_skew(t, lo, hi);
+}
+
+RealignStats World::realign_labels() {
+  const GridTrace t = trace();
+  return realign_wave_labels(recorder_, t, config_.params.lambda);
+}
+
+ConditionReport World::conditions(std::uint32_t s_max) const {
+  const auto [lo, hi] = default_window(recorder_, config_.warmup);
+  return conditions_window(s_max, lo, hi);
+}
+
+ConditionReport World::conditions_window(std::uint32_t s_max, Sigma lo, Sigma hi) const {
+  const GridTrace t = trace();
+  return check_conditions(t, config_.params, s_max, lo, hi);
+}
+
+ExperimentCounters World::counters() const {
+  ExperimentCounters total;
+  for (const GradientTrixNode* node : gradient_by_grid_) {
+    if (node == nullptr) continue;
+    const auto& c = node->counters();
+    total.iterations += c.iterations;
+    total.late_broadcasts += c.late_broadcasts;
+    total.guard_aborts += c.guard_aborts;
+    total.watchdog_resets += c.watchdog_resets;
+    total.timeout_branches += c.timeout_branches;
+    total.duplicate_drops += c.duplicate_drops;
+  }
+  total.events_executed = sim_.executed_events();
+  total.messages_sent = net_.messages_sent();
+  return total;
+}
+
+GradientTrixNode* World::gradient_node(GridNodeId g) { return gradient_by_grid_.at(g); }
+Layer0LineNode* World::layer0_node(GridNodeId g) { return layer0_by_grid_.at(g); }
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  World world(config);
+  world.run_to_completion();
+  ExperimentResult result;
+  result.skew = world.skew();
+  result.counters = world.counters();
+  result.diameter = world.grid().base().diameter();
+  result.thm11_bound = config.params.thm11_bound(result.diameter);
+  result.global_bound = config.params.global_skew_bound(result.diameter);
+  return result;
+}
+
+}  // namespace gtrix

@@ -1,0 +1,178 @@
+// Experiment assembly: builds a complete simulated system from a declarative
+// config (topology, parameters, delay/clock models, layer-0 mode, algorithm,
+// fault plan), runs it, and produces skew/condition reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baseline/trix_node.hpp"
+#include "clock/hardware_clock.hpp"
+#include "core/gradient_node.hpp"
+#include "core/layer0.hpp"
+#include "core/params.hpp"
+#include "fault/behaviors.hpp"
+#include "fault/fault.hpp"
+#include "graph/grid.hpp"
+#include "metrics/conditions.hpp"
+#include "metrics/realign.hpp"
+#include "metrics/skew.hpp"
+#include "net/delay_model.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace gtrix {
+
+enum class Algorithm {
+  kGradientFull,        ///< Algorithm 3 (optionally with Algorithm 4 guards)
+  kGradientSimplified,  ///< Algorithm 1 (fault-free settings only)
+  kTrixNaive,           ///< baseline [LW20]
+};
+
+enum class Layer0Mode {
+  kIdealJitter,       ///< direct synchronized input, L_0 <= jitter
+  kLinePropagation,   ///< Appendix A line forwarding (Algorithm 2)
+};
+
+enum class ClockModelKind {
+  kRandomStatic,  ///< per-node rate uniform in [1, theta]
+  kAllFast,       ///< every clock at rate theta
+  kAllSlow,       ///< every clock at rate 1
+  kAlternating,   ///< rate alternates 1 / theta by column (drift stress)
+};
+
+struct ExperimentConfig {
+  BaseGraphKind base_kind = BaseGraphKind::kLineReplicated;
+  std::uint32_t columns = 16;  ///< base-graph columns (diameter = columns-1)
+  std::uint32_t cycle_reach = 1;  ///< kCycle only: adjacency reach (degree 2*reach)
+  std::uint32_t trim = 0;         ///< trimmed aggregation (extension; see core)
+  std::uint32_t layers = 16;   ///< grid layers including layer 0
+  Params params = Params::with(1000.0, 10.0, 1.0005);
+  Algorithm algorithm = Algorithm::kGradientFull;
+  Layer0Mode layer0 = Layer0Mode::kIdealJitter;
+  double layer0_jitter = -1.0;  ///< ideal-mode input jitter; < 0 -> kappa/2
+  /// Optional deterministic per-column extra offsets for ideal-mode layer-0
+  /// emitters (index = column; missing columns get 0). Used to set up
+  /// adversarial initial skew patterns (e.g. the Figure 5 oscillation
+  /// scenario) without declaring any node faulty. May contain negative
+  /// values; the whole pattern is shifted to keep emitter offsets >= 0.
+  std::vector<double> layer0_offset_by_column;
+  DelayModelKind delay_kind = DelayModelKind::kUniformRandom;
+  std::uint32_t delay_split_column = 0;  ///< for kColumnSplit
+  ClockModelKind clock_model = ClockModelKind::kRandomStatic;
+  std::vector<PlacedFault> faults;
+  std::int64_t pulses = 30;
+  bool self_stabilizing = false;
+  bool jump_condition = true;
+  std::uint64_t seed = 1;
+  Sigma warmup = 4;  ///< waves skipped at the start of the measurement window
+};
+
+struct ExperimentCounters {
+  std::uint64_t iterations = 0;
+  std::uint64_t late_broadcasts = 0;
+  std::uint64_t guard_aborts = 0;
+  std::uint64_t watchdog_resets = 0;
+  std::uint64_t timeout_branches = 0;
+  std::uint64_t duplicate_drops = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t messages_sent = 0;
+};
+
+/// A fully wired simulated system. Most callers use run_experiment(); the
+/// class is exposed for experiments needing custom control (e.g. corrupting
+/// node state mid-run for Theorem 1.6).
+class World {
+ public:
+  explicit World(ExperimentConfig config);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Runs the simulation until the event queue drains.
+  void run_to_completion();
+  void run_until(SimTime t) { sim_.run_until(t); }
+
+  /// Randomly corrupts the state of (roughly) `fraction` of all algorithm
+  /// nodes -- a system-wide transient fault (Theorem 1.6).
+  void corrupt_fraction(double fraction, Rng& rng);
+
+  const ExperimentConfig& config() const noexcept { return config_; }
+  const Grid& grid() const noexcept { return grid_; }
+  Simulator& simulator() noexcept { return sim_; }
+  Network& network() noexcept { return net_; }
+  Recorder& recorder() noexcept { return recorder_; }
+  const Recorder& recorder() const noexcept { return recorder_; }
+
+  GridTrace trace() const;
+
+  /// Skew over the default measurement window (warmup from config).
+  SkewReport skew() const;
+  SkewReport skew_window(Sigma lo, Sigma hi) const;
+
+  /// Condition checks over the default window.
+  ConditionReport conditions(std::uint32_t s_max) const;
+
+  /// Post-run wave-label realignment (see metrics/realign.hpp); call after
+  /// run_to_completion() in transient-fault experiments, before measuring.
+  RealignStats realign_labels();
+  ConditionReport conditions_window(std::uint32_t s_max, Sigma lo, Sigma hi) const;
+
+  ExperimentCounters counters() const;
+
+  /// The gradient node simulating grid node g; null for layer 0, faulty
+  /// positions, or non-gradient algorithms.
+  GradientTrixNode* gradient_node(GridNodeId g);
+  Layer0LineNode* layer0_node(GridNodeId g);
+
+  bool is_faulty(GridNodeId g) const { return fault_map_.contains(g); }
+
+ private:
+  struct FaultRuntime {
+    Rng rng;
+    std::int64_t sent = 0;
+    FaultRuntime() : rng(0) {}
+  };
+
+  static BaseGraph make_base(const ExperimentConfig& config);
+  HardwareClock make_clock(Rng& rng, std::uint32_t column) const;
+  void build_network(Rng& delay_rng);
+  void build_layer0(Rng& clock_rng, Rng& layer0_rng);
+  void build_algorithm_nodes(Rng& clock_rng, Rng& fault_rng);
+  void install_fault(GridNodeId g, const FaultSpec& spec, GradientTrixNode* node,
+                     Rng& fault_rng);
+
+  ExperimentConfig config_;
+  Grid grid_;
+  Simulator sim_;
+  Network net_;
+  Recorder recorder_;
+  DelayModel delay_model_;
+
+  NetNodeId source_id_ = 0;  // line mode only
+  std::vector<std::unique_ptr<PulseSink>> sinks_;
+  std::vector<GradientTrixNode*> gradient_by_grid_;
+  std::vector<Layer0LineNode*> layer0_by_grid_;
+  std::unique_ptr<ClockSource> source_;
+  std::vector<std::unique_ptr<IdealEmitter>> emitters_;
+  std::vector<FixedPeriodRogue*> rogues_;
+  std::map<GridNodeId, FaultSpec> fault_map_;
+  std::vector<std::unique_ptr<FaultRuntime>> fault_runtimes_;
+};
+
+struct ExperimentResult {
+  SkewReport skew;
+  ExperimentCounters counters;
+  double thm11_bound = 0.0;
+  double global_bound = 0.0;
+  std::uint32_t diameter = 0;
+};
+
+/// Builds, runs and summarizes in one call.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace gtrix

@@ -1,0 +1,53 @@
+#include "sim/event_queue.hpp"
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+EventId EventQueue::schedule(SimTime t, EventFn fn) {
+  const EventId id = next_id_++;
+  handlers_.push_back(std::move(fn));
+  cancelled_.push_back(false);
+  heap_.push(Entry{t, id});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= cancelled_.size() || cancelled_[id] || !handlers_[id]) return false;
+  cancelled_[id] = true;
+  --live_;
+  return true;
+}
+
+void EventQueue::skim() const {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const noexcept {
+  skim();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  skim();
+  GTRIX_CHECK_MSG(!heap_.empty(), "next_time on empty queue");
+  return heap_.top().time;
+}
+
+bool EventQueue::run_next() {
+  skim();
+  if (heap_.empty()) return false;
+  const Entry top = heap_.top();
+  heap_.pop();
+  --live_;
+  EventFn fn = std::move(handlers_[top.id]);
+  handlers_[top.id] = nullptr;  // release captured state eagerly
+  ++executed_;
+  fn(top.time);
+  return true;
+}
+
+}  // namespace gtrix

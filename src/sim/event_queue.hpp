@@ -1,0 +1,68 @@
+// Deterministic discrete-event priority queue.
+//
+// Events are ordered by (time, sequence number); the sequence number is
+// assigned at push time, so two events scheduled for the same instant fire
+// in scheduling order. This makes entire simulations bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gtrix {
+
+using EventFn = std::function<void(SimTime now)>;
+
+/// Handle for cancelling a scheduled event. Cancellation is lazy: the event
+/// stays in the heap but is skipped when popped.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Schedules `fn` at absolute time `t`. Returns an id usable with cancel().
+  EventId schedule(SimTime t, EventFn fn);
+
+  /// Cancels a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled event is a no-op and returns false.
+  bool cancel(EventId id);
+
+  bool empty() const noexcept;
+
+  /// Time of the next (non-cancelled) event; undefined if empty().
+  SimTime next_time() const;
+
+  /// Pops and runs the next event; returns false if the queue was empty.
+  bool run_next();
+
+  std::uint64_t executed_count() const noexcept { return executed_; }
+  std::uint64_t scheduled_count() const noexcept { return next_id_; }
+  std::size_t pending_count() const noexcept { return live_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    // Heap is a max-heap by default; invert the comparison.
+    bool operator<(const Entry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  /// Drops cancelled entries from the top of the heap.
+  void skim() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  std::vector<EventFn> handlers_;       // indexed by id
+  std::vector<bool> cancelled_;         // indexed by id
+  EventId next_id_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace gtrix

@@ -1,0 +1,40 @@
+#include "sim/simulator.hpp"
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+EventId Simulator::at(SimTime t, EventFn fn) {
+  GTRIX_CHECK_MSG(t >= now_, "scheduling into the past");
+  return queue_.schedule(t, std::move(fn));
+}
+
+EventId Simulator::after(SimTime delay, EventFn fn) {
+  GTRIX_CHECK_MSG(delay >= 0.0, "negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++executed;
+  }
+  // Advance the cursor so subsequent scheduling is relative to the deadline.
+  if (deadline > now_) now_ = deadline;
+  return executed;
+}
+
+std::uint64_t Simulator::run_all(std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    GTRIX_CHECK_MSG(executed < max_events, "event budget exhausted");
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace gtrix

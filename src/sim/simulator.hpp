@@ -1,0 +1,47 @@
+// The simulation driver: wraps the event queue with a current-time cursor
+// and run-until / run-all loops.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace gtrix {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules an event at absolute time `t`; `t` must not precede now().
+  EventId at(SimTime t, EventFn fn);
+
+  /// Schedules an event `delay >= 0` after now().
+  EventId after(SimTime delay, EventFn fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue is empty or the next event is strictly after
+  /// `deadline`. Events exactly at `deadline` are executed. Returns the
+  /// number of events executed.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Runs until the queue is empty. An event budget guards against
+  /// accidental infinite self-scheduling. Returns events executed.
+  std::uint64_t run_all(std::uint64_t max_events = 2'000'000'000ULL);
+
+  std::uint64_t executed_events() const noexcept { return queue_.executed_count(); }
+  std::size_t pending_events() const noexcept { return queue_.pending_count(); }
+  bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+};
+
+}  // namespace gtrix

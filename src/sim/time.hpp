@@ -1,0 +1,19 @@
+// Simulated time. Real ("Newtonian") time is a double in abstract units;
+// the default parameterization uses d = 1000 units for the maximum message
+// delay, so one unit can be read as a picosecond at d = 1ns.
+#pragma once
+
+#include <limits>
+
+namespace gtrix {
+
+using SimTime = double;
+
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::infinity();
+
+/// Local (hardware-clock) readings use the same representation.
+using LocalTime = double;
+
+inline constexpr LocalTime kLocalInfinity = std::numeric_limits<LocalTime>::infinity();
+
+}  // namespace gtrix

@@ -1,0 +1,28 @@
+// Lightweight runtime precondition checking (always on, including release
+// builds: simulator correctness matters more than the last few percent of
+// speed, and the checks below are all O(1)).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gtrix {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& message) {
+  throw std::logic_error(std::string("check failed: ") + expr + " at " + file + ":" +
+                         std::to_string(line) + (message.empty() ? "" : ": " + message));
+}
+
+}  // namespace gtrix
+
+// NOLINTNEXTLINE -- function-style macro is the conventional spelling here.
+#define GTRIX_CHECK(expr)                                          \
+  do {                                                             \
+    if (!(expr)) ::gtrix::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define GTRIX_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) ::gtrix::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

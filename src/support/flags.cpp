@@ -1,0 +1,90 @@
+#include "support/flags.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gtrix {
+
+namespace {
+
+bool parse_bool_value(const std::string& v) {
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("invalid boolean flag value: " + v);
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg.empty()) throw std::invalid_argument("bare '--' is not a flag");
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      std::string name(arg.substr(0, eq));
+      if (name.empty()) throw std::invalid_argument("flag with empty name");
+      values_[name] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // --no-foo form for booleans.
+    if (arg.starts_with("no-")) {
+      values_[std::string(arg.substr(3))] = "false";
+      continue;
+    }
+    // --name value, or bare boolean --name.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Flags::raw(std::string_view name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Flags::has(std::string_view name) const { return values_.contains(name); }
+
+std::string Flags::get_string(std::string_view name, std::string def) const {
+  return raw(name).value_or(std::move(def));
+}
+
+std::int64_t Flags::get_int(std::string_view name, std::int64_t def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  return std::stoll(*v);
+}
+
+std::uint64_t Flags::get_u64(std::string_view name, std::uint64_t def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  return std::stoull(*v);
+}
+
+double Flags::get_double(std::string_view name, double def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  return std::stod(*v);
+}
+
+bool Flags::get_bool(std::string_view name, bool def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  return parse_bool_value(*v);
+}
+
+std::string Flags::bench_scale() {
+  const char* env = std::getenv("GTRIX_BENCH_SCALE");
+  return env == nullptr ? std::string("small") : std::string(env);
+}
+
+}  // namespace gtrix

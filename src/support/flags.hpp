@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for examples and benchmark harnesses.
+// Supports --name=value, --name value, and boolean --name / --no-name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gtrix {
+
+class Flags {
+ public:
+  /// Parses argv; unknown positional arguments are collected separately.
+  /// Throws std::invalid_argument on malformed input (e.g. "--=x").
+  Flags(int argc, const char* const* argv);
+
+  bool has(std::string_view name) const;
+
+  std::string get_string(std::string_view name, std::string def) const;
+  std::int64_t get_int(std::string_view name, std::int64_t def) const;
+  double get_double(std::string_view name, double def) const;
+  bool get_bool(std::string_view name, bool def) const;
+  std::uint64_t get_u64(std::string_view name, std::uint64_t def) const;
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+  const std::string& program() const noexcept { return program_; }
+
+  /// Environment-variable helper shared by benches: GTRIX_BENCH_SCALE.
+  /// Returns "small" (default), or whatever the variable holds.
+  static std::string bench_scale();
+
+ private:
+  std::optional<std::string> raw(std::string_view name) const;
+
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gtrix

@@ -1,0 +1,130 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace gtrix {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64::next() noexcept {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) word = sm.next();
+  // All-zero state is invalid for xoshiro; SplitMix64 cannot emit four
+  // consecutive zeros, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  __extension__ using uint128 = unsigned __int128;
+  std::uint64_t x = next_u64();
+  uint128 m = static_cast<uint128>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<uint128>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::normal() noexcept {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - next_double();
+  double u2 = next_double();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+Rng Rng::split(std::string_view label) noexcept {
+  return Rng(next_u64() ^ fnv1a64(label));
+}
+
+void Rng::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (std::uint64_t{1} << bit)) {
+        for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+      }
+      (void)next_u64();
+    }
+  }
+  state_ = acc;
+}
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace gtrix

@@ -1,0 +1,132 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace gtrix {
+
+void Summary::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double combined = n1 + n2;
+  mean_ += delta * n2 / combined;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / combined;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+double Summary::mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+
+double Summary::variance() const noexcept {
+  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Summary::min() const noexcept {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double Summary::max() const noexcept {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  LinearFit fit;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const auto dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = ys[i] - (fit.intercept + fit.slope * xs[i]);
+    ss_res += r * r;
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LinearFit fit_log2(std::span<const double> xs, std::span<const double> ys) {
+  std::vector<double> lx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) lx[i] = std::log2(xs[i]);
+  return fit_linear(lx, ys);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) noexcept {
+  const auto nbins = counts_.size();
+  double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(nbins));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(nbins) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream out;
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double left = lo_ + bin_width * static_cast<double>(i);
+    const auto bar = counts_[i] * width / peak;
+    out << "[" << left << ", " << left + bin_width << ") ";
+    for (std::size_t j = 0; j < bar; ++j) out << '#';
+    out << " " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gtrix

@@ -1,0 +1,126 @@
+#include "clock/hardware_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace gtrix {
+namespace {
+
+TEST(HardwareClock, StaticRateMapsLinearly) {
+  const HardwareClock c(1.5, 100.0);
+  EXPECT_DOUBLE_EQ(c.to_local(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(c.to_local(10.0), 115.0);
+  EXPECT_DOUBLE_EQ(c.rate_at(5.0), 1.5);
+}
+
+TEST(HardwareClock, InverseRoundTrip) {
+  const HardwareClock c(1.2345, 42.0);
+  for (double t : {0.0, 1.0, 17.5, 1000.0, 123456.789}) {
+    EXPECT_NEAR(c.to_real(c.to_local(t)), t, 1e-9);
+  }
+}
+
+TEST(HardwareClock, InverseBeforeOriginThrows) {
+  const HardwareClock c(1.0, 50.0);
+  EXPECT_THROW((void)c.to_real(49.0), std::logic_error);
+}
+
+TEST(HardwareClock, NegativeRealTimeThrows) {
+  const HardwareClock c(1.0, 0.0);
+  EXPECT_THROW((void)c.to_local(-1.0), std::logic_error);
+}
+
+TEST(HardwareClock, NonPositiveRateRejected) {
+  EXPECT_THROW(HardwareClock(0.0, 0.0), std::logic_error);
+  EXPECT_THROW(HardwareClock(-1.0, 0.0), std::logic_error);
+}
+
+TEST(HardwareClock, PiecewiseRatesApplyPerSegment) {
+  // rate 1 on [0,10), rate 2 on [10,20), rate 0.5 afterwards; H(0)=5.
+  const HardwareClock c({{0.0, 1.0}, {10.0, 2.0}, {20.0, 0.5}}, 5.0);
+  EXPECT_DOUBLE_EQ(c.to_local(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.to_local(10.0), 15.0);
+  EXPECT_DOUBLE_EQ(c.to_local(15.0), 25.0);
+  EXPECT_DOUBLE_EQ(c.to_local(20.0), 35.0);
+  EXPECT_DOUBLE_EQ(c.to_local(30.0), 40.0);
+  EXPECT_DOUBLE_EQ(c.rate_at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.rate_at(12.0), 2.0);
+  EXPECT_DOUBLE_EQ(c.rate_at(100.0), 0.5);
+}
+
+TEST(HardwareClock, PiecewiseInverseRoundTrip) {
+  const HardwareClock c({{0.0, 1.1}, {7.0, 1.9}, {50.0, 1.3}}, 3.0);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.uniform(0.0, 200.0);
+    EXPECT_NEAR(c.to_real(c.to_local(t)), t, 1e-9);
+  }
+}
+
+TEST(HardwareClock, PiecewiseMinMaxRates) {
+  const HardwareClock c({{0.0, 1.2}, {5.0, 1.001}, {9.0, 1.4}}, 0.0);
+  EXPECT_DOUBLE_EQ(c.min_rate(), 1.001);
+  EXPECT_DOUBLE_EQ(c.max_rate(), 1.4);
+}
+
+TEST(HardwareClock, ScheduleMustStartAtZero) {
+  EXPECT_THROW(HardwareClock({{1.0, 1.0}}, 0.0), std::logic_error);
+}
+
+TEST(HardwareClock, BreakpointsMustIncrease) {
+  EXPECT_THROW(HardwareClock({{0.0, 1.0}, {0.0, 1.1}}, 0.0), std::logic_error);
+}
+
+TEST(HardwareClock, EmptyScheduleRejected) {
+  EXPECT_THROW(HardwareClock({}, 0.0), std::logic_error);
+}
+
+/// Model property (paper §2): for rates in [1, theta],
+/// t' - t <= H(t') - H(t) <= theta (t' - t).
+class ClockDriftBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClockDriftBounds, RespectsModelEnvelope) {
+  const double theta = GetParam();
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random piecewise schedule with rates in [1, theta].
+    std::vector<std::pair<SimTime, double>> schedule;
+    double t = 0.0;
+    for (int seg = 0; seg < 5; ++seg) {
+      schedule.emplace_back(t, rng.uniform(1.0, theta));
+      t += rng.uniform(1.0, 50.0);
+    }
+    const HardwareClock c(schedule, rng.uniform(0.0, 100.0));
+    for (int probe = 0; probe < 50; ++probe) {
+      const double a = rng.uniform(0.0, 300.0);
+      const double b = a + rng.uniform(0.001, 100.0);
+      const double dh = c.to_local(b) - c.to_local(a);
+      EXPECT_GE(dh, (b - a) - 1e-9);
+      EXPECT_LE(dh, theta * (b - a) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ClockDriftBounds,
+                         ::testing::Values(1.0001, 1.001, 1.01, 1.1));
+
+TEST(HardwareClock, MonotonicityUnderRandomProbes) {
+  const HardwareClock c({{0.0, 1.3}, {11.0, 1.0001}, {29.0, 1.2}}, 10.0);
+  Rng rng(8);
+  double last_t = 0.0;
+  double last_h = c.to_local(0.0);
+  for (int i = 0; i < 500; ++i) {
+    const double t = last_t + rng.uniform(0.0, 2.0);
+    const double h = c.to_local(t);
+    EXPECT_GE(h, last_h);
+    last_t = t;
+    last_h = h;
+  }
+}
+
+}  // namespace
+}  // namespace gtrix

@@ -1,0 +1,116 @@
+// Property tests for Lemmas D.4, D.5, D.6 (slow / fast / jump conditions),
+// D.2, D.3: every recorded steady iteration of every correct node must
+// satisfy them, across seeds, drift rates, and delay models.
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+
+namespace gtrix {
+namespace {
+
+struct Scenario {
+  std::uint64_t seed;
+  double u;
+  double theta;
+  DelayModelKind delays;
+  Layer0Mode layer0;
+};
+
+class ConditionSweep : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ConditionSweep, AllConditionsHold) {
+  const Scenario& scenario = GetParam();
+  ExperimentConfig config;
+  config.columns = 10;
+  config.layers = 10;
+  config.pulses = 18;
+  config.seed = scenario.seed;
+  config.params = Params::with(1000.0, scenario.u, scenario.theta);
+  config.delay_kind = scenario.delays;
+  config.delay_split_column = 5;
+  config.layer0 = scenario.layer0;
+  ASSERT_TRUE(config.params.valid_for(config.columns - 1, 1.0));
+
+  World world(config);
+  world.run_to_completion();
+  const ConditionReport report = world.conditions(6);
+  EXPECT_GT(report.sc_checked, 0u);
+  EXPECT_GT(report.fc_checked, 0u);
+  EXPECT_GT(report.jc_checked, 0u);
+  EXPECT_TRUE(report.ok()) << report.summary() << "\nfirst violations:\n"
+                           << (report.samples.empty() ? "" : report.samples[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ConditionSweep,
+    ::testing::Values(
+        Scenario{1, 10.0, 1.0005, DelayModelKind::kUniformRandom, Layer0Mode::kIdealJitter},
+        Scenario{2, 10.0, 1.0005, DelayModelKind::kUniformRandom, Layer0Mode::kLinePropagation},
+        Scenario{3, 5.0, 1.0002, DelayModelKind::kUniformRandom, Layer0Mode::kIdealJitter},
+        Scenario{4, 20.0, 1.001, DelayModelKind::kUniformRandom, Layer0Mode::kIdealJitter},
+        Scenario{5, 10.0, 1.0005, DelayModelKind::kColumnSplit, Layer0Mode::kIdealJitter},
+        Scenario{6, 10.0, 1.0005, DelayModelKind::kAlternating, Layer0Mode::kIdealJitter},
+        Scenario{7, 10.0, 1.0005, DelayModelKind::kAllMax, Layer0Mode::kIdealJitter},
+        Scenario{8, 10.0, 1.0005, DelayModelKind::kAllMin, Layer0Mode::kLinePropagation},
+        Scenario{9, 1.0, 1.00005, DelayModelKind::kUniformRandom, Layer0Mode::kIdealJitter},
+        Scenario{10, 10.0, 1.0005, DelayModelKind::kUniformRandom, Layer0Mode::kIdealJitter}));
+
+TEST(Conditions, HoldUnderClockModelExtremes) {
+  for (const ClockModelKind model :
+       {ClockModelKind::kAllFast, ClockModelKind::kAllSlow, ClockModelKind::kAlternating}) {
+    ExperimentConfig config;
+    config.columns = 8;
+    config.layers = 8;
+    config.pulses = 14;
+    config.seed = 42;
+    config.clock_model = model;
+    World world(config);
+    world.run_to_completion();
+    const ConditionReport report = world.conditions(5);
+    EXPECT_TRUE(report.ok()) << "model=" << static_cast<int>(model) << ": "
+                             << report.summary();
+  }
+}
+
+TEST(Conditions, MedianHoldsWithCrashFault) {
+  ExperimentConfig config;
+  config.columns = 8;
+  config.layers = 10;
+  config.pulses = 16;
+  config.seed = 11;
+  config.faults = {{config.columns / 2, 4, FaultSpec::crash()}};
+  World world(config);
+  world.run_to_completion();
+  const ConditionReport report = world.conditions(5);
+  EXPECT_GT(report.median_checked, 0u);
+  EXPECT_TRUE(report.ok()) << report.summary() << "\n"
+                           << (report.samples.empty() ? "" : report.samples[0]);
+}
+
+TEST(Conditions, MedianHoldsWithOffsetFault) {
+  ExperimentConfig config;
+  config.columns = 8;
+  config.layers = 10;
+  config.pulses = 16;
+  config.seed = 12;
+  config.faults = {{3, 5, FaultSpec::static_offset(150.0)}};
+  World world(config);
+  world.run_to_completion();
+  const ConditionReport report = world.conditions(5);
+  EXPECT_GT(report.median_checked, 0u);
+  EXPECT_TRUE(report.ok()) << report.summary() << "\n"
+                           << (report.samples.empty() ? "" : report.samples[0]);
+}
+
+TEST(Conditions, ReportSummaryIsReadable) {
+  ConditionReport report;
+  report.sc_checked = 10;
+  report.sc_violations = 1;
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("SC 1/10"), std::string::npos);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.total_violations(), 1u);
+}
+
+}  // namespace
+}  // namespace gtrix

@@ -1,0 +1,205 @@
+#include "core/correction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace gtrix {
+namespace {
+
+const Params kParams = Params::with(1000.0, 10.0, 1.0005);
+
+/// Brute-force reference for min_{s in N} max{a + 4sk, b - 4sk}.
+double brute_force_min_max(double a, double b, double kappa) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::int64_t s = 0; s < 100000; ++s) {
+    const double shift = 4.0 * static_cast<double>(s) * kappa;
+    best = std::min(best, std::max(a + shift, b - shift));
+    if (a + shift > best) break;  // increasing term dominates from here on
+  }
+  return best;
+}
+
+TEST(DiscreteMinMax, MatchesBruteForceOnRandomInputs) {
+  Rng rng(1);
+  const double kappa = kParams.kappa();
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform(-5000.0, 5000.0);
+    const double b = a + rng.uniform(0.0, 10000.0);
+    const double got = discrete_min_max(a, b, kappa);
+    const double want = brute_force_min_max(a, b, kappa);
+    ASSERT_NEAR(got, want, 1e-9) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(DiscreteMinMax, SZeroWhenAlreadyBalanced) {
+  std::int64_t s = -1;
+  const double v = discrete_min_max(-1.0, 1.0, 10.0, &s);
+  EXPECT_EQ(s, 0);
+  EXPECT_DOUBLE_EQ(v, 1.0);  // max(-1, 1) at s=0
+}
+
+TEST(DiscreteMinMax, LargeGapPicksLargeS) {
+  const double kappa = 10.0;
+  std::int64_t s = -1;
+  (void)discrete_min_max(-1000.0, 1000.0, kappa, &s);
+  // Continuous optimum at (b-a)/(8k) = 25.
+  EXPECT_NEAR(static_cast<double>(s), 25.0, 1.0);
+}
+
+TEST(DiscreteMinMax, RequiresOrderedInputs) {
+  EXPECT_THROW((void)discrete_min_max(1.0, -1.0, 10.0), std::logic_error);
+  EXPECT_THROW((void)discrete_min_max(0.0, 1.0, 0.0), std::logic_error);
+}
+
+TEST(ComputeCorrection, BalancedInputsGiveSmallC) {
+  // All receptions simultaneous: Delta = -kappa/2 < 0 -> negative branch,
+  // but own == min means C = min(3kappa/2, 0)... = 0.
+  const Correction c = compute_correction(100.0, 100.0, 100.0, kParams);
+  EXPECT_EQ(c.branch, CorrectionBranch::kNegativeJump);
+  EXPECT_DOUBLE_EQ(c.value, 0.0);
+}
+
+TEST(ComputeCorrection, WithinBandUsesDelta) {
+  // Choose inputs so Delta lands in (0, theta kappa): own slightly late.
+  const double kappa = kParams.kappa();
+  const double own = 100.0;
+  const double lo = own - 0.8 * kappa;  // h_min
+  const double hi = own - 0.5 * kappa;  // h_max <= own
+  const Correction c = compute_correction(own, lo, hi, kParams);
+  EXPECT_EQ(c.branch, CorrectionBranch::kWithin);
+  EXPECT_DOUBLE_EQ(c.value, c.delta);
+  EXPECT_GE(c.value, 0.0);
+  EXPECT_LE(c.value, kParams.theta * kappa);
+}
+
+TEST(ComputeCorrection, OwnFarAheadDelaysPulse) {
+  // Own reception much earlier than both neighbours: node must wait
+  // (negative C), damped kappa short of the earliest neighbour.
+  const double kappa = kParams.kappa();
+  const double own = 100.0;
+  const double nb = own + 10.0 * kappa;
+  const Correction c = compute_correction(own, nb, nb + 1.0, kParams);
+  EXPECT_EQ(c.branch, CorrectionBranch::kNegativeJump);
+  EXPECT_DOUBLE_EQ(c.value, own - nb + 1.5 * kappa);
+  EXPECT_LT(c.value, 0.0);
+}
+
+TEST(ComputeCorrection, OwnFarBehindSpeedsUp) {
+  // Own reception much later than both neighbours: big positive jump,
+  // damped kappa short of the latest neighbour.
+  const double kappa = kParams.kappa();
+  const double own = 100.0 + 10.0 * kappa;
+  const Correction c = compute_correction(own, 100.0, 101.0, kParams);
+  EXPECT_EQ(c.branch, CorrectionBranch::kPositiveJump);
+  EXPECT_DOUBLE_EQ(c.value, own - 101.0 - 1.5 * kappa);
+  EXPECT_GT(c.value, kParams.theta * kappa);
+}
+
+TEST(ComputeCorrection, NegativeClampNeverPositive) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double own = rng.uniform(0.0, 1000.0);
+    const double lo = own + rng.uniform(0.0, 500.0);  // own earliest
+    const double hi = lo + rng.uniform(0.0, 100.0);
+    const Correction c = compute_correction(own, lo, hi, kParams);
+    if (c.branch == CorrectionBranch::kNegativeJump) {
+      ASSERT_LE(c.value, 0.0);
+    }
+  }
+}
+
+TEST(ComputeCorrection, PositiveClampNeverBelowThetaKappa) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double hi = rng.uniform(0.0, 1000.0);
+    const double lo = hi - rng.uniform(0.0, 100.0);
+    const double own = hi + rng.uniform(0.0, 500.0);  // own latest
+    const Correction c = compute_correction(own, lo, hi, kParams);
+    if (c.branch == CorrectionBranch::kPositiveJump) {
+      ASSERT_GE(c.value, kParams.theta * kParams.kappa() - 1e-12);
+    }
+  }
+}
+
+/// Lemma D.2 (local form): C <= Lambda - d for any inputs whose spread is
+/// bounded by a plausible skew (here: anything below (Lambda - d) / 2).
+TEST(ComputeCorrection, LemmaD2OnPlausibleInputs) {
+  Rng rng(4);
+  const double bound = (kParams.lambda - kParams.d) / 2.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double own = rng.uniform(0.0, 10000.0);
+    const double x = own + rng.uniform(-bound, bound);
+    const double y = own + rng.uniform(-bound, bound);
+    const Correction c =
+        compute_correction(own, std::min(x, y), std::max(x, y), kParams);
+    ASSERT_LE(c.value, kParams.lambda - kParams.d + 1e-9);
+  }
+}
+
+/// Median sticking (Lemmas 4.27/4.28 computational core): the pulse offset
+/// H_own - C stays within [H_min - 3k/2, H_max + 3k/2].
+TEST(ComputeCorrection, SticksNearMedianWindow) {
+  Rng rng(5);
+  const double kappa = kParams.kappa();
+  for (int i = 0; i < 2000; ++i) {
+    const double own = rng.uniform(0.0, 10000.0);
+    const double x = own + rng.uniform(-800.0, 800.0);
+    const double y = own + rng.uniform(-800.0, 800.0);
+    const double lo = std::min(x, y);
+    const double hi = std::max(x, y);
+    const Correction c = compute_correction(own, lo, hi, kParams);
+    const double virtual_pulse = own - c.value;  // pulse minus (Lambda - d)
+    ASSERT_GE(virtual_pulse, lo - 1.5 * kappa - 1e-9);
+    ASSERT_LE(virtual_pulse, hi + 1.5 * kappa + 1e-9);
+  }
+}
+
+TEST(ComputeCorrection, JumpConditionOffFollowsRawDelta) {
+  const double kappa = kParams.kappa();
+  const double own = 100.0;
+  const double nb = own + 10.0 * kappa;
+  const Correction damped = compute_correction(own, nb, nb + 1.0, kParams, true);
+  const Correction raw = compute_correction(own, nb, nb + 1.0, kParams, false);
+  EXPECT_DOUBLE_EQ(raw.value, raw.delta);
+  EXPECT_LT(raw.value, damped.value);  // raw overshoots further negative
+}
+
+TEST(ComputeCorrection, RejectsNonFiniteInputs) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)compute_correction(inf, 0.0, 1.0, kParams), std::logic_error);
+  EXPECT_THROW((void)compute_correction(0.0, 0.0, inf, kParams), std::logic_error);
+}
+
+/// Property sweep: for all inputs, exactly one of the three branch
+/// conditions applies and the reported branch matches Delta's position.
+class CorrectionBranchSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorrectionBranchSweep, BranchMatchesDelta) {
+  Rng rng(GetParam());
+  const double tk = kParams.theta * kParams.kappa();
+  for (int i = 0; i < 1000; ++i) {
+    const double own = rng.uniform(0.0, 1000.0);
+    const double x = own + rng.uniform(-600.0, 600.0);
+    const double y = own + rng.uniform(-600.0, 600.0);
+    const Correction c =
+        compute_correction(own, std::min(x, y), std::max(x, y), kParams);
+    if (c.delta < 0.0) {
+      ASSERT_EQ(c.branch, CorrectionBranch::kNegativeJump);
+    } else if (c.delta > tk) {
+      ASSERT_EQ(c.branch, CorrectionBranch::kPositiveJump);
+    } else {
+      ASSERT_EQ(c.branch, CorrectionBranch::kWithin);
+      ASSERT_DOUBLE_EQ(c.value, c.delta);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorrectionBranchSweep,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace gtrix

@@ -1,0 +1,123 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace gtrix {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.run_next());
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&](SimTime) { order.push_back(3); });
+  q.schedule(1.0, [&](SimTime) { order.push_back(1); });
+  q.schedule(2.0, [&](SimTime) { order.push_back(2); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i](SimTime) { order.push_back(i); });
+  }
+  while (q.run_next()) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlerReceivesEventTime) {
+  EventQueue q;
+  SimTime seen = -1.0;
+  q.schedule(7.25, [&](SimTime t) { seen = t; });
+  q.run_next();
+  EXPECT_DOUBLE_EQ(seen, 7.25);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(1.0, [&](SimTime) { ++fired; });
+  q.schedule(2.0, [&](SimTime) { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [](SimTime) {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterExecutionReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [](SimTime) {});
+  q.run_next();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [](SimTime) {});
+  q.schedule(2.0, [](SimTime) {});
+  q.cancel(id);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  std::function<void(SimTime)> chain = [&](SimTime t) {
+    times.push_back(t);
+    if (times.size() < 5) q.schedule(t + 1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(times, (std::vector<double>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CountsAreTracked) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [](SimTime) {});
+  q.schedule(2.0, [](SimTime) {});
+  EXPECT_EQ(q.scheduled_count(), 2u);
+  EXPECT_EQ(q.pending_count(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending_count(), 1u);
+  q.run_next();
+  EXPECT_EQ(q.executed_count(), 1u);
+  EXPECT_EQ(q.pending_count(), 0u);
+}
+
+TEST(EventQueue, LargeRandomLoadIsSorted) {
+  EventQueue q;
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    q.schedule(rng.uniform(0.0, 1e6), [](SimTime) {});
+  }
+  double last = -1.0;
+  while (!q.empty()) {
+    const double t = q.next_time();
+    EXPECT_GE(t, last);
+    last = t;
+    q.run_next();
+  }
+}
+
+}  // namespace
+}  // namespace gtrix

@@ -1,0 +1,172 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gtrix {
+namespace {
+
+Grid make_grid(std::uint32_t columns, std::uint32_t layers) {
+  return Grid(BaseGraph::line_replicated(columns), layers);
+}
+
+TEST(FaultSpecs, FactoryFunctions) {
+  EXPECT_EQ(FaultSpec::crash().kind, FaultKind::kCrash);
+  EXPECT_EQ(FaultSpec::static_offset(-5.0).offset, -5.0);
+  EXPECT_EQ(FaultSpec::split(3.0).alpha, 3.0);
+  EXPECT_EQ(FaultSpec::jitter(2.0).kind, FaultKind::kJitter);
+  EXPECT_EQ(FaultSpec::fixed_period(100.0).period, 100.0);
+  EXPECT_EQ(FaultSpec::mute_after(7).after, 7);
+}
+
+TEST(OneLocality, EmptySetIsLocal) {
+  const Grid grid = make_grid(8, 8);
+  EXPECT_TRUE(is_one_local(grid, {}));
+}
+
+TEST(OneLocality, SingleFaultIsLocal) {
+  const Grid grid = make_grid(8, 8);
+  const std::vector<PlacedFault> faults = {{2, 3, FaultSpec::crash()}};
+  EXPECT_TRUE(is_one_local(grid, faults));
+}
+
+TEST(OneLocality, AdjacentSameLayerFaultsViolate) {
+  const Grid grid = make_grid(8, 8);
+  // Two adjacent base nodes on the same layer share a successor.
+  const BaseNodeId a = grid.base().nodes_in_column(2).front();
+  const BaseNodeId b = grid.base().nodes_in_column(3).front();
+  const std::vector<PlacedFault> faults = {{a, 3, FaultSpec::crash()},
+                                           {b, 3, FaultSpec::crash()}};
+  EXPECT_FALSE(is_one_local(grid, faults));
+  EXPECT_FALSE(one_locality_violations(grid, faults).empty());
+}
+
+TEST(OneLocality, DistantFaultsAreLocal) {
+  const Grid grid = make_grid(8, 8);
+  const BaseNodeId a = grid.base().nodes_in_column(1).front();
+  const BaseNodeId b = grid.base().nodes_in_column(6).front();
+  const std::vector<PlacedFault> faults = {{a, 3, FaultSpec::crash()},
+                                           {b, 3, FaultSpec::crash()}};
+  EXPECT_TRUE(is_one_local(grid, faults));
+}
+
+TEST(OneLocality, SameColumnAdjacentLayersAreLocal) {
+  // (v, l) and (v, l+1): the grid is directed, so (v, l+1)'s successors see
+  // only one of them as predecessor; no node has two faulty predecessors.
+  const Grid grid = make_grid(8, 8);
+  const BaseNodeId v = grid.base().nodes_in_column(3).front();
+  const std::vector<PlacedFault> faults = {{v, 3, FaultSpec::crash()},
+                                           {v, 4, FaultSpec::crash()}};
+  EXPECT_TRUE(is_one_local(grid, faults));
+}
+
+TEST(OneLocality, DuplicatePlacementViolates) {
+  const Grid grid = make_grid(8, 8);
+  const std::vector<PlacedFault> faults = {{2, 3, FaultSpec::crash()},
+                                           {2, 3, FaultSpec::static_offset(1.0)}};
+  EXPECT_FALSE(is_one_local(grid, faults));
+}
+
+TEST(SampleIid, ZeroProbabilityGivesNoFaults) {
+  const Grid grid = make_grid(8, 8);
+  Rng rng(1);
+  PlacementOptions options;
+  options.probability = 0.0;
+  EXPECT_TRUE(sample_iid_faults(grid, options, FaultSpec::crash(), rng).empty());
+}
+
+TEST(SampleIid, RespectsLayer0Exclusion) {
+  const Grid grid = make_grid(8, 16);
+  Rng rng(2);
+  PlacementOptions options;
+  options.probability = 0.05;
+  options.exclude_layer0 = true;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto faults = sample_iid_faults(grid, options, FaultSpec::crash(), rng);
+    for (const auto& f : faults) EXPECT_GE(f.layer, 1u);
+  }
+}
+
+TEST(SampleIid, CanIncludeLayer0) {
+  const Grid grid = make_grid(8, 16);
+  Rng rng(3);
+  PlacementOptions options;
+  options.probability = 0.08;
+  options.exclude_layer0 = false;
+  options.enforce_one_local = false;
+  bool saw_layer0 = false;
+  for (int trial = 0; trial < 50 && !saw_layer0; ++trial) {
+    for (const auto& f : sample_iid_faults(grid, options, FaultSpec::crash(), rng)) {
+      saw_layer0 = saw_layer0 || f.layer == 0;
+    }
+  }
+  EXPECT_TRUE(saw_layer0);
+}
+
+TEST(SampleIid, EnforcedSamplesAreOneLocal) {
+  const Grid grid = make_grid(12, 12);
+  Rng rng(4);
+  PlacementOptions options;
+  options.probability = 0.02;
+  options.enforce_one_local = true;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto faults = sample_iid_faults(grid, options, FaultSpec::crash(), rng);
+    EXPECT_TRUE(is_one_local(grid, faults));
+  }
+}
+
+TEST(SampleIid, FrequencyMatchesProbability) {
+  const Grid grid = make_grid(16, 16);
+  Rng rng(5);
+  PlacementOptions options;
+  options.probability = 0.01;
+  options.enforce_one_local = false;
+  options.exclude_layer0 = false;
+  std::size_t total = 0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    total += sample_iid_faults(grid, options, FaultSpec::crash(), rng).size();
+  }
+  const double expected = 0.01 * grid.node_count() * trials;
+  EXPECT_NEAR(static_cast<double>(total), expected, expected * 0.25);
+}
+
+TEST(SampleIid, ImpossibleConstraintThrows) {
+  const Grid grid = make_grid(6, 6);
+  Rng rng(6);
+  PlacementOptions options;
+  options.probability = 0.9;  // virtually guaranteed to violate 1-locality
+  options.enforce_one_local = true;
+  options.max_attempts = 3;
+  EXPECT_THROW(sample_iid_faults(grid, options, FaultSpec::crash(), rng),
+               std::logic_error);
+}
+
+TEST(Clustered, PlacesFaultsInColumn) {
+  const Grid grid = make_grid(10, 12);
+  const auto faults = clustered_faults(grid, 3, 4, 2, 2, FaultSpec::crash());
+  ASSERT_EQ(faults.size(), 3u);
+  for (const auto& f : faults) {
+    EXPECT_EQ(grid.base().column(f.base), 4u);
+  }
+  EXPECT_EQ(faults[0].layer, 2u);
+  EXPECT_EQ(faults[1].layer, 4u);
+  EXPECT_EQ(faults[2].layer, 6u);
+  EXPECT_TRUE(is_one_local(grid, faults));
+}
+
+TEST(Clustered, StrideOneIsStillOneLocal) {
+  const Grid grid = make_grid(10, 12);
+  const auto faults = clustered_faults(grid, 4, 5, 1, 1, FaultSpec::crash());
+  EXPECT_TRUE(is_one_local(grid, faults));
+}
+
+TEST(Clustered, OverflowingLayersThrows) {
+  const Grid grid = make_grid(10, 5);
+  EXPECT_THROW(clustered_faults(grid, 10, 4, 1, 1, FaultSpec::crash()),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace gtrix

@@ -1,0 +1,87 @@
+#include "support/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gtrix {
+namespace {
+
+Flags make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags f = make({"--columns=32", "--rate=1.5"});
+  EXPECT_EQ(f.get_int("columns", 0), 32);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 1.5);
+}
+
+TEST(Flags, SpaceSeparatedForm) {
+  const Flags f = make({"--columns", "32"});
+  EXPECT_EQ(f.get_int("columns", 0), 32);
+}
+
+TEST(Flags, BareBooleanIsTrue) {
+  const Flags f = make({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, NoPrefixDisables) {
+  const Flags f = make({"--no-verbose"});
+  EXPECT_FALSE(f.get_bool("verbose", true));
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(make({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=off"}).get_bool("x", true));
+}
+
+TEST(Flags, InvalidBooleanThrows) {
+  const Flags f = make({"--x=maybe"});
+  EXPECT_THROW((void)f.get_bool("x", false), std::invalid_argument);
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags f = make({});
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_EQ(f.get_string("missing", "abc"), "abc");
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 2.5), 2.5);
+  EXPECT_TRUE(f.get_bool("missing", true));
+  EXPECT_FALSE(f.has("missing"));
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags f = make({"input.txt", "--k=1", "output.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "output.txt");
+}
+
+TEST(Flags, ProgramName) {
+  const Flags f = make({});
+  EXPECT_EQ(f.program(), "prog");
+}
+
+TEST(Flags, U64RoundTrip) {
+  const Flags f = make({"--seed=18446744073709551615"});
+  EXPECT_EQ(f.get_u64("seed", 0), 18446744073709551615ULL);
+}
+
+TEST(Flags, NegativeNumberAsValue) {
+  const Flags f = make({"--offset=-42"});
+  EXPECT_EQ(f.get_int("offset", 0), -42);
+}
+
+TEST(Flags, LastValueWins) {
+  const Flags f = make({"--k=1", "--k=2"});
+  EXPECT_EQ(f.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace gtrix

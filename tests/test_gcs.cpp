@@ -1,0 +1,89 @@
+// Continuous GCS baseline [LLW10]: local skew O(kappa_g log D), global
+// O(kappa_g D), crash tolerance only.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gcs/gcs.hpp"
+
+namespace gtrix {
+namespace {
+
+GcsConfig base_config(std::uint32_t columns, std::uint64_t seed) {
+  GcsConfig config;
+  config.columns = columns;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Gcs, RunsAndProducesSamples) {
+  const GcsResult result = run_gcs(base_config(8, 1));
+  EXPECT_GT(result.samples, 0u);
+  EXPECT_GT(result.kappa_g, 0.0);
+  EXPECT_GT(result.local_skew, 0.0);
+}
+
+TEST(Gcs, LocalSkewBoundedByKappaLogD) {
+  for (std::uint32_t columns : {8u, 16u, 24u}) {
+    const GcsResult result = run_gcs(base_config(columns, 2));
+    const double bound =
+        4.0 * result.kappa_g * (2.0 + std::log2(static_cast<double>(columns - 1)));
+    EXPECT_LE(result.local_skew, bound) << "columns=" << columns;
+  }
+}
+
+TEST(Gcs, GlobalSkewScalesWithDiameter) {
+  const GcsResult small = run_gcs(base_config(8, 3));
+  const GcsResult large = run_gcs(base_config(32, 3));
+  EXPECT_GT(large.global_skew, small.global_skew);
+  // Global skew stays within the Theta(kappa D) envelope.
+  EXPECT_LE(large.global_skew, 4.0 * large.kappa_g * 31.0);
+}
+
+TEST(Gcs, LocalBeatsGlobalOnLargeGrids) {
+  const GcsResult result = run_gcs(base_config(32, 4));
+  EXPECT_LT(result.local_skew, result.global_skew);
+}
+
+TEST(Gcs, FastModeActuallyEngages) {
+  const GcsResult result = run_gcs(base_config(16, 5));
+  EXPECT_GT(result.fast_mode_activations, 0u);
+}
+
+TEST(Gcs, SurvivesACrash) {
+  GcsConfig config = base_config(16, 6);
+  config.crashes = {8};  // interior node stops participating
+  const GcsResult result = run_gcs(config);
+  // Remaining nodes stay synchronized through the redundant paths
+  // (replicated line keeps degree >= 2 fault-free connectivity only at the
+  // ends, so allow a generous but finite envelope).
+  const double bound =
+      8.0 * result.kappa_g * (2.0 + std::log2(static_cast<double>(config.columns - 1)));
+  EXPECT_LE(result.local_skew, bound);
+}
+
+TEST(Gcs, DeterministicForSeed) {
+  const GcsResult a = run_gcs(base_config(12, 7));
+  const GcsResult b = run_gcs(base_config(12, 7));
+  EXPECT_DOUBLE_EQ(a.local_skew, b.local_skew);
+  EXPECT_DOUBLE_EQ(a.global_skew, b.global_skew);
+}
+
+TEST(Gcs, TighterDelaysImproveSkew) {
+  GcsConfig coarse = base_config(16, 8);
+  coarse.u = 40.0;
+  GcsConfig fine = base_config(16, 8);
+  fine.u = 5.0;
+  const GcsResult a = run_gcs(coarse);
+  const GcsResult b = run_gcs(fine);
+  EXPECT_LT(b.local_skew, a.local_skew);
+}
+
+TEST(Gcs, RejectsZeroBoost) {
+  GcsConfig config = base_config(8, 9);
+  config.mu = 0.0;
+  EXPECT_THROW(run_gcs(config), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gtrix

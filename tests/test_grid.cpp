@@ -1,0 +1,130 @@
+#include "graph/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace gtrix {
+namespace {
+
+Grid make_grid(std::uint32_t columns, std::uint32_t layers) {
+  return Grid(BaseGraph::line_replicated(columns), layers);
+}
+
+TEST(Grid, NodeCountAndIds) {
+  const Grid g = make_grid(6, 4);
+  EXPECT_EQ(g.node_count(), g.base().node_count() * 4);
+  for (std::uint32_t l = 0; l < 4; ++l) {
+    for (BaseNodeId v = 0; v < g.base().node_count(); ++v) {
+      const GridNodeId id = g.id(v, l);
+      EXPECT_EQ(g.base_of(id), v);
+      EXPECT_EQ(g.layer_of(id), l);
+    }
+  }
+}
+
+TEST(Grid, Layer0HasNoPredecessors) {
+  const Grid g = make_grid(5, 3);
+  for (BaseNodeId v = 0; v < g.base().node_count(); ++v) {
+    EXPECT_TRUE(g.predecessors(g.id(v, 0)).empty());
+  }
+}
+
+TEST(Grid, LastLayerHasNoSuccessors) {
+  const Grid g = make_grid(5, 3);
+  for (BaseNodeId v = 0; v < g.base().node_count(); ++v) {
+    EXPECT_TRUE(g.successors(g.id(v, 2)).empty());
+  }
+}
+
+TEST(Grid, OwnCopyIsFirstPredecessor) {
+  const Grid g = make_grid(7, 5);
+  for (std::uint32_t l = 1; l < 5; ++l) {
+    for (BaseNodeId v = 0; v < g.base().node_count(); ++v) {
+      const auto preds = g.predecessors(g.id(v, l));
+      ASSERT_FALSE(preds.empty());
+      EXPECT_EQ(g.base_of(preds[0]), v);
+      EXPECT_EQ(g.layer_of(preds[0]), l - 1);
+    }
+  }
+}
+
+TEST(Grid, PredecessorsAreNeighboursOnPreviousLayer) {
+  const Grid g = make_grid(7, 3);
+  for (BaseNodeId v = 0; v < g.base().node_count(); ++v) {
+    const auto preds = g.predecessors(g.id(v, 2));
+    EXPECT_EQ(preds.size(), 1u + g.base().degree(v));
+    for (std::size_t i = 1; i < preds.size(); ++i) {
+      EXPECT_TRUE(g.base().has_edge(v, g.base_of(preds[i])));
+      EXPECT_EQ(g.layer_of(preds[i]), 1u);
+    }
+  }
+}
+
+TEST(Grid, InDegreeProfileMatchesFigure3) {
+  // Paper Fig. 3: most nodes have in-degree 3, some (neighbours of the
+  // replicated endpoints) have 4.
+  const Grid g = make_grid(8, 4);
+  std::map<std::size_t, int> histogram;
+  for (BaseNodeId v = 0; v < g.base().node_count(); ++v) {
+    ++histogram[g.predecessors(g.id(v, 2)).size()];
+  }
+  EXPECT_EQ(histogram[3], 8);  // 4 replicas + interior chain nodes
+  EXPECT_EQ(histogram[4], 2);  // the two interior nodes next to replicas
+  EXPECT_TRUE(histogram.find(5) == histogram.end());
+}
+
+TEST(Grid, SuccessorsMirrorPredecessors) {
+  const Grid g = make_grid(6, 4);
+  for (std::uint32_t l = 0; l + 1 < 4; ++l) {
+    for (BaseNodeId v = 0; v < g.base().node_count(); ++v) {
+      const GridNodeId from = g.id(v, l);
+      for (GridNodeId to : g.successors(from)) {
+        const auto preds = g.predecessors(to);
+        EXPECT_NE(std::find(preds.begin(), preds.end(), from), preds.end());
+      }
+    }
+  }
+}
+
+TEST(Grid, EdgeCountConsistent) {
+  const Grid g = make_grid(6, 4);
+  std::uint64_t via_preds = 0;
+  for (GridNodeId id = 0; id < g.node_count(); ++id) {
+    via_preds += g.predecessors(id).size();
+  }
+  EXPECT_EQ(g.edge_count(), via_preds);
+}
+
+TEST(Grid, NeighborPredCount) {
+  const Grid g = make_grid(6, 3);
+  for (BaseNodeId v = 0; v < g.base().node_count(); ++v) {
+    EXPECT_EQ(g.neighbor_pred_count(g.id(v, 1)), g.base().degree(v));
+  }
+}
+
+TEST(Grid, LabelsIncludeLayer) {
+  const Grid g = make_grid(4, 3);
+  const GridNodeId id = g.id(g.base().nodes_in_column(1).front(), 2);
+  EXPECT_EQ(g.label(id), "(v1, 2)");
+}
+
+TEST(Grid, SingleLayerIsValid) {
+  const Grid g = make_grid(4, 1);
+  EXPECT_EQ(g.node_count(), g.base().node_count());
+  for (GridNodeId id = 0; id < g.node_count(); ++id) {
+    EXPECT_TRUE(g.predecessors(id).empty());
+    EXPECT_TRUE(g.successors(id).empty());
+  }
+}
+
+TEST(Grid, CycleBaseGrid) {
+  const Grid g = Grid(BaseGraph::cycle(6), 3);
+  for (BaseNodeId v = 0; v < 6; ++v) {
+    EXPECT_EQ(g.predecessors(g.id(v, 1)).size(), 3u);  // own + 2 neighbours
+    EXPECT_EQ(g.successors(g.id(v, 1)).size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace gtrix

@@ -1,0 +1,81 @@
+// Lynch-Welch baseline [WL88]: complete graph, f < n/3 Byzantine nodes,
+// O(u) skew after convergence.
+#include <gtest/gtest.h>
+
+#include "baseline/lynch_welch.hpp"
+
+namespace gtrix {
+namespace {
+
+LynchWelchConfig base_config(std::uint64_t seed) {
+  LynchWelchConfig config;
+  config.seed = seed;
+  return config;
+}
+
+TEST(LynchWelch, ConvergesFromInitialSpread) {
+  const LynchWelchResult result = run_lynch_welch(base_config(1));
+  ASSERT_FALSE(result.skew_by_round.empty());
+  EXPECT_GT(result.skew_by_round.front(), 100.0);  // starts spread out
+  EXPECT_LT(result.final_skew, result.skew_by_round.front() / 4.0);
+}
+
+TEST(LynchWelch, ConvergedSkewIsOrderU) {
+  const LynchWelchResult result = run_lynch_welch(base_config(2));
+  // O(1) in the sense of Table 1: independent of any diameter, a small
+  // multiple of u plus drift per round.
+  EXPECT_LT(result.max_skew_after_convergence, 6.0 * 10.0);
+}
+
+TEST(LynchWelch, ToleratesByzantineMinority) {
+  LynchWelchConfig config = base_config(3);
+  config.n = 10;
+  config.f = 3;
+  config.byzantine = 3;
+  const LynchWelchResult result = run_lynch_welch(config);
+  EXPECT_LT(result.max_skew_after_convergence, 10.0 * 10.0);
+}
+
+TEST(LynchWelch, ByzantineBeyondFRejected) {
+  LynchWelchConfig config = base_config(4);
+  config.f = 2;
+  config.byzantine = 3;
+  EXPECT_THROW(run_lynch_welch(config), std::logic_error);
+}
+
+TEST(LynchWelch, RequiresNOverThreeBound) {
+  LynchWelchConfig config = base_config(5);
+  config.n = 6;
+  config.f = 2;  // 3f = 6 not < 6
+  EXPECT_THROW(run_lynch_welch(config), std::logic_error);
+}
+
+TEST(LynchWelch, SkewStableAcrossRounds) {
+  LynchWelchConfig config = base_config(6);
+  config.rounds = 40;
+  const LynchWelchResult result = run_lynch_welch(config);
+  // After convergence, no divergence in later rounds.
+  double late_max = 0.0;
+  for (std::size_t r = 20; r < result.skew_by_round.size(); ++r) {
+    late_max = std::max(late_max, result.skew_by_round[r]);
+  }
+  EXPECT_LT(late_max, 100.0);
+}
+
+TEST(LynchWelch, Deterministic) {
+  const LynchWelchResult a = run_lynch_welch(base_config(7));
+  const LynchWelchResult b = run_lynch_welch(base_config(7));
+  EXPECT_EQ(a.skew_by_round, b.skew_by_round);
+}
+
+TEST(LynchWelch, MoreNodesStillConverge) {
+  LynchWelchConfig config = base_config(8);
+  config.n = 16;
+  config.f = 5;
+  config.byzantine = 4;
+  const LynchWelchResult result = run_lynch_welch(config);
+  EXPECT_LT(result.final_skew, result.skew_by_round.front());
+}
+
+}  // namespace
+}  // namespace gtrix

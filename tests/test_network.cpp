@@ -1,0 +1,185 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/delay_model.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace gtrix {
+namespace {
+
+struct RecordingSink : PulseSink {
+  struct Item {
+    NetNodeId from;
+    EdgeId edge;
+    std::int64_t stamp;
+    SimTime at;
+  };
+  std::vector<Item> received;
+
+  void on_pulse(NetNodeId from, EdgeId edge, const Pulse& pulse, SimTime now) override {
+    received.push_back({from, edge, pulse.stamp, now});
+  }
+};
+
+TEST(Network, DeliversAfterEdgeDelay) {
+  Simulator sim;
+  Network net(sim);
+  RecordingSink sink;
+  const NetNodeId a = net.add_node(nullptr);
+  const NetNodeId b = net.add_node(&sink);
+  const EdgeId e = net.add_edge(a, b, 12.5);
+  sim.at(100.0, [&](SimTime) { net.send(e, Pulse{7}); });
+  sim.run_all();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.received[0].at, 112.5);
+  EXPECT_EQ(sink.received[0].stamp, 7);
+  EXPECT_EQ(sink.received[0].from, a);
+  EXPECT_EQ(sink.received[0].edge, e);
+}
+
+TEST(Network, BroadcastReachesAllOutEdges) {
+  Simulator sim;
+  Network net(sim);
+  RecordingSink s1, s2, s3;
+  const NetNodeId src = net.add_node(nullptr);
+  const NetNodeId n1 = net.add_node(&s1);
+  const NetNodeId n2 = net.add_node(&s2);
+  const NetNodeId n3 = net.add_node(&s3);
+  net.add_edge(src, n1, 1.0);
+  net.add_edge(src, n2, 2.0);
+  net.add_edge(src, n3, 3.0);
+  sim.at(0.0, [&](SimTime) { net.broadcast(src, Pulse{1}); });
+  sim.run_all();
+  EXPECT_EQ(s1.received.size(), 1u);
+  EXPECT_EQ(s2.received.size(), 1u);
+  EXPECT_EQ(s3.received.size(), 1u);
+  EXPECT_DOUBLE_EQ(s3.received[0].at, 3.0);
+}
+
+TEST(Network, NullSinkDropsSilently) {
+  Simulator sim;
+  Network net(sim);
+  const NetNodeId a = net.add_node(nullptr);
+  const NetNodeId b = net.add_node(nullptr);
+  const EdgeId e = net.add_edge(a, b, 1.0);
+  sim.at(0.0, [&](SimTime) { net.send(e, Pulse{1}); });
+  sim.run_all();
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST(Network, SetSinkRewires) {
+  Simulator sim;
+  Network net(sim);
+  RecordingSink sink;
+  const NetNodeId a = net.add_node(nullptr);
+  const NetNodeId b = net.add_node(nullptr);
+  const EdgeId e = net.add_edge(a, b, 1.0);
+  net.set_sink(b, &sink);
+  sim.at(0.0, [&](SimTime) { net.send(e, Pulse{2}); });
+  sim.run_all();
+  EXPECT_EQ(sink.received.size(), 1u);
+}
+
+TEST(Network, FindEdge) {
+  Simulator sim;
+  Network net(sim);
+  const NetNodeId a = net.add_node(nullptr);
+  const NetNodeId b = net.add_node(nullptr);
+  const NetNodeId c = net.add_node(nullptr);
+  const EdgeId ab = net.add_edge(a, b, 1.0);
+  EdgeId found = 0;
+  EXPECT_TRUE(net.find_edge(a, b, found));
+  EXPECT_EQ(found, ab);
+  EXPECT_FALSE(net.find_edge(a, c, found));
+}
+
+TEST(Network, EdgeAccessors) {
+  Simulator sim;
+  Network net(sim);
+  const NetNodeId a = net.add_node(nullptr);
+  const NetNodeId b = net.add_node(nullptr);
+  const EdgeId e = net.add_edge(a, b, 9.0);
+  EXPECT_EQ(net.edge_from(e), a);
+  EXPECT_EQ(net.edge_to(e), b);
+  EXPECT_DOUBLE_EQ(net.edge_delay(e), 9.0);
+  net.set_edge_delay(e, 4.0);
+  EXPECT_DOUBLE_EQ(net.edge_delay(e), 4.0);
+  EXPECT_EQ(net.out_edges(a).size(), 1u);
+  EXPECT_EQ(net.in_edges(b).size(), 1u);
+}
+
+TEST(Network, DelayModulationApplies) {
+  Simulator sim;
+  Network net(sim);
+  RecordingSink sink;
+  const NetNodeId a = net.add_node(nullptr);
+  const NetNodeId b = net.add_node(&sink);
+  const EdgeId e = net.add_edge(a, b, 10.0);
+  net.set_delay_modulation([](EdgeId, SimTime t) { return t >= 50.0 ? 5.0 : 0.0; });
+  sim.at(0.0, [&](SimTime) { net.send(e, Pulse{1}); });
+  sim.at(100.0, [&](SimTime) { net.send(e, Pulse{2}); });
+  sim.run_all();
+  ASSERT_EQ(sink.received.size(), 2u);
+  EXPECT_DOUBLE_EQ(sink.received[0].at, 10.0);
+  EXPECT_DOUBLE_EQ(sink.received[1].at, 115.0);
+}
+
+TEST(Network, InjectDeliversAtAbsoluteTime) {
+  Simulator sim;
+  Network net(sim);
+  RecordingSink sink;
+  const NetNodeId a = net.add_node(nullptr);
+  const NetNodeId b = net.add_node(&sink);
+  net.inject(a, b, Pulse{3}, 42.0);
+  sim.run_all();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.received[0].at, 42.0);
+}
+
+TEST(Network, NonPositiveDelayRejected) {
+  Simulator sim;
+  Network net(sim);
+  const NetNodeId a = net.add_node(nullptr);
+  const NetNodeId b = net.add_node(nullptr);
+  EXPECT_THROW(net.add_edge(a, b, 0.0), std::logic_error);
+  EXPECT_THROW(net.add_edge(a, b, -1.0), std::logic_error);
+}
+
+TEST(DelayModelTest, UniformStaysInRange) {
+  DelayModel model;
+  model.kind = DelayModelKind::kUniformRandom;
+  model.d = 100.0;
+  model.u = 10.0;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double delay = model.sample(0, 1, 0, 1, rng);
+    EXPECT_GE(delay, 90.0);
+    EXPECT_LE(delay, 100.0);
+  }
+}
+
+TEST(DelayModelTest, ExtremesAndSplit) {
+  Rng rng(6);
+  DelayModel model;
+  model.d = 100.0;
+  model.u = 10.0;
+  model.kind = DelayModelKind::kAllMax;
+  EXPECT_DOUBLE_EQ(model.sample(3, 4, 0, 1, rng), 100.0);
+  model.kind = DelayModelKind::kAllMin;
+  EXPECT_DOUBLE_EQ(model.sample(3, 4, 0, 1, rng), 90.0);
+  model.kind = DelayModelKind::kColumnSplit;
+  model.split_column = 4;
+  EXPECT_DOUBLE_EQ(model.sample(3, 4, 0, 1, rng), 90.0);  // from column < 4: fast
+  EXPECT_DOUBLE_EQ(model.sample(4, 5, 0, 1, rng), 100.0);
+  model.kind = DelayModelKind::kAlternating;
+  EXPECT_DOUBLE_EQ(model.sample(0, 2, 0, 1, rng), 100.0);
+  EXPECT_DOUBLE_EQ(model.sample(0, 3, 0, 1, rng), 90.0);
+}
+
+}  // namespace
+}  // namespace gtrix

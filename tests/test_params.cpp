@@ -1,0 +1,105 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gtrix {
+namespace {
+
+TEST(Params, KappaMatchesEquationOne) {
+  const Params p = Params::with(1000.0, 10.0, 1.0005);
+  // kappa = 2 (u + (1 - 1/theta)(Lambda - d))
+  const double expected = 2.0 * (10.0 + (1.0 - 1.0 / 1.0005) * 1000.0);
+  EXPECT_DOUBLE_EQ(p.kappa(), expected);
+}
+
+TEST(Params, KappaGrowsWithUncertaintyAndDrift) {
+  const Params base = Params::with(1000.0, 10.0, 1.0005);
+  const Params more_u = Params::with(1000.0, 20.0, 1.0005);
+  const Params more_theta = Params::with(1000.0, 10.0, 1.001);
+  EXPECT_GT(more_u.kappa(), base.kappa());
+  EXPECT_GT(more_theta.kappa(), base.kappa());
+}
+
+TEST(Params, WithSetsLambdaTwiceD) {
+  const Params p = Params::with(500.0, 5.0, 1.001);
+  EXPECT_DOUBLE_EQ(p.lambda, 1000.0);
+}
+
+TEST(Params, Thm11BoundFormula) {
+  const Params p = Params::with(1000.0, 10.0, 1.0005);
+  EXPECT_DOUBLE_EQ(p.thm11_bound(16), 4.0 * p.kappa() * (2.0 + 4.0));
+  EXPECT_DOUBLE_EQ(p.psi1_bound(16), 2.0 * p.kappa() * 16.0);
+  EXPECT_DOUBLE_EQ(p.global_skew_bound(16), 6.0 * p.kappa() * 16.0);
+}
+
+TEST(Params, Thm12BoundGrowsByFactorFive) {
+  const Params p = Params::with(1000.0, 10.0, 1.0005);
+  const double b0 = p.thm12_bound(16, 0);
+  const double b1 = p.thm12_bound(16, 1);
+  const double b2 = p.thm12_bound(16, 2);
+  // B_{i+1} = 5 B_i + 4 kappa (2 + log D) ... ratio slightly above 5.
+  EXPECT_NEAR(b1 / b0, 6.0, 1e-9);       // 5 * (1 + 1/5) / 1
+  EXPECT_NEAR(b2 / b1, 31.0 / 6.0, 1e-9);
+}
+
+TEST(Params, ValidationAcceptsSaneDefaults) {
+  const Params p = Params::with(1000.0, 10.0, 1.0005);
+  EXPECT_TRUE(p.valid_for(16, 1.1)) << p.validate(16, 1.1);
+}
+
+TEST(Params, ValidationRejectsTightLambda) {
+  Params p = Params::with(1000.0, 10.0, 1.0005);
+  p.lambda = 1050.0;  // barely above d: violates Eq. (2)
+  EXPECT_FALSE(p.valid_for(16, 1.0));
+  EXPECT_NE(p.validate(16, 1.0).find("Eq(2)"), std::string::npos);
+}
+
+TEST(Params, ValidationRejectsSmallD) {
+  // Huge uncertainty relative to d makes Eq. (3) fail.
+  const Params p = Params::with(100.0, 50.0, 1.0005);
+  EXPECT_FALSE(p.valid_for(16, 1.0));
+}
+
+TEST(Params, ValidationRejectsDegenerateInputs) {
+  Params p = Params::with(1000.0, 10.0, 1.0005);
+  p.theta = 1.0;
+  EXPECT_FALSE(p.valid_for(4, 1.0));
+  p = Params::with(1000.0, 10.0, 1.0005);
+  p.u = -1.0;
+  EXPECT_FALSE(p.valid_for(4, 1.0));
+  p = Params::with(1000.0, 10.0, 1.0005);
+  p.u = 2000.0;
+  EXPECT_FALSE(p.valid_for(4, 1.0));
+  p = Params::with(1000.0, 10.0, 1.0005);
+  p.lambda = 900.0;
+  EXPECT_FALSE(p.valid_for(4, 1.0));
+}
+
+TEST(Params, DeriveForProducesValidParams) {
+  for (std::uint32_t diameter : {4u, 16u, 64u, 256u, 1024u}) {
+    const Params p = Params::derive_for(diameter, 10.0, 1.0005, 1.2);
+    EXPECT_TRUE(p.valid_for(diameter, 1.2))
+        << "D=" << diameter << ": " << p.validate(diameter, 1.2);
+    EXPECT_DOUBLE_EQ(p.lambda, 2.0 * p.d);
+  }
+}
+
+TEST(Params, DeriveForScalesDWithDiameter) {
+  const Params small = Params::derive_for(8, 10.0, 1.0005, 1.2);
+  const Params large = Params::derive_for(512, 10.0, 1.0005, 1.2);
+  EXPECT_GT(large.d, small.d);
+}
+
+TEST(Params, DescribeMentionsAllFields) {
+  const std::string s = Params::with(1000.0, 10.0, 1.0005).describe();
+  EXPECT_NE(s.find("d="), std::string::npos);
+  EXPECT_NE(s.find("u="), std::string::npos);
+  EXPECT_NE(s.find("theta="), std::string::npos);
+  EXPECT_NE(s.find("Lambda="), std::string::npos);
+  EXPECT_NE(s.find("kappa="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gtrix

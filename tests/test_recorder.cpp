@@ -1,0 +1,129 @@
+#include "metrics/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gtrix {
+namespace {
+
+TEST(Recorder, RegisterAndQueryMeta) {
+  Recorder rec;
+  NodeMeta meta;
+  meta.layer = 3;
+  meta.column = 5;
+  meta.faulty = true;
+  rec.register_node(2, meta);
+  EXPECT_EQ(rec.node_count(), 3u);
+  EXPECT_EQ(rec.meta(2).layer, 3u);
+  EXPECT_TRUE(rec.meta(2).faulty);
+  EXPECT_FALSE(rec.meta(0).faulty);  // default-initialized gap
+}
+
+TEST(Recorder, PulseRoundTrip) {
+  Recorder rec;
+  rec.register_node(0, {});
+  rec.record_pulse(0, 5, 123.0);
+  EXPECT_EQ(rec.pulse_time(0, 5), std::optional<SimTime>(123.0));
+  EXPECT_FALSE(rec.pulse_time(0, 4).has_value());
+  EXPECT_FALSE(rec.pulse_time(0, 6).has_value());
+  EXPECT_FALSE(rec.pulse_time(1, 5).has_value());
+}
+
+TEST(Recorder, SigmaRangeTracksGlobalExtremes) {
+  Recorder rec;
+  rec.register_node(0, {});
+  rec.register_node(1, {});
+  EXPECT_EQ(rec.min_sigma(), Recorder::kInvalidSigma);
+  rec.record_pulse(0, 3, 1.0);
+  rec.record_pulse(1, 7, 2.0);
+  rec.record_pulse(0, -2, 3.0);
+  EXPECT_EQ(rec.min_sigma(), -2);
+  EXPECT_EQ(rec.max_sigma(), 7);
+}
+
+TEST(Recorder, GapsAreMissing) {
+  Recorder rec;
+  rec.register_node(0, {});
+  rec.record_pulse(0, 1, 10.0);
+  rec.record_pulse(0, 4, 40.0);
+  EXPECT_TRUE(rec.pulse_time(0, 1).has_value());
+  EXPECT_FALSE(rec.pulse_time(0, 2).has_value());
+  EXPECT_FALSE(rec.pulse_time(0, 3).has_value());
+  EXPECT_TRUE(rec.pulse_time(0, 4).has_value());
+}
+
+TEST(Recorder, BackwardsSigmaPrepends) {
+  Recorder rec;
+  rec.register_node(0, {});
+  rec.record_pulse(0, 10, 100.0);
+  rec.record_pulse(0, 7, 70.0);  // earlier wave recorded later
+  EXPECT_EQ(rec.pulse_time(0, 7), std::optional<SimTime>(70.0));
+  EXPECT_EQ(rec.pulse_time(0, 10), std::optional<SimTime>(100.0));
+  EXPECT_FALSE(rec.pulse_time(0, 8).has_value());
+}
+
+TEST(Recorder, OverwriteKeepsLatest) {
+  Recorder rec;
+  rec.register_node(0, {});
+  rec.record_pulse(0, 2, 20.0);
+  rec.record_pulse(0, 2, 21.0);
+  EXPECT_EQ(rec.pulse_time(0, 2), std::optional<SimTime>(21.0));
+}
+
+TEST(Recorder, SteadyFromSkipsWarmupPulses) {
+  Recorder rec;
+  rec.register_node(0, {});
+  rec.record_pulse(0, 1, 1.0);
+  rec.record_pulse(0, 3, 3.0);  // gap at 2
+  rec.record_pulse(0, 4, 4.0);
+  rec.record_pulse(0, 5, 5.0);
+  EXPECT_EQ(rec.steady_from(0, 0), 1);
+  EXPECT_EQ(rec.steady_from(0, 1), 3);  // gaps don't count
+  EXPECT_EQ(rec.steady_from(0, 2), 4);
+  EXPECT_EQ(rec.steady_from(0, 4), Recorder::kInvalidSigma);
+}
+
+TEST(Recorder, LastRecorded) {
+  Recorder rec;
+  rec.register_node(0, {});
+  EXPECT_EQ(rec.last_recorded(0), Recorder::kInvalidSigma);
+  rec.record_pulse(0, 2, 1.0);
+  rec.record_pulse(0, 6, 2.0);
+  EXPECT_EQ(rec.last_recorded(0), 6);
+}
+
+TEST(Recorder, IterationRecordsKeptInOrder) {
+  Recorder rec;
+  rec.register_node(0, {});
+  IterationRecord a;
+  a.sigma = 1;
+  a.correction = 1.5;
+  IterationRecord b;
+  b.sigma = 2;
+  b.correction = -0.5;
+  rec.record_iteration(0, a);
+  rec.record_iteration(0, b);
+  const auto& records = rec.iterations(0);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].sigma, 1);
+  EXPECT_DOUBLE_EQ(records[1].correction, -0.5);
+}
+
+TEST(Recorder, PulseCountAccumulates) {
+  Recorder rec;
+  rec.register_node(0, {});
+  rec.register_node(1, {});
+  rec.record_pulse(0, 1, 1.0);
+  rec.record_pulse(1, 1, 1.0);
+  rec.record_pulse(0, 2, 2.0);
+  EXPECT_EQ(rec.pulse_count(), 3u);
+}
+
+TEST(Recorder, UnregisteredNodeThrows) {
+  Recorder rec;
+  EXPECT_THROW(rec.record_pulse(0, 1, 1.0), std::logic_error);
+  IterationRecord r;
+  EXPECT_THROW(rec.record_iteration(3, r), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gtrix

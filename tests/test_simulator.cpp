@@ -1,0 +1,93 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace gtrix {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> observed;
+  sim.at(5.0, [&](SimTime) { observed.push_back(sim.now()); });
+  sim.at(2.0, [&](SimTime) { observed.push_back(sim.now()); });
+  sim.run_all();
+  EXPECT_EQ(observed, (std::vector<double>{2.0, 5.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, SchedulingIntoPastThrows) {
+  Simulator sim;
+  sim.at(3.0, [](SimTime) {});
+  sim.run_all();
+  EXPECT_THROW(sim.at(2.0, [](SimTime) {}), std::logic_error);
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.at(10.0, [&](SimTime) {
+    sim.after(5.0, [&](SimTime t) { fired_at = t; });
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.after(-1.0, [](SimTime) {}), std::logic_error);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&](SimTime) { ++fired; });
+  sim.at(2.0, [&](SimTime) { ++fired; });
+  sim.at(3.0, [&](SimTime) { ++fired; });
+  const auto executed = sim.run_until(2.0);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run_all();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesCursorEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, EventBudgetGuardsInfiniteLoops) {
+  Simulator sim;
+  std::function<void(SimTime)> loop = [&](SimTime) { sim.after(1.0, loop); };
+  sim.at(0.0, loop);
+  EXPECT_THROW(sim.run_all(100), std::logic_error);
+}
+
+TEST(Simulator, CancelWorksThroughSimulator) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.at(1.0, [&](SimTime) { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, ExecutedEventCountAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 17; ++i) sim.at(static_cast<double>(i), [](SimTime) {});
+  sim.run_all();
+  EXPECT_EQ(sim.executed_events(), 17u);
+}
+
+}  // namespace
+}  // namespace gtrix

@@ -1,0 +1,159 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace gtrix {
+namespace {
+
+TEST(Summary, EmptyState) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Rng rng(1);
+  Summary all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(1.0);
+  a.add(2.0);
+  Summary b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Quantile, MedianOdd) {
+  std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Quantile, MedianEvenInterpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  std::vector<double> xs = {4.0, 2.0, 8.0, 6.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 8.0);
+}
+
+TEST(Quantile, EmptyIsNaN) {
+  std::vector<double> xs;
+  EXPECT_TRUE(std::isnan(quantile(xs, 0.5)));
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 2.0);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(LinearFitTest, NoisyLineHasHighR2) {
+  Rng rng(2);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 + 0.5 * i + rng.normal(0.0, 0.5));
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 0.02);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(LinearFitTest, DegenerateInputs) {
+  std::vector<double> one = {1.0};
+  EXPECT_EQ(fit_linear(one, one).slope, 0.0);
+  std::vector<double> same_x = {2.0, 2.0, 2.0};
+  std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_EQ(fit_linear(same_x, ys).slope, 0.0);
+}
+
+TEST(LinearFitTest, Log2Fit) {
+  // y = 1 + 3 log2(x)
+  std::vector<double> xs = {2, 4, 8, 16, 32};
+  std::vector<double> ys = {4, 7, 10, 13, 16};
+  const LinearFit fit = fit_log2(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps to bin 0
+  h.add(0.5);    // bin 0
+  h.add(5.0);    // bin 2
+  h.add(100.0);  // clamps to bin 4
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+}
+
+TEST(HistogramTest, RenderContainsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.75);
+  h.add(0.8);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gtrix
