@@ -6,14 +6,26 @@
 // algorithm while the real uncertainty stays fixed) and reports skew and
 // condition violations: undersized kappa breaks the slow/fast/jump
 // conditions, oversized kappa just inflates the skew linearly.
+//
+// The sweep points are independent simulations, so they run through the
+// parallel sweep machinery (runner/sweep.hpp); rows print in input order.
 #include <cstdio>
+#include <vector>
 
 #include "runner/experiment.hpp"
+#include "runner/sweep.hpp"
 #include "support/flags.hpp"
 #include "support/table.hpp"
 
 namespace gtrix {
 namespace {
+
+struct SweepPoint {
+  double mult = 0.0;
+  ExperimentConfig config;
+  SkewReport skew;
+  ConditionReport report;
+};
 
 int run(int argc, char** argv) {
   const Flags flags(argc, argv);
@@ -21,6 +33,7 @@ int run(int argc, char** argv) {
   const std::uint32_t columns = static_cast<std::uint32_t>(
       flags.get_int("columns", large ? 24 : 12));
   const auto seed = flags.get_u64("seed", 1);
+  const auto threads = static_cast<unsigned>(flags.get_int("threads", 0));
 
   const double real_u = 10.0;
   const double theta = 1.0005;
@@ -31,8 +44,7 @@ int run(int argc, char** argv) {
               "   scaled by the multiplier. kappa(Eq.1) = %.2f\n\n",
               real_u, reference.kappa());
 
-  Table table({"kappa mult", "algo kappa", "L last layer", "L/kappa_ref", "SC viol",
-               "FC viol", "JC viol", "median viol"});
+  std::vector<SweepPoint> points;
   for (const double mult : {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0}) {
     ExperimentConfig config;
     config.columns = columns;
@@ -57,23 +69,36 @@ int run(int argc, char** argv) {
                                                        : -4.0 * reference.kappa();
     }
     config.faults = {{columns / 2, columns / 2, FaultSpec::crash()}};
-    World world(config);
+    SweepPoint point;
+    point.mult = mult;
+    point.config = std::move(config);
+    points.push_back(std::move(point));
+  }
+
+  parallel_for_index(points.size(), threads, [&](std::size_t i) {
+    SweepPoint& point = points[i];
+    World world(point.config);
     world.run_to_completion();
-    const SkewReport skew = world.skew();
+    point.skew = world.skew();
     // Conditions are checked against the REAL parameters: does the run
     // still satisfy what the analysis needs?
     const GridTrace trace = world.trace();
-    const auto [lo, hi] = default_window(world.recorder(), config.warmup);
-    const ConditionReport report = check_conditions(trace, reference, 5, lo, hi);
+    const auto [lo, hi] = default_window(world.recorder(), point.config.warmup);
+    point.report = check_conditions(trace, reference, 5, lo, hi);
+  });
+
+  Table table({"kappa mult", "algo kappa", "L last layer", "L/kappa_ref", "SC viol",
+               "FC viol", "JC viol", "median viol"});
+  for (const SweepPoint& point : points) {
     table.row()
-        .add(mult, 2)
-        .add(config.params.kappa(), 2)
-        .add(skew.intra_by_layer.back(), 1)
-        .add(skew.intra_by_layer.back() / reference.kappa(), 2)
-        .add(report.sc_violations)
-        .add(report.fc_violations)
-        .add(report.jc_violations)
-        .add(report.median_violations);
+        .add(point.mult, 2)
+        .add(point.config.params.kappa(), 2)
+        .add(point.skew.intra_by_layer.back(), 1)
+        .add(point.skew.intra_by_layer.back() / reference.kappa(), 2)
+        .add(point.report.sc_violations)
+        .add(point.report.fc_violations)
+        .add(point.report.jc_violations)
+        .add(point.report.median_violations);
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("reading: kappa below the Eq.(1) value leaves margins smaller than the\n"

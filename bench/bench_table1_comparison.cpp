@@ -8,12 +8,15 @@
 //  * naive TRIX's skew grows with D under adversarial (split) delays,
 //  * HEX pays ~d after a crash; Gradient TRIX pays O(kappa).
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "baseline/hex.hpp"
 #include "baseline/lynch_welch.hpp"
 #include "gcs/gcs.hpp"
 #include "runner/experiment.hpp"
+#include "runner/sweep.hpp"
+#include "support/check.hpp"
 #include "support/flags.hpp"
 #include "support/table.hpp"
 
@@ -126,51 +129,87 @@ int run(int argc, char** argv) {
   std::vector<std::uint32_t> sizes = {8, 16, 32};
   if (large) sizes = {8, 16, 32, 64, 128};
   const auto seed = flags.get_u64("seed", 1);
+  const auto threads = static_cast<unsigned>(flags.get_int("threads", 0));
 
   std::printf("== Table 1: method comparison (measured skews, same substrate) ==\n");
   std::printf("   delay model: adversarial column split (worst case for TRIX);\n");
   std::printf("   'crash' adds one crash fault mid-grid. Time unit: d = 1000.\n\n");
 
-  Table table({"method", "scenario", "D", "local skew", "global skew", "paper bound"});
-  // Complete-graph reference rows (diameter 1; no grid scenario applies).
-  const Row lw_clean = run_lw_row(seed, false);
-  table.row().add(lw_clean.method).add("fault-free").add(std::uint64_t{1});
-  table.add(lw_clean.local, 1).add(lw_clean.global, 1).add(lw_clean.paper_bound);
-  const Row lw_byz = run_lw_row(seed, true);
-  table.row().add(lw_byz.method).add("5/16 Byzantine").add(std::uint64_t{1});
-  table.add(lw_byz.local, 1).add(lw_byz.global, 1).add(lw_byz.paper_bound);
+  // Every row is an independent simulation (each harness builds its own
+  // Simulator), so the whole table is computed as one parallel fan-out and
+  // rendered in input order afterwards.
+  struct Cell {
+    std::string scenario;
+    std::function<Row()> task;
+    Row row;
+  };
+  std::vector<Cell> cells;
+  auto plan = [&cells](std::string scenario, std::function<Row()> task) {
+    cells.push_back(Cell{std::move(scenario), std::move(task), Row{}});
+  };
+  plan("fault-free", [seed] { return run_lw_row(seed, false); });
+  plan("5/16 Byzantine", [seed] { return run_lw_row(seed, true); });
+  // The shape checks below reuse table cells instead of re-simulating them;
+  // remember the relevant indices while planning.
+  std::size_t idx_trix_small = 0, idx_trix_big = 0, idx_grad_small = 0, idx_grad_big = 0;
+  std::size_t idx_hex16_crash = cells.size();  // sentinel: not planned yet
   for (const std::uint32_t columns : sizes) {
     for (const bool crash : {false, true}) {
       const char* scenario = crash ? "1 crash" : "fault-free";
-      const Row gcs = run_gcs_row(columns, crash, seed);
-      table.row().add(gcs.method).add(scenario).add(static_cast<std::uint64_t>(gcs.diameter));
-      table.add(gcs.local, 1).add(gcs.global, 1).add(gcs.paper_bound);
-      const Row hex = run_hex_row(columns, crash, seed);
-      table.row().add(hex.method).add(scenario).add(static_cast<std::uint64_t>(hex.diameter));
-      table.add(hex.local, 1).add("-").add(hex.paper_bound);
-      const Row trix = run_trix(columns, crash, DelayModelKind::kColumnSplit, seed);
-      table.row().add(trix.method).add(scenario).add(static_cast<std::uint64_t>(trix.diameter));
-      table.add(trix.local, 1).add(trix.global, 1).add(trix.paper_bound);
-      const Row grad = run_gradient(columns, crash, DelayModelKind::kColumnSplit, seed);
-      table.row().add(grad.method).add(scenario).add(static_cast<std::uint64_t>(grad.diameter));
-      table.add(grad.local, 1).add(grad.global, 1).add(grad.paper_bound);
+      plan(scenario, [columns, crash, seed] { return run_gcs_row(columns, crash, seed); });
+      plan(scenario, [columns, crash, seed] { return run_hex_row(columns, crash, seed); });
+      if (crash && columns == 16) idx_hex16_crash = cells.size() - 1;
+      plan(scenario, [columns, crash, seed] {
+        return run_trix(columns, crash, DelayModelKind::kColumnSplit, seed);
+      });
+      if (!crash && columns == sizes.front()) idx_trix_small = cells.size() - 1;
+      if (!crash && columns == sizes.back()) idx_trix_big = cells.size() - 1;
+      plan(scenario, [columns, crash, seed] {
+        return run_gradient(columns, crash, DelayModelKind::kColumnSplit, seed);
+      });
+      if (!crash && columns == sizes.front()) idx_grad_small = cells.size() - 1;
+      if (!crash && columns == sizes.back()) idx_grad_big = cells.size() - 1;
     }
+  }
+  // Cells that only the shape checks need ride along in the same fan-out.
+  const std::size_t shape_base = cells.size();
+  GTRIX_CHECK_MSG(idx_hex16_crash < shape_base, "size list must include 16");
+  const std::size_t idx_grad16_random = cells.size();
+  plan("shape", [seed] {
+    return run_gradient(16, true, DelayModelKind::kUniformRandom, seed);
+  });
+
+  parallel_for_index(cells.size(), threads,
+                     [&](std::size_t i) { cells[i].row = cells[i].task(); });
+
+  Table table({"method", "scenario", "D", "local skew", "global skew", "paper bound"});
+  for (std::size_t i = 0; i < shape_base; ++i) {
+    const Cell& cell = cells[i];
+    table.row().add(cell.row.method).add(cell.scenario);
+    table.add(static_cast<std::uint64_t>(cell.row.diameter));
+    table.add(cell.row.local, 1);
+    if (cell.row.method == "HEX") {
+      table.add("-");
+    } else {
+      table.add(cell.row.global, 1);
+    }
+    table.add(cell.row.paper_bound);
   }
   std::printf("%s\n", table.render().c_str());
 
   std::printf("shape checks (paper Table 1):\n");
-  const Row trix_small = run_trix(sizes.front(), false, DelayModelKind::kColumnSplit, seed);
-  const Row trix_big = run_trix(sizes.back(), false, DelayModelKind::kColumnSplit, seed);
-  const Row grad_small = run_gradient(sizes.front(), false, DelayModelKind::kColumnSplit, seed);
-  const Row grad_big = run_gradient(sizes.back(), false, DelayModelKind::kColumnSplit, seed);
+  const Row& trix_small = cells[idx_trix_small].row;
+  const Row& trix_big = cells[idx_trix_big].row;
+  const Row& grad_small = cells[idx_grad_small].row;
+  const Row& grad_big = cells[idx_grad_big].row;
   std::printf("  TRIX local skew growth  D=%u -> D=%u : %.1f -> %.1f (x%.2f; linear in D)\n",
               trix_small.diameter, trix_big.diameter, trix_small.local, trix_big.local,
               trix_big.local / trix_small.local);
   std::printf("  GTRIX local skew growth D=%u -> D=%u : %.1f -> %.1f (x%.2f; ~log D)\n",
               grad_small.diameter, grad_big.diameter, grad_small.local, grad_big.local,
               grad_big.local / grad_small.local);
-  const Row hex_crash = run_hex_row(16, true, seed);
-  const Row grad_crash = run_gradient(16, true, DelayModelKind::kUniformRandom, seed);
+  const Row& hex_crash = cells[idx_hex16_crash].row;
+  const Row& grad_crash = cells[idx_grad16_random].row;
   std::printf("  crash cost at D=15: HEX %.1f (~d=1000) vs GradientTRIX %.1f (~kappa)\n",
               hex_crash.local, grad_crash.local);
   return 0;

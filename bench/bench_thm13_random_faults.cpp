@@ -6,11 +6,15 @@
 // self-stabilizing gradient machinery to flatten each disturbance before
 // the next one lands nearby. Sweep p (parameterized as p * sqrt(n)) over
 // many seeds and report skew quantiles.
+//
+// All (p, seed) cells are independent experiments; the whole matrix is
+// dispatched in one SweepRunner fan-out and aggregated per row afterwards.
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "runner/experiment.hpp"
+#include "runner/sweep.hpp"
 #include "support/flags.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -25,24 +29,27 @@ int run(int argc, char** argv) {
       flags.get_int("columns", large ? 32 : 16));
   const std::uint32_t layers = columns;
   const int seeds = static_cast<int>(flags.get_int("seeds", large ? 20 : 8));
+  const auto threads = static_cast<unsigned>(flags.get_int("threads", 0));
 
   const Grid grid(BaseGraph::line_replicated(columns), layers);
   const double n = static_cast<double>(grid.node_count());
   const Params params = Params::with(1000.0, 10.0, 1.0005);
   const double bound = params.thm11_bound(columns - 1);
 
+  const SweepRunner runner(SweepOptions{threads});
   std::printf("== Theorem 1.3: random i.i.d. faults, skew vs p ==\n");
   std::printf("   grid %ux%u (n=%u), %d seeds per row; mixed crash/offset/split faults\n"
-              "   bound: O(kappa log D); reference 4k(2+lgD) = %.1f\n\n",
-              columns, layers, grid.node_count(), seeds, bound);
+              "   bound: O(kappa log D); reference 4k(2+lgD) = %.1f; %u sweep threads\n\n",
+              columns, layers, grid.node_count(), seeds, bound, runner.thread_count());
 
-  Table table({"p*sqrt(n)", "p", "mean #faults", "skew mean", "skew p95", "skew max",
-               "max/bound"});
-  for (const double scaled : {0.0, 0.125, 0.25, 0.5, 1.0}) {
-    const double p = scaled / std::sqrt(n);
-    Summary skews;
-    Summary fault_counts;
-    std::vector<double> all;
+  const std::vector<double> scaled_ps = {0.0, 0.125, 0.25, 0.5, 1.0};
+
+  // Build the full (p, seed) config matrix up front; each config carries its
+  // own fault plan drawn from a seed-derived RNG, so cells stay independent.
+  std::vector<ExperimentConfig> configs;
+  std::vector<std::size_t> fault_count(scaled_ps.size() * static_cast<std::size_t>(seeds));
+  for (std::size_t row = 0; row < scaled_ps.size(); ++row) {
+    const double p = scaled_ps[row] / std::sqrt(n);
     for (int s = 0; s < seeds; ++s) {
       ExperimentConfig config;
       config.columns = columns;
@@ -58,14 +65,30 @@ int run(int argc, char** argv) {
         if (i % 3 == 1) faults[i].spec = FaultSpec::static_offset(150.0);
         if (i % 3 == 2) faults[i].spec = FaultSpec::split(100.0);
       }
-      config.faults = faults;
-      const ExperimentResult result = run_experiment(config);
-      skews.add(result.skew.max_intra);
-      all.push_back(result.skew.max_intra);
-      fault_counts.add(static_cast<double>(faults.size()));
+      fault_count[configs.size()] = faults.size();
+      config.faults = std::move(faults);
+      configs.push_back(std::move(config));
+    }
+  }
+
+  const std::vector<ExperimentResult> results = runner.run(configs);
+
+  Table table({"p*sqrt(n)", "p", "mean #faults", "skew mean", "skew p95", "skew max",
+               "max/bound"});
+  for (std::size_t row = 0; row < scaled_ps.size(); ++row) {
+    const double p = scaled_ps[row] / std::sqrt(n);
+    Summary skews;
+    Summary fault_counts;
+    std::vector<double> all;
+    for (int s = 0; s < seeds; ++s) {
+      const std::size_t cell = row * static_cast<std::size_t>(seeds) +
+                               static_cast<std::size_t>(s);
+      skews.add(results[cell].skew.max_intra);
+      all.push_back(results[cell].skew.max_intra);
+      fault_counts.add(static_cast<double>(fault_count[cell]));
     }
     table.row()
-        .add(scaled, 3)
+        .add(scaled_ps[row], 3)
         .add(p, 6)
         .add(fault_counts.mean(), 1)
         .add(skews.mean(), 1)

@@ -20,7 +20,11 @@ struct HexNodeState {
   bool crashed = false;
 };
 
-struct HexSim {
+struct HexSim final : TimerTarget {
+  /// Payload conventions: kReceive a=column, b=layer, i=wave;
+  /// kSourceEmit a=column, i=wave.
+  enum TimerKind : std::uint32_t { kReceive = 1, kSourceEmit = 2 };
+
   const HexConfig& cfg;
   Simulator sim;
   Rng rng;
@@ -71,7 +75,21 @@ struct HexSim {
   }
 
   void deliver(std::uint32_t c, std::uint32_t l, std::int64_t wave, SimTime t) {
-    sim.at(t, [this, c, l, wave](SimTime now) { receive(c, l, wave, now); });
+    sim.at(t, this, kReceive, EventPayload{.a = c, .b = l, .i = wave});
+  }
+
+  void on_timer(const Event& event) override {
+    const EventPayload& p = event.payload;
+    if (event.kind == kReceive) {
+      receive(p.a, p.b, p.i, event.time);
+      return;
+    }
+    // kSourceEmit: a layer-0 emitter fires wave k and feeds the next layer.
+    ++fired;
+    times[p.a][0][static_cast<std::size_t>(p.i)] = event.time;
+    for (const auto& [nc, nl] : up_neighbors(p.a, 0)) {
+      deliver(nc, nl, p.i, event.time + edge_delay());
+    }
   }
 
   void receive(std::uint32_t c, std::uint32_t l, std::int64_t wave, SimTime now) {
@@ -109,14 +127,7 @@ struct HexSim {
       if (state[index(c, 0)].crashed) continue;
       for (std::int64_t k = 1; k <= cfg.pulses; ++k) {
         const SimTime t = static_cast<double>(k) * cfg.period + offsets[c];
-        sim.at(t, [this, c, k](SimTime now) {
-          ++fired;
-          times[c][0][static_cast<std::size_t>(k)] = now;
-          // Layer-0 nodes only feed the next layer.
-          for (const auto& [nc, nl] : up_neighbors(c, 0)) {
-            deliver(nc, nl, k, now + edge_delay());
-          }
-        });
+        sim.at(t, this, kSourceEmit, EventPayload{.a = c, .i = k});
       }
     }
     sim.run_all();

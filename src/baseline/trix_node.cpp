@@ -49,13 +49,15 @@ void TrixNaiveNode::process(NetNodeId from, LocalTime h, Sigma sigma, SimTime /*
     // Second copy: forward after the nominal wait (the paper's "wait for
     // the second copy of each pulse before forwarding", Fig. 1).
     armed_ = true;
-    const std::uint64_t gen = ++gen_;
     const LocalTime target = h + params_.lambda - params_.d;
-    sim_.at(clock_.to_real(target), [this, gen, target](SimTime t) {
-      if (gen != gen_) return;
-      fire(t, target);
-    });
+    fire_timer_ =
+        sim_.at(clock_.to_real(target), this, kFire, EventPayload{.f = target});
   }
+}
+
+void TrixNaiveNode::on_timer(const Event& event) {
+  fire_timer_.reset();
+  fire(event.time, event.payload.f);
 }
 
 void TrixNaiveNode::fire(SimTime now, LocalTime fire_local) {
@@ -79,7 +81,7 @@ void TrixNaiveNode::reset() {
   slot_sigma_.fill(0);
   seen_count_ = 0;
   armed_ = false;
-  ++gen_;
+  sim_.cancel(fire_timer_);
 }
 
 Sigma TrixNaiveNode::estimate_sigma() const {

@@ -19,16 +19,20 @@
 
 namespace gtrix {
 
-class TrixNaiveNode final : public PulseSink {
+class TrixNaiveNode final : public PulseSink, public TimerTarget {
  public:
   TrixNaiveNode(Simulator& sim, Network& net, NetNodeId self, HardwareClock clock,
                 std::vector<NetNodeId> preds, Params params, Recorder* recorder);
 
   void on_pulse(NetNodeId from, EdgeId edge, const Pulse& pulse, SimTime now) override;
 
+  void on_timer(const Event& event) override;
+
   std::uint64_t pulses_forwarded() const noexcept { return forwarded_; }
 
  private:
+  enum TimerKind : std::uint32_t { kFire = 1 };
+
   static constexpr std::size_t kMaxSlots = 5;
   static constexpr std::size_t kPendingCap = 16;
 
@@ -56,7 +60,7 @@ class TrixNaiveNode final : public PulseSink {
   std::array<bool, kMaxSlots> seen_{};
   std::array<Sigma, kMaxSlots> slot_sigma_{};
   std::size_t seen_count_ = 0;
-  std::uint64_t gen_ = 0;
+  TimerHandle fire_timer_;
   std::deque<PendingMsg> pending_;
   std::uint64_t forwarded_ = 0;
 };

@@ -142,19 +142,11 @@ void GradientTrixNode::update_until(SimTime now, LocalTime now_local) {
 }
 
 void GradientTrixNode::arm_until_timer(LocalTime threshold) {
-  if (until_event_) {
-    sim_.cancel(*until_event_);
-    until_event_.reset();
-  }
-  const std::uint64_t gen = ++until_gen_;
+  sim_.cancel(until_timer_);
   const SimTime fire_at = std::max(clock_.to_real(threshold), sim_.now());
-  until_event_ = sim_.at(fire_at, [this, gen, threshold](SimTime now) {
-    if (gen != until_gen_ || phase_ != Phase::kCollect) return;
-    until_event_.reset();
-    // Pass the exact local threshold so the branch test below compares the
-    // same floating-point value that defined the deadline.
-    exit_collect(now, threshold);
-  });
+  // The exact local threshold rides along in the payload so the fire path
+  // compares the same floating-point value that defined the deadline.
+  until_timer_ = sim_.at(fire_at, this, kUntilTimer, EventPayload{.f = threshold});
 }
 
 void GradientTrixNode::arm_watchdog() {
@@ -162,36 +154,45 @@ void GradientTrixNode::arm_watchdog() {
   // all remaining correct pulses must follow within theta (2 L + u) local
   // time; if neither the own-copy nor the last neighbour pulse shows up, the
   // stored partial state stems from a spurious message and is cleared.
-  const std::uint64_t gen = ++watchdog_gen_;
+  sim_.cancel(watchdog_timer_);
   const double interval =
       config_.params.theta * (2.0 * config_.skew_bound_hint + config_.params.u);
   const LocalTime fire_local = clock_.to_local(sim_.now()) + interval;
-  sim_.at(clock_.to_real(fire_local), [this, gen](SimTime /*now*/) {
-    if (gen != watchdog_gen_ || phase_ != Phase::kCollect) return;
-    if (std::isfinite(h_min_) && !std::isfinite(h_own_) && !std::isfinite(h_max_)) {
-      h_min_ = kLocalInfinity;
-      for (std::size_t i = 1; i < preds_.size(); ++i) {
-        r_[i] = false;
-        slot_seen_[i] = false;
-        slot_sigma_[i] = 0;
+  watchdog_timer_ = sim_.at(clock_.to_real(fire_local), this, kWatchdogTimer);
+}
+
+void GradientTrixNode::on_timer(const Event& event) {
+  switch (event.kind) {
+    case kUntilTimer:
+      until_timer_.reset();  // fired; the handle is stale
+      if (phase_ != Phase::kCollect) return;
+      exit_collect(event.time, event.payload.f);
+      return;
+    case kBroadcastTimer:
+      broadcast_timer_.reset();
+      if (phase_ != Phase::kWaitBroadcast) return;
+      do_broadcast(event.time, event.payload.f);
+      return;
+    case kWatchdogTimer:
+      watchdog_timer_.reset();
+      if (phase_ != Phase::kCollect) return;
+      if (std::isfinite(h_min_) && !std::isfinite(h_own_) && !std::isfinite(h_max_)) {
+        h_min_ = kLocalInfinity;
+        for (std::size_t i = 1; i < preds_.size(); ++i) {
+          r_[i] = false;
+          slot_seen_[i] = false;
+          slot_sigma_[i] = 0;
+        }
+        ++counters_.watchdog_resets;
+        sim_.cancel(until_timer_);  // any armed until-timer is now meaningless
       }
-      ++counters_.watchdog_resets;
-      ++until_gen_;  // any armed until-timer is now meaningless
-      if (until_event_) {
-        sim_.cancel(*until_event_);
-        until_event_.reset();
-      }
-    }
-  });
+      return;
+  }
 }
 
 void GradientTrixNode::exit_collect(SimTime now, LocalTime now_local) {
-  ++until_gen_;
-  if (until_event_) {
-    sim_.cancel(*until_event_);
-    until_event_.reset();
-  }
-  ++watchdog_gen_;
+  sim_.cancel(until_timer_);
+  sim_.cancel(watchdog_timer_);
 
   const Params& p = config_.params;
   const double kappa = p.kappa();
@@ -272,6 +273,7 @@ void GradientTrixNode::schedule_broadcast(SimTime now, LocalTime target,
                                           IterationRecord record) {
   staged_record_ = record;
   phase_ = Phase::kWaitBroadcast;
+  sim_.cancel(broadcast_timer_);  // supersede any stale armed broadcast
   const LocalTime now_local = clock_.to_local(now);
   if (target <= now_local) {
     // "wait until H(t) = X" with X already reached: act immediately. This
@@ -282,15 +284,12 @@ void GradientTrixNode::schedule_broadcast(SimTime now, LocalTime target,
     do_broadcast(now, now_local);
     return;
   }
-  const std::uint64_t gen = ++broadcast_gen_;
-  sim_.at(clock_.to_real(target), [this, gen, target](SimTime t) {
-    if (gen != broadcast_gen_ || phase_ != Phase::kWaitBroadcast) return;
-    do_broadcast(t, target);
-  });
+  broadcast_timer_ =
+      sim_.at(clock_.to_real(target), this, kBroadcastTimer, EventPayload{.f = target});
 }
 
 void GradientTrixNode::do_broadcast(SimTime now, LocalTime fire_local) {
-  ++broadcast_gen_;  // invalidate any still-armed broadcast timer
+  sim_.cancel(broadcast_timer_);  // no-op when called from the timer itself
   staged_record_.pulse_time = now;
   staged_record_.pulse_local = fire_local;
   last_sigma_ = staged_record_.sigma;
@@ -317,12 +316,8 @@ void GradientTrixNode::reset_iteration_state() {
   r_.fill(false);
   slot_seen_.fill(false);
   slot_sigma_.fill(0);
-  ++until_gen_;
-  ++watchdog_gen_;
-  if (until_event_) {
-    sim_.cancel(*until_event_);
-    until_event_.reset();
-  }
+  sim_.cancel(until_timer_);
+  sim_.cancel(watchdog_timer_);
 }
 
 void GradientTrixNode::drain_pending(SimTime now) {

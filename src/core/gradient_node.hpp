@@ -19,7 +19,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <optional>
 #include <vector>
 
 #include "clock/hardware_clock.hpp"
@@ -72,7 +71,7 @@ struct GradientNodeConfig {
   std::uint32_t trim = 0;
 };
 
-class GradientTrixNode final : public PulseSink {
+class GradientTrixNode final : public PulseSink, public TimerTarget {
  public:
   /// `preds` lists the network ids of the predecessors, own copy first --
   /// exactly Grid::predecessors mapped to network ids. The clock is owned.
@@ -84,6 +83,12 @@ class GradientTrixNode final : public PulseSink {
   GradientTrixNode& operator=(const GradientTrixNode&) = delete;
 
   void on_pulse(NetNodeId from, EdgeId edge, const Pulse& pulse, SimTime now) override;
+
+  /// Typed-event dispatch for the node's three timers (until / broadcast /
+  /// watchdog). Each is tracked by a cancellable TimerHandle; firing or
+  /// cancelling invalidates the handle, so no generation bookkeeping is
+  /// needed at this level.
+  void on_timer(const Event& event) override;
 
   /// Replaces the default broadcast with a custom emitter (fault wrappers).
   /// Arguments: the pulse the node would have broadcast, and the time.
@@ -111,6 +116,11 @@ class GradientTrixNode final : public PulseSink {
 
  private:
   enum class Phase { kCollect, kWaitBroadcast };
+
+  /// Timer kinds. kUntilTimer / kBroadcastTimer carry the local-time
+  /// threshold in payload.f so the fire path compares the exact floating-
+  /// point value that defined the deadline.
+  enum TimerKind : std::uint32_t { kUntilTimer = 1, kBroadcastTimer = 2, kWatchdogTimer = 3 };
 
   static constexpr std::size_t kMaxSlots = IterationRecord::kMaxSlots;
   static constexpr std::size_t kPendingCap = 16;
@@ -154,11 +164,11 @@ class GradientTrixNode final : public PulseSink {
   std::array<Sigma, kMaxSlots> slot_sigma_{};
   std::deque<PendingMsg> pending_;
 
-  // Timer bookkeeping. Generation counters invalidate stale timer lambdas.
-  std::uint64_t until_gen_ = 0;
-  std::optional<EventId> until_event_;
-  std::uint64_t broadcast_gen_ = 0;
-  std::uint64_t watchdog_gen_ = 0;
+  // Timer bookkeeping: one cancellable handle per timer. Handles go stale
+  // automatically when a timer fires, so a reset is always safe.
+  TimerHandle until_timer_;
+  TimerHandle broadcast_timer_;
+  TimerHandle watchdog_timer_;
 
   IterationRecord staged_record_{};  // filled at exit_collect, recorded at fire
   Sigma last_sigma_ = 0;             // wave label of the last broadcast

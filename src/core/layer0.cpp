@@ -16,13 +16,20 @@ ClockSource::ClockSource(Simulator& sim, Network& net, NetNodeId self, Params pa
       recorder_(recorder) {}
 
 void ClockSource::start() {
-  for (std::int64_t k = 1; k <= pulse_count_; ++k) {
-    const SimTime t = static_cast<double>(k - 1) * params_.lambda;
-    const Sigma sigma = k - 1;
-    sim_.at(t, [this, sigma](SimTime now) {
-      if (recorder_ != nullptr) recorder_->record_pulse(self_, sigma, now);
-      net_.broadcast(self_, Pulse{sigma});
-    });
+  if (pulse_count_ < 1) return;
+  sim_.at(0.0, this, kEmit, EventPayload{.i = 1});
+}
+
+void ClockSource::on_timer(const Event& event) {
+  const std::int64_t k = event.payload.i;
+  const Sigma sigma = k - 1;
+  if (recorder_ != nullptr) recorder_->record_pulse(self_, sigma, event.time);
+  net_.broadcast(self_, Pulse{sigma});
+  if (k < pulse_count_) {
+    // Pulse k+1 fires at k * Lambda; computed from the index (not
+    // accumulated) so the chain reproduces the exact schedule.
+    sim_.at(static_cast<double>(k) * params_.lambda, this, kEmit,
+            EventPayload{.i = k + 1});
   }
 }
 
@@ -44,12 +51,17 @@ void Layer0LineNode::on_pulse(NetNodeId from, EdgeId /*edge*/, const Pulse& puls
   // what makes the scheme self-stabilizing (proof of Lemma A.1).
   stored_h_ = clock_.to_local(now);
   out_sigma_ = pulse.stamp + 1;  // each line hop advances the wave label
-  const std::uint64_t gen = ++gen_;
-  const LocalTime target = stored_h_ + params_.lambda - params_.d;
-  sim_.at(clock_.to_real(target), [this, gen](SimTime t) {
-    if (gen != gen_) return;  // superseded by a newer reception
-    broadcast(t);
-  });
+  arm_broadcast(stored_h_ + params_.lambda - params_.d);
+}
+
+void Layer0LineNode::arm_broadcast(LocalTime target) {
+  sim_.cancel(broadcast_timer_);  // a pending broadcast is superseded
+  broadcast_timer_ = sim_.at(clock_.to_real(target), this, kBroadcast);
+}
+
+void Layer0LineNode::on_timer(const Event& event) {
+  broadcast_timer_.reset();
+  broadcast(event.time);
 }
 
 void Layer0LineNode::broadcast(SimTime now) {
@@ -59,17 +71,12 @@ void Layer0LineNode::broadcast(SimTime now) {
 }
 
 void Layer0LineNode::corrupt_state(Rng& rng) {
-  ++gen_;  // drop any armed broadcast
+  sim_.cancel(broadcast_timer_);  // drop any armed broadcast
   const LocalTime now_local = clock_.to_local(sim_.now());
   stored_h_ = now_local + rng.uniform(-params_.lambda, params_.lambda);
   out_sigma_ = rng.uniform_int(-4, 4);
   if (rng.bernoulli(0.5)) {
-    const std::uint64_t gen = ++gen_;
-    const LocalTime target = now_local + rng.uniform(0.0, params_.lambda);
-    sim_.at(clock_.to_real(target), [this, gen](SimTime t) {
-      if (gen != gen_) return;
-      broadcast(t);
-    });
+    arm_broadcast(now_local + rng.uniform(0.0, params_.lambda));
   }
 }
 
@@ -86,12 +93,17 @@ IdealEmitter::IdealEmitter(Simulator& sim, Network& net, NetNodeId self, double 
 }
 
 void IdealEmitter::start() {
-  for (std::int64_t k = 1; k <= pulse_count_; ++k) {
-    const SimTime t = static_cast<double>(k) * params_.lambda + offset_;
-    sim_.at(t, [this, k](SimTime now) {
-      if (recorder_ != nullptr) recorder_->record_pulse(self_, k, now);
-      net_.broadcast(self_, Pulse{k});
-    });
+  if (pulse_count_ < 1) return;
+  sim_.at(params_.lambda + offset_, this, kEmit, EventPayload{.i = 1});
+}
+
+void IdealEmitter::on_timer(const Event& event) {
+  const std::int64_t k = event.payload.i;
+  if (recorder_ != nullptr) recorder_->record_pulse(self_, k, event.time);
+  net_.broadcast(self_, Pulse{k});
+  if (k < pulse_count_) {
+    sim_.at(static_cast<double>(k + 1) * params_.lambda + offset_, this, kEmit,
+            EventPayload{.i = k + 1});
   }
 }
 

@@ -25,18 +25,23 @@ namespace gtrix {
 
 /// The clock reference driving layer 0. Generates pulse k at (k-1) Lambda
 /// with wave stamp k-1; the stamp convention makes every line hop add one
-/// (see DESIGN.md on sigma indexing).
-class ClockSource {
+/// (see DESIGN.md on sigma indexing). Pulses are chained one typed event at
+/// a time (payload.i = k), so only one event is ever pending per source.
+class ClockSource final : public TimerTarget {
  public:
   ClockSource(Simulator& sim, Network& net, NetNodeId self, Params params,
               std::int64_t pulse_count, Recorder* recorder);
 
-  /// Schedules all pulses; call once before running the simulation.
+  /// Schedules the first pulse; call once before running the simulation.
   void start();
+
+  void on_timer(const Event& event) override;
 
   NetNodeId id() const noexcept { return self_; }
 
  private:
+  enum TimerKind : std::uint32_t { kEmit = 1 };
+
   Simulator& sim_;
   Network& net_;
   NetNodeId self_;
@@ -46,12 +51,14 @@ class ClockSource {
 };
 
 /// Algorithm 2: layer-0 line forwarding node.
-class Layer0LineNode final : public PulseSink {
+class Layer0LineNode final : public PulseSink, public TimerTarget {
  public:
   Layer0LineNode(Simulator& sim, Network& net, NetNodeId self, HardwareClock clock,
                  NetNodeId line_pred, Params params, Recorder* recorder);
 
   void on_pulse(NetNodeId from, EdgeId edge, const Pulse& pulse, SimTime now) override;
+
+  void on_timer(const Event& event) override;
 
   /// Scrambles the stored timestamp / pending broadcast (Theorem 1.6 tests).
   void corrupt_state(Rng& rng);
@@ -59,7 +66,10 @@ class Layer0LineNode final : public PulseSink {
   std::uint64_t pulses_forwarded() const noexcept { return forwarded_; }
 
  private:
+  enum TimerKind : std::uint32_t { kBroadcast = 1 };
+
   void broadcast(SimTime now);
+  void arm_broadcast(LocalTime target);
 
   Simulator& sim_;
   Network& net_;
@@ -71,21 +81,25 @@ class Layer0LineNode final : public PulseSink {
 
   LocalTime stored_h_ = kLocalInfinity;  // Algorithm 2's H
   Sigma out_sigma_ = 0;
-  std::uint64_t gen_ = 0;  // invalidates superseded broadcast timers
+  TimerHandle broadcast_timer_;  // a new reception supersedes (cancels) it
   std::uint64_t forwarded_ = 0;
 };
 
 /// Ideal layer-0 node: pulses at k Lambda + offset with stamp k.
-class IdealEmitter {
+class IdealEmitter final : public TimerTarget {
  public:
   IdealEmitter(Simulator& sim, Network& net, NetNodeId self, double offset,
                Params params, std::int64_t pulse_count, Recorder* recorder);
 
   void start();
 
+  void on_timer(const Event& event) override;
+
   NetNodeId id() const noexcept { return self_; }
 
  private:
+  enum TimerKind : std::uint32_t { kEmit = 1 };
+
   Simulator& sim_;
   Network& net_;
   NetNodeId self_;

@@ -13,8 +13,10 @@ FixedPeriodRogue::FixedPeriodRogue(Simulator& sim, Network& net, NetNodeId self,
 }
 
 void FixedPeriodRogue::start() {
-  sim_.at(first_at_, [this](SimTime now) { tick(now); });
+  sim_.at(first_at_, this, kTick);
 }
+
+void FixedPeriodRogue::on_timer(const Event& event) { tick(event.time); }
 
 void FixedPeriodRogue::tick(SimTime now) {
   ++sigma_;
@@ -22,7 +24,7 @@ void FixedPeriodRogue::tick(SimTime now) {
   if (recorder_ != nullptr) recorder_->record_pulse(self_, sigma_, now);
   net_.broadcast(self_, Pulse{sigma_});
   if (static_cast<std::int64_t>(emitted_) < max_pulses_) {
-    sim_.at(now + period_, [this](SimTime t) { tick(t); });
+    sim_.at(now + period_, this, kTick);
   }
 }
 

@@ -15,7 +15,7 @@ namespace gtrix {
 /// A node whose control logic is dead but whose oscillator still runs: it
 /// ignores every input and broadcasts at a fixed period. Its wave stamps
 /// advance monotonically but bear no relation to real waves.
-class FixedPeriodRogue final : public PulseSink {
+class FixedPeriodRogue final : public PulseSink, public TimerTarget {
  public:
   /// Emits at `first_at`, `first_at + period`, ... up to `max_pulses` pulses
   /// (the cap keeps the event queue finite).
@@ -29,9 +29,13 @@ class FixedPeriodRogue final : public PulseSink {
     // Ignores all inputs.
   }
 
+  void on_timer(const Event& event) override;
+
   std::uint64_t pulses_emitted() const noexcept { return emitted_; }
 
  private:
+  enum TimerKind : std::uint32_t { kTick = 1 };
+
   void tick(SimTime now);
 
   Simulator& sim_;

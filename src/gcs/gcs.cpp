@@ -24,7 +24,7 @@ struct GcsNodeState {
   std::vector<bool> est_valid;
 };
 
-class GcsSim {
+class GcsSim final : public TimerTarget {
  public:
   explicit GcsSim(const GcsConfig& config)
       : cfg_(config),
@@ -50,19 +50,43 @@ class GcsSim {
     // Stagger initial broadcasts to avoid artificial synchrony.
     for (BaseNodeId v = 0; v < graph_.node_count(); ++v) {
       if (nodes_[v].crashed) continue;
-      sim_.at(rng_.uniform(0.0, cfg_.broadcast_interval),
-              [this, v](SimTime now) { broadcast(v, now); });
+      sim_.at(rng_.uniform(0.0, cfg_.broadcast_interval), this, kBroadcast,
+              EventPayload{.a = v});
     }
     for (SimTime t = cfg_.sample_interval; t <= cfg_.run_time;
          t += cfg_.sample_interval) {
-      sim_.at(t, [this](SimTime now) { sample(now); });
+      sim_.at(t, this, kSample);
     }
     sim_.run_all();
     result_.kappa_g = kappa_g_;
     return result_;
   }
 
+  void on_timer(const Event& event) override {
+    const EventPayload& p = event.payload;
+    switch (event.kind) {
+      case kBroadcast:
+        broadcast(p.a, event.time);
+        return;
+      case kSample:
+        sample(event.time);
+        return;
+      case kDeliver: {
+        // a=receiver, b=neighbour slot, f=sender's logical value at send.
+        GcsNodeState& receiver = nodes_[p.a];
+        if (receiver.crashed) return;
+        // Estimate: sender's value plus the nominal (minimum) delay.
+        receiver.est_value[p.b] = p.f + (cfg_.d - cfg_.u);
+        receiver.est_at[p.b] = event.time;
+        receiver.est_valid[p.b] = true;
+        update_mode(p.a, event.time);
+        return;
+      }
+    }
+  }
+
  private:
+  enum TimerKind : std::uint32_t { kBroadcast = 1, kSample = 2, kDeliver = 3 };
   double logical_at(const GcsNodeState& node, SimTime now) const {
     const double rate = node.hw_rate * (node.fast ? 1.0 + cfg_.mu : 1.0);
     return node.logical + rate * (now - node.updated_at);
@@ -120,20 +144,13 @@ class GcsSim {
       const auto it = std::find(wn.begin(), wn.end(), v);
       const auto slot = static_cast<std::size_t>(it - wn.begin());
       const double delay = rng_.uniform(cfg_.d - cfg_.u, cfg_.d);
-      sim_.at(now + delay, [this, w, slot, value](SimTime at) {
-        GcsNodeState& receiver = nodes_[w];
-        if (receiver.crashed) return;
-        // Estimate: sender's value plus the nominal (minimum) delay.
-        receiver.est_value[slot] = value + (cfg_.d - cfg_.u);
-        receiver.est_at[slot] = at;
-        receiver.est_valid[slot] = true;
-        update_mode(w, at);
-      });
+      sim_.at(now + delay, this, kDeliver,
+              EventPayload{.a = w, .b = static_cast<std::uint32_t>(slot), .f = value});
     }
     // Next broadcast after broadcast_interval local time.
     const double real_gap = cfg_.broadcast_interval / node.hw_rate;
     if (now + real_gap <= cfg_.run_time) {
-      sim_.at(now + real_gap, [this, v](SimTime at) { broadcast(v, at); });
+      sim_.at(now + real_gap, this, kBroadcast, EventPayload{.a = v});
     }
   }
 

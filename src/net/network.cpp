@@ -48,6 +48,13 @@ void Network::send(EdgeId e, const Pulse& pulse) {
   deliver(edge.from, e, edge.to, pulse, sim_.now() + delay);
 }
 
+void Network::send_after(EdgeId e, const Pulse& pulse, double extra) {
+  GTRIX_CHECK_MSG(extra >= 0.0, "deferred send cannot target the past");
+  GTRIX_CHECK(e < edges_.size());
+  sim_.after(extra, this, kDeferredSend,
+             EventPayload{.a = 0, .b = e, .c = 0, .i = pulse.stamp, .f = 0.0});
+}
+
 void Network::broadcast(NetNodeId from, const Pulse& pulse) {
   for (EdgeId e : out_.at(from)) send(e, pulse);
 }
@@ -60,11 +67,23 @@ void Network::inject(NetNodeId from, NetNodeId to, const Pulse& pulse, SimTime t
 
 void Network::deliver(NetNodeId from, EdgeId edge, NetNodeId to, const Pulse& pulse,
                       SimTime at) {
-  sim_.at(at, [this, from, edge, to, pulse](SimTime now) {
-    ++delivered_;
-    PulseSink* sink = sinks_[to];
-    if (sink != nullptr) sink->on_pulse(from, edge, pulse, now);
-  });
+  sim_.at(at, this, kDeliver,
+          EventPayload{.a = from, .b = edge, .c = to, .i = pulse.stamp, .f = 0.0});
+}
+
+void Network::on_timer(const Event& event) {
+  const EventPayload& p = event.payload;
+  switch (event.kind) {
+    case kDeliver: {
+      ++delivered_;
+      PulseSink* sink = sinks_[p.c];
+      if (sink != nullptr) sink->on_pulse(p.a, p.b, Pulse{p.i}, event.time);
+      return;
+    }
+    case kDeferredSend:
+      send(p.b, Pulse{p.i});
+      return;
+  }
 }
 
 }  // namespace gtrix

@@ -39,7 +39,7 @@ class PulseSink {
   virtual void on_pulse(NetNodeId from, EdgeId edge, const Pulse& pulse, SimTime now) = 0;
 };
 
-class Network {
+class Network final : public TimerTarget {
  public:
   explicit Network(Simulator& sim) : sim_(sim) {}
 
@@ -72,6 +72,11 @@ class Network {
   /// modulated) delay.
   void send(EdgeId e, const Pulse& pulse);
 
+  /// Performs send(e, pulse) `extra >= 0` time from now (the edge delay and
+  /// modulation are sampled at that later send time). Used by fault
+  /// behaviours that delay or jitter individual out-edges.
+  void send_after(EdgeId e, const Pulse& pulse, double extra);
+
   /// Sends on every out-edge of `from`.
   void broadcast(NetNodeId from, const Pulse& pulse);
 
@@ -91,7 +96,15 @@ class Network {
 
   Simulator& simulator() noexcept { return sim_; }
 
+  /// Typed-event dispatch (kDeliver message arrivals, kDeferredSend).
+  void on_timer(const Event& event) override;
+
  private:
+  /// Event kinds this target schedules. Payload conventions:
+  ///   kDeliver:      a=from, b=edge, c=to, i=pulse stamp
+  ///   kDeferredSend: b=edge, i=pulse stamp
+  enum TimerKind : std::uint32_t { kDeliver = 1, kDeferredSend = 2 };
+
   struct Edge {
     NetNodeId from;
     NetNodeId to;

@@ -263,12 +263,12 @@ void World::install_fault(GridNodeId g, const FaultSpec& spec, GradientTrixNode*
         if (to_col > own_col) extra = 2.0 * spec.alpha;
         plan.emplace_back(e, extra);
       }
-      node->set_send_override([this, plan](const Pulse& pulse, SimTime now) {
+      node->set_send_override([this, plan](const Pulse& pulse, SimTime /*now*/) {
         for (const auto& [edge, extra] : plan) {
           if (extra <= 0.0) {
             net_.send(edge, pulse);
           } else {
-            sim_.at(now + extra, [this, edge, pulse](SimTime) { net_.send(edge, pulse); });
+            net_.send_after(edge, pulse, extra);
           }
         }
       });
@@ -280,10 +280,10 @@ void World::install_fault(GridNodeId g, const FaultSpec& spec, GradientTrixNode*
       FaultRuntime* rt = runtime.get();
       fault_runtimes_.push_back(std::move(runtime));
       const double alpha = spec.alpha;
-      node->set_send_override([this, rt, alpha, g](const Pulse& pulse, SimTime now) {
+      node->set_send_override([this, rt, alpha, g](const Pulse& pulse, SimTime /*now*/) {
         for (EdgeId e : net_.out_edges(g)) {
           const double extra = rt->rng.uniform(0.0, 2.0 * alpha);
-          sim_.at(now + extra, [this, e, pulse](SimTime) { net_.send(e, pulse); });
+          net_.send_after(e, pulse, extra);
         }
       });
       return;

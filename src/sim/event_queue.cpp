@@ -4,24 +4,59 @@
 
 namespace gtrix {
 
-EventId EventQueue::schedule(SimTime t, EventFn fn) {
-  const EventId id = next_id_++;
-  handlers_.push_back(std::move(fn));
-  cancelled_.push_back(false);
-  heap_.push(Entry{t, id});
-  ++live_;
-  return id;
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kInvalidEventSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  GTRIX_CHECK_MSG(slots_.size() < kInvalidEventSlot, "event slot table overflow");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-bool EventQueue::cancel(EventId id) {
-  if (id >= cancelled_.size() || cancelled_[id] || !handlers_[id]) return false;
-  cancelled_[id] = true;
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.live = false;
+  slot.target = nullptr;
+  ++slot.gen;  // invalidates every outstanding handle and heap entry
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+TimerHandle EventQueue::schedule(SimTime t, TimerTarget* target, std::uint32_t kind,
+                                 EventPayload payload) {
+  GTRIX_CHECK_MSG(target != nullptr, "event target must not be null");
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.payload = payload;
+  slot.target = target;
+  slot.time = t;
+  slot.kind = kind;
+  slot.live = true;
+  heap_.push(HeapEntry{t, next_seq_++, index, slot.gen});
+  ++scheduled_;
+  ++live_;
+  return TimerHandle{index, slot.gen};
+}
+
+bool EventQueue::cancel(TimerHandle handle) {
+  if (!pending(handle)) return false;
+  release_slot(handle.slot);
   --live_;
+  // The heap entry stays until it reaches the top; skim() detects the
+  // generation mismatch and drops it. Slot storage is already reusable.
   return true;
 }
 
+bool EventQueue::pending(TimerHandle handle) const noexcept {
+  if (handle.slot == kInvalidEventSlot || handle.slot >= slots_.size()) return false;
+  const Slot& slot = slots_[handle.slot];
+  return slot.live && slot.gen == handle.gen;
+}
+
 void EventQueue::skim() const {
-  while (!heap_.empty() && cancelled_[heap_.top().id]) {
+  while (!heap_.empty() && stale(heap_.top())) {
     heap_.pop();
   }
 }
@@ -40,13 +75,17 @@ SimTime EventQueue::next_time() const {
 bool EventQueue::run_next() {
   skim();
   if (heap_.empty()) return false;
-  const Entry top = heap_.top();
+  const HeapEntry top = heap_.top();
   heap_.pop();
+  Slot& slot = slots_[top.slot];
+  const Event event{slot.time, slot.kind, slot.payload};
+  TimerTarget* target = slot.target;
+  // Recycle before dispatch: the handler may reschedule into this very slot,
+  // and the fired handle is stale from the handler's point of view.
+  release_slot(top.slot);
   --live_;
-  EventFn fn = std::move(handlers_[top.id]);
-  handlers_[top.id] = nullptr;  // release captured state eagerly
   ++executed_;
-  fn(top.time);
+  target->on_timer(event);
   return true;
 }
 

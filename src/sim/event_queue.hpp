@@ -1,12 +1,27 @@
-// Deterministic discrete-event priority queue.
+// Deterministic discrete-event priority queue with typed POD events.
 //
-// Events are ordered by (time, sequence number); the sequence number is
-// assigned at push time, so two events scheduled for the same instant fire
-// in scheduling order. This makes entire simulations bit-reproducible.
+// Design (see README.md, "Typed zero-allocation event engine"):
+//  * An event is plain data -- {time, target, kind, payload} -- not a
+//    heap-allocated closure. Dispatch goes through the small TimerTarget
+//    interface: the engine calls target->on_timer(event) at fire time.
+//  * Event state lives in recycled slots. A freelist returns a slot the
+//    moment its event fires or is cancelled, so memory is O(pending events),
+//    not O(events ever executed). The heap itself uses lazy deletion
+//    (cancelled entries are skimmed off the top), which keeps cancel() O(1).
+//  * Every slot carries a generation counter, bumped whenever the slot is
+//    freed. A TimerHandle is {slot, generation}; a handle whose generation
+//    no longer matches is stale, so cancelling an already-fired, already-
+//    cancelled, or recycled event is a safe no-op. This subsumes the ad-hoc
+//    generation counters algorithm nodes previously kept by hand.
+//  * Events are ordered by (time, sequence number); the sequence number is
+//    assigned at schedule time, so two events scheduled for the same instant
+//    fire in scheduling order. Entire simulations are bit-reproducible.
+//  * Steady-state scheduling performs no per-event heap allocation: the slot
+//    vector, freelist and binary heap all reuse storage (growth is amortized
+//    and bounded by the peak number of simultaneously pending events).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
@@ -14,53 +29,127 @@
 
 namespace gtrix {
 
-using EventFn = std::function<void(SimTime now)>;
+inline constexpr std::uint32_t kInvalidEventSlot = 0xffffffffU;
 
-/// Handle for cancelling a scheduled event. Cancellation is lazy: the event
-/// stays in the heap but is skipped when popped.
-using EventId = std::uint64_t;
+/// POD payload carried by every event, interpreted by the target according
+/// to the event kind. The fields are deliberately generic so one layout
+/// serves message delivery (a=from, b=edge, c=to, i=stamp), local-time
+/// timers (f=threshold) and index-carrying ticks (i=pulse index) alike.
+struct EventPayload {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+  std::int64_t i = 0;
+  double f = 0.0;
+};
+
+/// The typed event handed to TimerTarget::on_timer. `time` is the absolute
+/// simulation time the event was scheduled for (== fire time).
+struct Event {
+  SimTime time = 0.0;
+  std::uint32_t kind = 0;
+  EventPayload payload{};
+};
+
+/// Dispatch interface. Anything that schedules events implements this and
+/// demultiplexes on Event::kind (each class defines its own kind enum).
+/// Targets are non-owning: the engine never deletes them, so no virtual
+/// destructor is needed (and kept protected to prevent misuse).
+class TimerTarget {
+ public:
+  virtual void on_timer(const Event& event) = 0;
+
+ protected:
+  ~TimerTarget() = default;
+};
+
+/// First-class cancellable reference to a scheduled event. Default-
+/// constructed handles are invalid; handles become stale (cancel() and
+/// pending() return false) once the event fires or is cancelled.
+struct TimerHandle {
+  std::uint32_t slot = kInvalidEventSlot;
+  std::uint32_t gen = 0;
+
+  constexpr explicit operator bool() const noexcept { return slot != kInvalidEventSlot; }
+  constexpr void reset() noexcept {
+    slot = kInvalidEventSlot;
+    gen = 0;
+  }
+};
 
 class EventQueue {
  public:
   EventQueue() = default;
 
-  /// Schedules `fn` at absolute time `t`. Returns an id usable with cancel().
-  EventId schedule(SimTime t, EventFn fn);
+  /// Schedules an event for `target` at absolute time `t`. Returns a handle
+  /// usable with cancel() / pending() until the event fires.
+  TimerHandle schedule(SimTime t, TimerTarget* target, std::uint32_t kind,
+                       EventPayload payload = {});
 
-  /// Cancels a previously scheduled event. Cancelling an already-fired or
-  /// already-cancelled event is a no-op and returns false.
-  bool cancel(EventId id);
+  /// Cancels a previously scheduled event and frees its slot immediately.
+  /// Stale handles (already fired / cancelled / recycled) return false.
+  bool cancel(TimerHandle handle);
+
+  /// True while the referenced event is scheduled and not yet fired.
+  bool pending(TimerHandle handle) const noexcept;
 
   bool empty() const noexcept;
 
   /// Time of the next (non-cancelled) event; undefined if empty().
   SimTime next_time() const;
 
-  /// Pops and runs the next event; returns false if the queue was empty.
+  /// Pops and dispatches the next event; returns false if the queue was
+  /// empty. The event's slot is recycled before dispatch, so the handler may
+  /// immediately reschedule without growing the slot table.
   bool run_next();
 
   std::uint64_t executed_count() const noexcept { return executed_; }
-  std::uint64_t scheduled_count() const noexcept { return next_id_; }
+  std::uint64_t scheduled_count() const noexcept { return scheduled_; }
   std::size_t pending_count() const noexcept { return live_; }
 
+  /// High-water mark of simultaneously pending events: the slot table never
+  /// exceeds the peak pending count (churn tests assert this stays flat).
+  std::size_t slot_capacity() const noexcept { return slots_.size(); }
+
  private:
-  struct Entry {
+  struct Slot {
+    EventPayload payload{};
+    TimerTarget* target = nullptr;
+    SimTime time = 0.0;
+    std::uint32_t kind = 0;
+    std::uint32_t gen = 0;  ///< bumped on every free; stale handles mismatch
+    std::uint32_t next_free = kInvalidEventSlot;
+    bool live = false;
+  };
+
+  struct HeapEntry {
     SimTime time;
-    EventId id;
+    std::uint64_t seq;  ///< schedule order; breaks same-time ties FIFO
+    std::uint32_t slot;
+    std::uint32_t gen;
     // Heap is a max-heap by default; invert the comparison.
-    bool operator<(const Entry& other) const noexcept {
+    bool operator<(const HeapEntry& other) const noexcept {
       if (time != other.time) return time > other.time;
-      return id > other.id;
+      return seq > other.seq;
     }
   };
 
-  /// Drops cancelled entries from the top of the heap.
+  bool stale(const HeapEntry& entry) const noexcept {
+    const Slot& s = slots_[entry.slot];
+    return !s.live || s.gen != entry.gen;
+  }
+
+  /// Drops cancelled (stale) entries from the top of the heap.
   void skim() const;
 
-  mutable std::priority_queue<Entry> heap_;
-  std::vector<EventFn> handlers_;       // indexed by id
-  std::vector<bool> cancelled_;         // indexed by id
-  EventId next_id_ = 0;
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+
+  mutable std::priority_queue<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kInvalidEventSlot;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t scheduled_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;
 };

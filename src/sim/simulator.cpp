@@ -4,14 +4,16 @@
 
 namespace gtrix {
 
-EventId Simulator::at(SimTime t, EventFn fn) {
+TimerHandle Simulator::at(SimTime t, TimerTarget* target, std::uint32_t kind,
+                          EventPayload payload) {
   GTRIX_CHECK_MSG(t >= now_, "scheduling into the past");
-  return queue_.schedule(t, std::move(fn));
+  return queue_.schedule(t, target, kind, payload);
 }
 
-EventId Simulator::after(SimTime delay, EventFn fn) {
+TimerHandle Simulator::after(SimTime delay, TimerTarget* target, std::uint32_t kind,
+                             EventPayload payload) {
   GTRIX_CHECK_MSG(delay >= 0.0, "negative delay");
-  return queue_.schedule(now_ + delay, std::move(fn));
+  return queue_.schedule(now_ + delay, target, kind, payload);
 }
 
 std::uint64_t Simulator::run_until(SimTime deadline) {

@@ -1,5 +1,10 @@
-// The simulation driver: wraps the event queue with a current-time cursor
-// and run-until / run-all loops.
+// The simulation driver: wraps the typed event queue with a current-time
+// cursor and run-until / run-all loops.
+//
+// Scheduling is typed end to end: callers pass a TimerTarget plus an event
+// kind and POD payload (see sim/event_queue.hpp for the design rationale);
+// at() / after() return cancellable TimerHandles. There is no closure path,
+// so the steady-state scheduling loop performs no per-event heap allocation.
 #pragma once
 
 #include <cstdint>
@@ -19,12 +24,22 @@ class Simulator {
   SimTime now() const noexcept { return now_; }
 
   /// Schedules an event at absolute time `t`; `t` must not precede now().
-  EventId at(SimTime t, EventFn fn);
+  TimerHandle at(SimTime t, TimerTarget* target, std::uint32_t kind,
+                 EventPayload payload = {});
 
   /// Schedules an event `delay >= 0` after now().
-  EventId after(SimTime delay, EventFn fn);
+  TimerHandle after(SimTime delay, TimerTarget* target, std::uint32_t kind,
+                    EventPayload payload = {});
 
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  /// Cancels the referenced event (no-op on stale handles) and resets the
+  /// handle so it cannot be cancelled twice by accident.
+  bool cancel(TimerHandle& handle) {
+    const bool cancelled = queue_.cancel(handle);
+    handle.reset();
+    return cancelled;
+  }
+
+  bool pending(TimerHandle handle) const noexcept { return queue_.pending(handle); }
 
   /// Runs until the queue is empty or the next event is strictly after
   /// `deadline`. Events exactly at `deadline` are executed. Returns the

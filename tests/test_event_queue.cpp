@@ -9,6 +9,19 @@
 namespace gtrix {
 namespace {
 
+/// Test target: records every dispatched event in order.
+struct EventLog final : TimerTarget {
+  std::vector<Event> events;
+
+  void on_timer(const Event& event) override { events.push_back(event); }
+
+  std::vector<std::int64_t> tags() const {
+    std::vector<std::int64_t> out;
+    for (const Event& e : events) out.push_back(e.payload.i);
+    return out;
+  }
+};
+
 TEST(EventQueue, EmptyInitially) {
   EventQueue q;
   EXPECT_TRUE(q.empty());
@@ -17,84 +30,151 @@ TEST(EventQueue, EmptyInitially) {
 
 TEST(EventQueue, RunsInTimeOrder) {
   EventQueue q;
-  std::vector<int> order;
-  q.schedule(3.0, [&](SimTime) { order.push_back(3); });
-  q.schedule(1.0, [&](SimTime) { order.push_back(1); });
-  q.schedule(2.0, [&](SimTime) { order.push_back(2); });
+  EventLog log;
+  q.schedule(3.0, &log, 0, EventPayload{.i = 3});
+  q.schedule(1.0, &log, 0, EventPayload{.i = 1});
+  q.schedule(2.0, &log, 0, EventPayload{.i = 2});
   while (q.run_next()) {
   }
-  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(log.tags(), (std::vector<std::int64_t>{1, 2, 3}));
 }
 
 TEST(EventQueue, TiesBreakInSchedulingOrder) {
   EventQueue q;
-  std::vector<int> order;
+  EventLog log;
   for (int i = 0; i < 10; ++i) {
-    q.schedule(5.0, [&order, i](SimTime) { order.push_back(i); });
+    q.schedule(5.0, &log, 0, EventPayload{.i = i});
   }
   while (q.run_next()) {
   }
-  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  ASSERT_EQ(log.events.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(log.events[static_cast<std::size_t>(i)].payload.i, i);
+  }
 }
 
-TEST(EventQueue, HandlerReceivesEventTime) {
+TEST(EventQueue, SameTimestampFifoSurvivesCancellationChurn) {
+  // Interleave cancelled events among survivors at one timestamp: the
+  // survivors must still fire in their original scheduling order.
   EventQueue q;
-  SimTime seen = -1.0;
-  q.schedule(7.25, [&](SimTime t) { seen = t; });
+  EventLog log;
+  std::vector<TimerHandle> doomed;
+  for (int i = 0; i < 20; ++i) {
+    const TimerHandle h = q.schedule(5.0, &log, 0, EventPayload{.i = i});
+    if (i % 2 == 1) doomed.push_back(h);
+  }
+  for (TimerHandle h : doomed) EXPECT_TRUE(q.cancel(h));
+  while (q.run_next()) {
+  }
+  std::vector<std::int64_t> expected;
+  for (int i = 0; i < 20; i += 2) expected.push_back(i);
+  EXPECT_EQ(log.tags(), expected);
+}
+
+TEST(EventQueue, HandlerReceivesEventTimeKindAndPayload) {
+  EventQueue q;
+  EventLog log;
+  q.schedule(7.25, &log, 42, EventPayload{.a = 1, .b = 2, .c = 3, .i = -9, .f = 0.5});
   q.run_next();
-  EXPECT_DOUBLE_EQ(seen, 7.25);
+  ASSERT_EQ(log.events.size(), 1u);
+  EXPECT_DOUBLE_EQ(log.events[0].time, 7.25);
+  EXPECT_EQ(log.events[0].kind, 42u);
+  EXPECT_EQ(log.events[0].payload.a, 1u);
+  EXPECT_EQ(log.events[0].payload.b, 2u);
+  EXPECT_EQ(log.events[0].payload.c, 3u);
+  EXPECT_EQ(log.events[0].payload.i, -9);
+  EXPECT_DOUBLE_EQ(log.events[0].payload.f, 0.5);
 }
 
 TEST(EventQueue, CancelPreventsExecution) {
   EventQueue q;
-  int fired = 0;
-  const EventId id = q.schedule(1.0, [&](SimTime) { ++fired; });
-  q.schedule(2.0, [&](SimTime) { ++fired; });
-  EXPECT_TRUE(q.cancel(id));
+  EventLog log;
+  const TimerHandle h = q.schedule(1.0, &log, 0, EventPayload{.i = 1});
+  q.schedule(2.0, &log, 0, EventPayload{.i = 2});
+  EXPECT_TRUE(q.cancel(h));
   while (q.run_next()) {
   }
-  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(log.tags(), (std::vector<std::int64_t>{2}));
 }
 
 TEST(EventQueue, DoubleCancelReturnsFalse) {
   EventQueue q;
-  const EventId id = q.schedule(1.0, [](SimTime) {});
-  EXPECT_TRUE(q.cancel(id));
-  EXPECT_FALSE(q.cancel(id));
+  EventLog log;
+  const TimerHandle h = q.schedule(1.0, &log, 0);
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
 }
 
-TEST(EventQueue, CancelAfterExecutionReturnsFalse) {
+TEST(EventQueue, HandleInvalidAfterFire) {
   EventQueue q;
-  const EventId id = q.schedule(1.0, [](SimTime) {});
+  EventLog log;
+  const TimerHandle h = q.schedule(1.0, &log, 0);
+  EXPECT_TRUE(q.pending(h));
   q.run_next();
-  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.pending(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, StaleHandleCannotCancelRecycledSlot) {
+  // After the original event fires, its slot is recycled for a new event;
+  // the old handle's generation no longer matches and must not cancel the
+  // new occupant.
+  EventQueue q;
+  EventLog log;
+  const TimerHandle old_handle = q.schedule(1.0, &log, 0, EventPayload{.i = 1});
+  q.run_next();
+  const TimerHandle new_handle = q.schedule(2.0, &log, 0, EventPayload{.i = 2});
+  EXPECT_EQ(new_handle.slot, old_handle.slot);  // recycled
+  EXPECT_NE(new_handle.gen, old_handle.gen);
+  EXPECT_FALSE(q.cancel(old_handle));
+  EXPECT_TRUE(q.pending(new_handle));
+  q.run_next();
+  EXPECT_EQ(log.tags(), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(EventQueue, DefaultHandleIsInvalid) {
+  EventQueue q;
+  TimerHandle h;
+  EXPECT_FALSE(static_cast<bool>(h));
+  EXPECT_FALSE(q.pending(h));
+  EXPECT_FALSE(q.cancel(h));
 }
 
 TEST(EventQueue, NextTimeSkipsCancelled) {
   EventQueue q;
-  const EventId id = q.schedule(1.0, [](SimTime) {});
-  q.schedule(2.0, [](SimTime) {});
-  q.cancel(id);
+  EventLog log;
+  const TimerHandle h = q.schedule(1.0, &log, 0);
+  q.schedule(2.0, &log, 0);
+  q.cancel(h);
   EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
 }
 
+/// Target that re-schedules itself to build a chain of events.
+struct ChainTarget final : TimerTarget {
+  EventQueue* queue = nullptr;
+  std::vector<double> times;
+
+  void on_timer(const Event& event) override {
+    times.push_back(event.time);
+    if (times.size() < 5) queue->schedule(event.time + 1.0, this, 0);
+  }
+};
+
 TEST(EventQueue, EventsCanScheduleEvents) {
   EventQueue q;
-  std::vector<double> times;
-  std::function<void(SimTime)> chain = [&](SimTime t) {
-    times.push_back(t);
-    if (times.size() < 5) q.schedule(t + 1.0, chain);
-  };
-  q.schedule(0.0, chain);
+  ChainTarget chain;
+  chain.queue = &q;
+  q.schedule(0.0, &chain, 0);
   while (q.run_next()) {
   }
-  EXPECT_EQ(times, (std::vector<double>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(chain.times, (std::vector<double>{0, 1, 2, 3, 4}));
 }
 
 TEST(EventQueue, CountsAreTracked) {
   EventQueue q;
-  const EventId a = q.schedule(1.0, [](SimTime) {});
-  q.schedule(2.0, [](SimTime) {});
+  EventLog log;
+  const TimerHandle a = q.schedule(1.0, &log, 0);
+  q.schedule(2.0, &log, 0);
   EXPECT_EQ(q.scheduled_count(), 2u);
   EXPECT_EQ(q.pending_count(), 2u);
   q.cancel(a);
@@ -104,11 +184,50 @@ TEST(EventQueue, CountsAreTracked) {
   EXPECT_EQ(q.pending_count(), 0u);
 }
 
+TEST(EventQueue, SlotReuseUnderScheduleFireChurn) {
+  // A self-rescheduling chain keeps exactly one event pending; the slot
+  // table must not grow with the number of events executed.
+  EventQueue q;
+  ChainTarget chain;
+  chain.queue = &q;
+  q.schedule(0.0, &chain, 0);
+  const std::size_t capacity_after_first = q.slot_capacity();
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(q.executed_count(), 5u);
+  EXPECT_EQ(q.slot_capacity(), capacity_after_first);
+  EXPECT_EQ(q.slot_capacity(), 1u);
+}
+
+TEST(EventQueue, SlotReuseUnderScheduleCancelChurn) {
+  // Heavy schedule/cancel churn with a bounded number of live events: slot
+  // storage stays O(pending), not O(scheduled ever). This is the memory
+  // guarantee the old engine violated (its handler table grew per schedule
+  // and cancelled closures were retained until run end).
+  EventQueue q;
+  EventLog log;
+  constexpr int kLive = 8;
+  std::vector<TimerHandle> live;
+  for (int i = 0; i < kLive; ++i) {
+    live.push_back(q.schedule(1e9 + i, &log, 0));
+  }
+  const std::size_t baseline_capacity = q.slot_capacity();
+  for (int round = 0; round < 10000; ++round) {
+    EXPECT_TRUE(q.cancel(live[static_cast<std::size_t>(round % kLive)]));
+    live[static_cast<std::size_t>(round % kLive)] =
+        q.schedule(1e9 + round, &log, 0);
+    EXPECT_EQ(q.pending_count(), static_cast<std::size_t>(kLive));
+  }
+  EXPECT_EQ(q.slot_capacity(), baseline_capacity);
+  EXPECT_EQ(q.scheduled_count(), static_cast<std::uint64_t>(kLive + 10000));
+}
+
 TEST(EventQueue, LargeRandomLoadIsSorted) {
   EventQueue q;
+  EventLog log;
   Rng rng(99);
   for (int i = 0; i < 20000; ++i) {
-    q.schedule(rng.uniform(0.0, 1e6), [](SimTime) {});
+    q.schedule(rng.uniform(0.0, 1e6), &log, 0);
   }
   double last = -1.0;
   while (!q.empty()) {

@@ -11,6 +11,30 @@
 namespace gtrix {
 namespace {
 
+/// Schedules network sends at given times through the typed event API
+/// (payload: a=broadcast source, b=edge, i=stamp).
+struct SendAt final : TimerTarget {
+  enum Kind : std::uint32_t { kSend = 1, kBroadcast = 2 };
+  Network* net = nullptr;
+
+  explicit SendAt(Network& n) : net(&n) {}
+
+  void send(Simulator& sim, SimTime t, EdgeId e, std::int64_t stamp) {
+    sim.at(t, this, kSend, EventPayload{.b = e, .i = stamp});
+  }
+  void broadcast(Simulator& sim, SimTime t, NetNodeId from, std::int64_t stamp) {
+    sim.at(t, this, kBroadcast, EventPayload{.a = from, .i = stamp});
+  }
+
+  void on_timer(const Event& event) override {
+    if (event.kind == kBroadcast) {
+      net->broadcast(event.payload.a, Pulse{event.payload.i});
+    } else {
+      net->send(event.payload.b, Pulse{event.payload.i});
+    }
+  }
+};
+
 struct RecordingSink : PulseSink {
   struct Item {
     NetNodeId from;
@@ -32,7 +56,8 @@ TEST(Network, DeliversAfterEdgeDelay) {
   const NetNodeId a = net.add_node(nullptr);
   const NetNodeId b = net.add_node(&sink);
   const EdgeId e = net.add_edge(a, b, 12.5);
-  sim.at(100.0, [&](SimTime) { net.send(e, Pulse{7}); });
+  SendAt sender(net);
+  sender.send(sim, 100.0, e, 7);
   sim.run_all();
   ASSERT_EQ(sink.received.size(), 1u);
   EXPECT_DOUBLE_EQ(sink.received[0].at, 112.5);
@@ -52,7 +77,8 @@ TEST(Network, BroadcastReachesAllOutEdges) {
   net.add_edge(src, n1, 1.0);
   net.add_edge(src, n2, 2.0);
   net.add_edge(src, n3, 3.0);
-  sim.at(0.0, [&](SimTime) { net.broadcast(src, Pulse{1}); });
+  SendAt sender(net);
+  sender.broadcast(sim, 0.0, src, 1);
   sim.run_all();
   EXPECT_EQ(s1.received.size(), 1u);
   EXPECT_EQ(s2.received.size(), 1u);
@@ -66,7 +92,8 @@ TEST(Network, NullSinkDropsSilently) {
   const NetNodeId a = net.add_node(nullptr);
   const NetNodeId b = net.add_node(nullptr);
   const EdgeId e = net.add_edge(a, b, 1.0);
-  sim.at(0.0, [&](SimTime) { net.send(e, Pulse{1}); });
+  SendAt sender(net);
+  sender.send(sim, 0.0, e, 1);
   sim.run_all();
   EXPECT_EQ(net.messages_sent(), 1u);
   EXPECT_EQ(net.messages_delivered(), 1u);
@@ -80,7 +107,8 @@ TEST(Network, SetSinkRewires) {
   const NetNodeId b = net.add_node(nullptr);
   const EdgeId e = net.add_edge(a, b, 1.0);
   net.set_sink(b, &sink);
-  sim.at(0.0, [&](SimTime) { net.send(e, Pulse{2}); });
+  SendAt sender(net);
+  sender.send(sim, 0.0, e, 2);
   sim.run_all();
   EXPECT_EQ(sink.received.size(), 1u);
 }
@@ -121,12 +149,28 @@ TEST(Network, DelayModulationApplies) {
   const NetNodeId b = net.add_node(&sink);
   const EdgeId e = net.add_edge(a, b, 10.0);
   net.set_delay_modulation([](EdgeId, SimTime t) { return t >= 50.0 ? 5.0 : 0.0; });
-  sim.at(0.0, [&](SimTime) { net.send(e, Pulse{1}); });
-  sim.at(100.0, [&](SimTime) { net.send(e, Pulse{2}); });
+  SendAt sender(net);
+  sender.send(sim, 0.0, e, 1);
+  sender.send(sim, 100.0, e, 2);
   sim.run_all();
   ASSERT_EQ(sink.received.size(), 2u);
   EXPECT_DOUBLE_EQ(sink.received[0].at, 10.0);
   EXPECT_DOUBLE_EQ(sink.received[1].at, 115.0);
+}
+
+TEST(Network, SendAfterDefersTheSend) {
+  Simulator sim;
+  Network net(sim);
+  RecordingSink sink;
+  const NetNodeId a = net.add_node(nullptr);
+  const NetNodeId b = net.add_node(&sink);
+  const EdgeId e = net.add_edge(a, b, 10.0);
+  net.send_after(e, Pulse{4}, 5.0);  // send at t=5, delivery at t=15
+  sim.run_all();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.received[0].at, 15.0);
+  EXPECT_EQ(sink.received[0].stamp, 4);
+  EXPECT_THROW(net.send_after(e, Pulse{5}, -1.0), std::logic_error);
 }
 
 TEST(Network, InjectDeliversAtAbsoluteTime) {

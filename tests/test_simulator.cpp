@@ -8,6 +8,18 @@
 namespace gtrix {
 namespace {
 
+/// Records fire times and the simulator's now() at dispatch.
+struct Probe final : TimerTarget {
+  Simulator* sim = nullptr;
+  std::vector<SimTime> observed_now;
+  std::vector<Event> events;
+
+  void on_timer(const Event& event) override {
+    events.push_back(event);
+    if (sim != nullptr) observed_now.push_back(sim->now());
+  }
+};
+
 TEST(Simulator, StartsAtTimeZero) {
   Simulator sim;
   EXPECT_DOUBLE_EQ(sim.now(), 0.0);
@@ -16,48 +28,61 @@ TEST(Simulator, StartsAtTimeZero) {
 
 TEST(Simulator, NowAdvancesWithEvents) {
   Simulator sim;
-  std::vector<double> observed;
-  sim.at(5.0, [&](SimTime) { observed.push_back(sim.now()); });
-  sim.at(2.0, [&](SimTime) { observed.push_back(sim.now()); });
+  Probe probe;
+  probe.sim = &sim;
+  sim.at(5.0, &probe, 0);
+  sim.at(2.0, &probe, 0);
   sim.run_all();
-  EXPECT_EQ(observed, (std::vector<double>{2.0, 5.0}));
+  EXPECT_EQ(probe.observed_now, (std::vector<double>{2.0, 5.0}));
   EXPECT_DOUBLE_EQ(sim.now(), 5.0);
 }
 
 TEST(Simulator, SchedulingIntoPastThrows) {
   Simulator sim;
-  sim.at(3.0, [](SimTime) {});
+  Probe probe;
+  sim.at(3.0, &probe, 0);
   sim.run_all();
-  EXPECT_THROW(sim.at(2.0, [](SimTime) {}), std::logic_error);
+  EXPECT_THROW(sim.at(2.0, &probe, 0), std::logic_error);
 }
+
+/// Schedules a follow-up event relative to now() when fired.
+struct RelayTarget final : TimerTarget {
+  Simulator* sim = nullptr;
+  Probe* probe = nullptr;
+
+  void on_timer(const Event& /*event*/) override { sim->after(5.0, probe, 0); }
+};
 
 TEST(Simulator, AfterIsRelative) {
   Simulator sim;
-  double fired_at = -1.0;
-  sim.at(10.0, [&](SimTime) {
-    sim.after(5.0, [&](SimTime t) { fired_at = t; });
-  });
+  Probe probe;
+  RelayTarget relay;
+  relay.sim = &sim;
+  relay.probe = &probe;
+  sim.at(10.0, &relay, 0);
   sim.run_all();
-  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+  ASSERT_EQ(probe.events.size(), 1u);
+  EXPECT_DOUBLE_EQ(probe.events[0].time, 15.0);
 }
 
 TEST(Simulator, NegativeDelayThrows) {
   Simulator sim;
-  EXPECT_THROW(sim.after(-1.0, [](SimTime) {}), std::logic_error);
+  Probe probe;
+  EXPECT_THROW(sim.after(-1.0, &probe, 0), std::logic_error);
 }
 
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator sim;
-  int fired = 0;
-  sim.at(1.0, [&](SimTime) { ++fired; });
-  sim.at(2.0, [&](SimTime) { ++fired; });
-  sim.at(3.0, [&](SimTime) { ++fired; });
+  Probe probe;
+  sim.at(1.0, &probe, 0);
+  sim.at(2.0, &probe, 0);
+  sim.at(3.0, &probe, 0);
   const auto executed = sim.run_until(2.0);
   EXPECT_EQ(executed, 2u);
-  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(probe.events.size(), 2u);
   EXPECT_DOUBLE_EQ(sim.now(), 2.0);
   sim.run_all();
-  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(probe.events.size(), 3u);
 }
 
 TEST(Simulator, RunUntilAdvancesCursorEvenWithoutEvents) {
@@ -66,25 +91,47 @@ TEST(Simulator, RunUntilAdvancesCursorEvenWithoutEvents) {
   EXPECT_DOUBLE_EQ(sim.now(), 100.0);
 }
 
+/// Reschedules itself forever (event-budget guard test).
+struct LoopTarget final : TimerTarget {
+  Simulator* sim = nullptr;
+
+  void on_timer(const Event& /*event*/) override { sim->after(1.0, this, 0); }
+};
+
 TEST(Simulator, EventBudgetGuardsInfiniteLoops) {
   Simulator sim;
-  std::function<void(SimTime)> loop = [&](SimTime) { sim.after(1.0, loop); };
-  sim.at(0.0, loop);
+  LoopTarget loop;
+  loop.sim = &sim;
+  sim.at(0.0, &loop, 0);
   EXPECT_THROW(sim.run_all(100), std::logic_error);
 }
 
 TEST(Simulator, CancelWorksThroughSimulator) {
   Simulator sim;
-  int fired = 0;
-  const EventId id = sim.at(1.0, [&](SimTime) { ++fired; });
-  EXPECT_TRUE(sim.cancel(id));
+  Probe probe;
+  TimerHandle h = sim.at(1.0, &probe, 0);
+  EXPECT_TRUE(sim.pending(h));
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(static_cast<bool>(h));  // cancel() resets the handle
+  EXPECT_FALSE(sim.cancel(h));
   sim.run_all();
-  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(probe.events.empty());
+}
+
+TEST(Simulator, HandleGoesStaleAfterFire) {
+  Simulator sim;
+  Probe probe;
+  TimerHandle h = sim.at(1.0, &probe, 0);
+  sim.run_all();
+  EXPECT_FALSE(sim.pending(h));
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_EQ(probe.events.size(), 1u);
 }
 
 TEST(Simulator, ExecutedEventCountAccumulates) {
   Simulator sim;
-  for (int i = 0; i < 17; ++i) sim.at(static_cast<double>(i), [](SimTime) {});
+  Probe probe;
+  for (int i = 0; i < 17; ++i) sim.at(static_cast<double>(i), &probe, 0);
   sim.run_all();
   EXPECT_EQ(sim.executed_events(), 17u);
 }
