@@ -54,6 +54,8 @@ struct Params {
                            double safety = 1.2);
 
   std::string describe() const;
+
+  bool operator==(const Params&) const = default;
 };
 
 }  // namespace gtrix

@@ -49,12 +49,16 @@ struct FaultSpec {
   static FaultSpec jitter(double alpha);
   static FaultSpec fixed_period(double period);
   static FaultSpec mute_after(std::int64_t after);
+
+  bool operator==(const FaultSpec&) const = default;
 };
 
 struct PlacedFault {
   BaseNodeId base = 0;
   std::uint32_t layer = 0;
   FaultSpec spec;
+
+  bool operator==(const PlacedFault&) const = default;
 };
 
 /// Options for random fault placement.

@@ -1,0 +1,188 @@
+#include "runner/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "support/stats.hpp"
+
+namespace gtrix {
+
+namespace {
+
+Json skew_to_json(const SkewReport& skew) {
+  Json j = Json::object();
+  j.set("max_intra", skew.max_intra);
+  j.set("max_inter", skew.max_inter);
+  j.set("local", skew.local_skew);
+  j.set("global", skew.global_skew);
+  j.set("sigma_lo", skew.sigma_lo);
+  j.set("sigma_hi", skew.sigma_hi);
+  j.set("pairs_checked", skew.pairs_checked);
+  j.set("pairs_skipped", skew.pairs_skipped);
+  Json by_layer = Json::array();
+  for (const double v : skew.intra_by_layer) by_layer.push_back(v);
+  j.set("intra_by_layer", std::move(by_layer));
+  return j;
+}
+
+Json counters_to_json(const ExperimentCounters& counters) {
+  Json j = Json::object();
+  j.set("iterations", counters.iterations);
+  j.set("late_broadcasts", counters.late_broadcasts);
+  j.set("guard_aborts", counters.guard_aborts);
+  j.set("watchdog_resets", counters.watchdog_resets);
+  j.set("timeout_branches", counters.timeout_branches);
+  j.set("duplicate_drops", counters.duplicate_drops);
+  j.set("events_executed", counters.events_executed);
+  j.set("messages_sent", counters.messages_sent);
+  return j;
+}
+
+Json percentiles_to_json(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  const auto q = [&](double p) {
+    return values.empty() ? 0.0 : quantile_sorted(values, p);
+  };
+  Json j = Json::object();
+  j.set("min", q(0.0));
+  j.set("mean", values.empty() ? 0.0 : sum / static_cast<double>(values.size()));
+  j.set("p50", q(0.50));
+  j.set("p90", q(0.90));
+  j.set("p95", q(0.95));
+  j.set("max", q(1.0));
+  return j;
+}
+
+}  // namespace
+
+ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& corrupt) {
+  if (!corrupt.enabled) return run_experiment(config);
+
+  World world(config);
+  // Seed derivation matches the historical stabilization harnesses.
+  Rng rng(config.seed ^ 0xFEED);
+  world.run_until(corrupt.wave * config.params.lambda);
+  world.corrupt_fraction(corrupt.fraction, rng);
+  world.run_to_completion();
+  world.realign_labels();
+
+  ExperimentResult result;
+  // Measure after the recovery budget (one layer per wave plus slack), not
+  // over the corruption transient itself -- the scenario's claim is about
+  // the post-stabilization skew.
+  const auto [lo, hi] = default_window(world.recorder(), config.warmup);
+  const Sigma recovered =
+      static_cast<Sigma>(corrupt.wave) + static_cast<Sigma>(config.layers) + 6;
+  if (recovered > hi) {
+    throw std::runtime_error(
+        "corrupt scenario leaves no post-recovery measurement window: "
+        "recovery budget ends at wave " + std::to_string(recovered) +
+        " but the run's window ends at wave " + std::to_string(hi) +
+        " -- increase 'pulses' (need roughly corrupt.wave + layers + warmup + 10)");
+  }
+  result.skew = world.skew_window(std::max(lo, recovered), hi);
+  result.counters = world.counters();
+  result.diameter = world.grid().base().diameter();
+  result.thm11_bound = config.params.thm11_bound(result.diameter);
+  result.global_bound = config.params.global_skew_bound(result.diameter);
+  return result;
+}
+
+CampaignResult run_campaign(const Scenario& scenario, const CampaignOptions& options) {
+  const auto started = std::chrono::steady_clock::now();
+
+  CampaignResult campaign;
+  campaign.scenario = scenario.name();
+
+  std::vector<ScenarioCell> cells = scenario.cells();
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(cells.size());
+  for (const ScenarioCell& cell : cells) configs.push_back(cell.config);
+
+  const SweepRunner runner(SweepOptions{options.threads});
+  // parallel_for_index never spawns more workers than there is work.
+  campaign.threads_used = static_cast<unsigned>(
+      std::min<std::size_t>(runner.thread_count(), std::max<std::size_t>(1, cells.size())));
+  const std::vector<ExperimentResult> results = runner.run(
+      configs, [&cells](const ExperimentConfig& config, std::size_t i) {
+        return run_cell(config, cells[i].corrupt);
+      });
+
+  campaign.cells.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    CampaignCell out;
+    out.label = std::move(cells[i].label);
+    out.config = std::move(cells[i].config);
+    out.corrupt = cells[i].corrupt;
+    out.result = results[i];
+    campaign.cells.push_back(std::move(out));
+  }
+
+  campaign.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  return campaign;
+}
+
+std::string campaign_jsonl(const CampaignResult& result) {
+  std::string out;
+  for (const CampaignCell& cell : result.cells) {
+    Json line = Json::object();
+    line.set("scenario", result.scenario);
+    line.set("cell", cell.label);
+    line.set("config", to_json(cell.config));
+    if (cell.corrupt.enabled) {
+      Json corrupt = Json::object();
+      corrupt.set("wave", cell.corrupt.wave);
+      corrupt.set("fraction", cell.corrupt.fraction);
+      line.set("corrupt", std::move(corrupt));
+    }
+    Json res = Json::object();
+    res.set("diameter", cell.result.diameter);
+    res.set("skew", skew_to_json(cell.result.skew));
+    Json bounds = Json::object();
+    bounds.set("thm11", cell.result.thm11_bound);
+    bounds.set("global", cell.result.global_bound);
+    res.set("bounds", std::move(bounds));
+    res.set("counters", counters_to_json(cell.result.counters));
+    line.set("result", std::move(res));
+    out += line.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+Json campaign_summary(const CampaignResult& result) {
+  std::vector<double> local, global;
+  ExperimentCounters totals;
+  std::int64_t within_thm11 = 0;
+  for (const CampaignCell& cell : result.cells) {
+    local.push_back(cell.result.skew.max_intra);
+    global.push_back(cell.result.skew.global_skew);
+    if (cell.result.skew.max_intra <= cell.result.thm11_bound) ++within_thm11;
+    totals.iterations += cell.result.counters.iterations;
+    totals.late_broadcasts += cell.result.counters.late_broadcasts;
+    totals.guard_aborts += cell.result.counters.guard_aborts;
+    totals.watchdog_resets += cell.result.counters.watchdog_resets;
+    totals.timeout_branches += cell.result.counters.timeout_branches;
+    totals.duplicate_drops += cell.result.counters.duplicate_drops;
+    totals.events_executed += cell.result.counters.events_executed;
+    totals.messages_sent += cell.result.counters.messages_sent;
+  }
+
+  Json j = Json::object();
+  j.set("scenario", result.scenario);
+  j.set("cells", static_cast<std::int64_t>(result.cells.size()));
+  j.set("local_skew", percentiles_to_json(std::move(local)));
+  j.set("global_skew", percentiles_to_json(std::move(global)));
+  j.set("cells_within_thm11_bound", within_thm11);
+  j.set("counters", counters_to_json(totals));
+  j.set("threads", result.threads_used);
+  j.set("wall_seconds", result.wall_seconds);
+  return j;
+}
+
+}  // namespace gtrix

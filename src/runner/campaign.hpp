@@ -1,0 +1,55 @@
+// Campaign execution: expand a Scenario's config matrix, fan it through the
+// parallel SweepRunner, and emit machine-readable results.
+//
+// Two output artifacts per campaign:
+//  * JSONL -- one compact JSON object per cell, in cell order. Contains only
+//    values derived from the simulation, so the bytes are identical no
+//    matter how many worker threads ran the sweep (the CI determinism check
+//    diffs --threads=1 against --threads=4).
+//  * summary JSON -- aggregate skew percentiles, counter totals, bound
+//    compliance and wall time; the file committed as BENCH_*.json for
+//    trajectory tracking. Wall time is measured, hence non-deterministic,
+//    which is why it lives here and never in the JSONL.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hpp"
+#include "scenario/spec.hpp"
+
+namespace gtrix {
+
+struct CampaignOptions {
+  unsigned threads = 0;  ///< sweep workers; 0 = hardware concurrency
+};
+
+struct CampaignCell {
+  std::string label;
+  ExperimentConfig config;
+  CorruptPlan corrupt;
+  ExperimentResult result;
+};
+
+struct CampaignResult {
+  std::string scenario;
+  std::vector<CampaignCell> cells;  ///< in deterministic cell order
+  unsigned threads_used = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Runs one cell, honoring an optional mid-run corruption plan (the
+/// Theorem 1.6 workload: run to wave * lambda, scramble `fraction` of all
+/// nodes, run out, realign labels, then measure).
+ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& corrupt);
+
+/// Expands and runs the whole scenario matrix in parallel.
+CampaignResult run_campaign(const Scenario& scenario, const CampaignOptions& options = {});
+
+/// One JSON line per cell (newline-terminated). Deterministic.
+std::string campaign_jsonl(const CampaignResult& result);
+
+/// Aggregate summary (percentiles, counters, wall time).
+Json campaign_summary(const CampaignResult& result);
+
+}  // namespace gtrix

@@ -69,6 +69,8 @@ struct ExperimentConfig {
   bool jump_condition = true;
   std::uint64_t seed = 1;
   Sigma warmup = 4;  ///< waves skipped at the start of the measurement window
+
+  bool operator==(const ExperimentConfig&) const = default;
 };
 
 struct ExperimentCounters {

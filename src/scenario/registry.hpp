@@ -1,0 +1,34 @@
+// Built-in scenarios reproducing the paper's headline experiments.
+//
+// Each built-in is authored as a JSON document and validated through the
+// same Scenario::from_json path as user files, so a registry scenario and
+// its exported scenarios/<name>.json file are guaranteed to behave
+// identically. `gtrix_campaign --export=DIR` writes them out.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace gtrix {
+
+struct BuiltinInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+/// All built-in scenario names with one-line summaries, in a fixed order.
+const std::vector<BuiltinInfo>& builtin_scenarios();
+
+bool is_builtin_scenario(std::string_view name);
+
+/// The scenario document for a built-in; throws JsonError listing the valid
+/// names when `name` is unknown.
+Json builtin_scenario_doc(std::string_view name);
+
+/// Convenience: builtin_scenario_doc parsed into a Scenario.
+Scenario builtin_scenario(std::string_view name);
+
+}  // namespace gtrix

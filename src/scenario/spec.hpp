@@ -1,0 +1,125 @@
+// Declarative scenario specifications.
+//
+// A scenario is a JSON document describing one family of experiments:
+//
+//   {
+//     "name": "thm13-random-faults",
+//     "description": "Theorem 1.3: i.i.d. faults at p in o(n^-1/2)",
+//     "config": { ... ExperimentConfig fields and generators ... },
+//     "corrupt": {"wave": 10, "fraction": 1.0},          // optional (Thm 1.6)
+//     "sweep": {                                          // optional axes
+//       "columns": [16, 32, 64],
+//       "seed": {"from": 1, "count": 100}
+//     }
+//   }
+//
+// "config" holds the base ExperimentConfig plus *generators* -- fields that
+// cannot be resolved until the concrete cell is known (grid-dependent fault
+// placements, derived parameter sets, column-relative positions):
+//
+//   "layers": "columns"                   layers track the columns axis
+//   "params": {"derive": {...}}           Params::derive_for per cell
+//   "layer0_pattern": {"amplitude": A}    alternating +/- A/2 layer-0 offsets
+//   "random_faults": {...}                i.i.d. placement (Theorem 1.3)
+//   "clustered_faults": {...}             stacked column faults (Theorem 1.2)
+//
+// "sweep" turns the document into a config matrix: each key is a dotted
+// field path ("columns", "random_faults.probability"), each value either an
+// explicit array or {"from", "count"[, "step"]} for integer ranges. The
+// cartesian product expands in key order with the last axis fastest, so
+// cell order -- and therefore result emission order -- is deterministic.
+//
+// Parsing is strict: unknown keys, wrong types and malformed values are
+// rejected with path-qualified messages ("$.config.columns: expected int,
+// got string").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runner/experiment.hpp"
+#include "support/json.hpp"
+
+namespace gtrix {
+
+// --- enum <-> string names (shared by parser, writer and CLI) ---------------
+std::string_view to_string(Algorithm v);
+std::string_view to_string(Layer0Mode v);
+std::string_view to_string(ClockModelKind v);
+std::string_view to_string(DelayModelKind v);
+std::string_view to_string(BaseGraphKind v);
+std::string_view to_string(FaultKind v);
+
+Algorithm algorithm_from_string(std::string_view s);
+Layer0Mode layer0_mode_from_string(std::string_view s);
+ClockModelKind clock_model_from_string(std::string_view s);
+DelayModelKind delay_model_from_string(std::string_view s);
+BaseGraphKind base_graph_from_string(std::string_view s);
+FaultKind fault_kind_from_string(std::string_view s);
+
+/// Serializes a fully resolved config. Generators never appear in the
+/// output; fault plans are emitted as explicit placements. Default-valued
+/// optional blocks (no faults, no layer-0 offsets) are omitted.
+Json to_json(const ExperimentConfig& config);
+Json to_json(const PlacedFault& fault);
+
+/// Parses a config object; the inverse of to_json. Accepts generator keys
+/// as well (they are resolved immediately against the parsed grid shape).
+/// `path` prefixes error messages, e.g. "$.config".
+ExperimentConfig config_from_json(const Json& j, const std::string& path = "$");
+
+/// Mid-run corruption plan (Theorem 1.6 workloads): at simulated time
+/// wave * lambda, scramble the state of `fraction` of all algorithm nodes,
+/// then realign wave labels before measuring.
+struct CorruptPlan {
+  bool enabled = false;
+  double wave = 10.0;
+  double fraction = 1.0;
+
+  bool operator==(const CorruptPlan&) const = default;
+};
+
+/// One fully resolved point of the scenario matrix.
+struct ScenarioCell {
+  std::string label;  ///< "columns=32,seed=5" (axis order); "base" if no axes
+  ExperimentConfig config;
+  CorruptPlan corrupt;
+};
+
+struct SweepAxis {
+  std::string key;           ///< dotted config field path
+  std::vector<Json> values;  ///< expanded, in sweep order
+};
+
+class Scenario {
+ public:
+  /// Validates the whole document (strict keys) and keeps it for re-export.
+  static Scenario from_json(const Json& doc);
+  /// Reads and parses a scenario file; errors are prefixed with the path.
+  static Scenario from_file(const std::string& path);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& description() const noexcept { return description_; }
+  const Json& doc() const noexcept { return doc_; }
+  const std::vector<SweepAxis>& axes() const noexcept { return axes_; }
+
+  /// Number of cells the sweep expands to (product of axis lengths).
+  std::size_t cell_count() const noexcept;
+
+  /// Expands the cartesian matrix into concrete configs. Deterministic:
+  /// same document -> same cells in the same order.
+  std::vector<ScenarioCell> cells() const;
+
+ private:
+  std::string name_;
+  std::string description_;
+  Json doc_;
+  Json base_config_;  // "config" object (possibly empty object)
+  CorruptPlan corrupt_;
+  std::vector<SweepAxis> axes_;
+};
+
+}  // namespace gtrix

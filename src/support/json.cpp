@@ -1,0 +1,531 @@
+#include "support/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace gtrix {
+
+namespace {
+
+constexpr int kMaxDepth = 200;  // parser + writer recursion guard
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    throw JsonError("cannot serialize non-finite number");
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  std::string_view text(buf, static_cast<std::size_t>(res.ptr - buf));
+  out += text;
+  // Keep the value recognizably a double: "2" would parse back as an int.
+  if (text.find_first_of(".eE") == std::string_view::npos) out += ".0";
+}
+
+}  // namespace
+
+Json::Json(unsigned long v) {
+  if (v > static_cast<unsigned long>(std::numeric_limits<std::int64_t>::max())) {
+    throw JsonError("integer too large for JSON int64");
+  }
+  type_ = Type::kInt;
+  int_ = static_cast<std::int64_t>(v);
+}
+
+Json::Json(unsigned long long v) {
+  if (v > static_cast<unsigned long long>(std::numeric_limits<std::int64_t>::max())) {
+    throw JsonError("integer too large for JSON int64");
+  }
+  type_ = Type::kInt;
+  int_ = static_cast<std::int64_t>(v);
+}
+
+Json Json::array(Array items) {
+  Json j;
+  j.type_ = Type::kArray;
+  j.array_ = std::move(items);
+  return j;
+}
+
+Json Json::object(Object members) {
+  Json j;
+  j.type_ = Type::kObject;
+  j.object_ = std::move(members);
+  return j;
+}
+
+const char* Json::type_name(Type t) noexcept {
+  switch (t) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kInt: return "int";
+    case Type::kDouble: return "double";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "?";
+}
+
+namespace {
+[[noreturn]] void type_error(const char* expected, const char* actual) {
+  throw JsonError(std::string("expected ") + expected + ", got " + actual);
+}
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_name());
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ != Type::kInt) type_error("int", type_name());
+  return int_;
+}
+
+std::uint64_t Json::as_u64() const {
+  if (type_ != Type::kInt) type_error("int", type_name());
+  if (int_ < 0) throw JsonError("expected non-negative int, got " + std::to_string(int_));
+  return static_cast<std::uint64_t>(int_);
+}
+
+double Json::as_double() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  if (type_ != Type::kDouble) type_error("number", type_name());
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_name());
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::kArray) type_error("array", type_name());
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::kObject) type_error("object", type_name());
+  return object_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  for (const Member& m : as_object()) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* j = find(key);
+  if (j == nullptr) throw JsonError("missing key '" + std::string(key) + "'");
+  return *j;
+}
+
+Json& Json::set(std::string_view key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) type_error("object", type_name());
+  for (Member& m : object_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return m.second;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(value));
+  return object_.back().second;
+}
+
+Json& Json::push_back(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) type_error("array", type_name());
+  array_.push_back(std::move(value));
+  return array_.back();
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  type_error("array or object", type_name());
+}
+
+const Json& Json::operator[](std::size_t i) const {
+  const Array& a = as_array();
+  if (i >= a.size()) {
+    throw JsonError("array index " + std::to_string(i) + " out of range (size " +
+                    std::to_string(a.size()) + ")");
+  }
+  return a[i];
+}
+
+bool Json::operator==(const Json& other) const {
+  if (is_number() && other.is_number()) {
+    if (type_ == Type::kInt && other.type_ == Type::kInt) return int_ == other.int_;
+    return as_double() == other.as_double();
+  }
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return array_ == other.array_;
+    case Type::kObject: return object_ == other.object_;
+    default: return false;  // numbers handled above
+  }
+}
+
+// --- serialization ----------------------------------------------------------
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  if (depth > kMaxDepth) throw JsonError("serialization depth limit exceeded");
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int d) {
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt: {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof buf, int_);
+      out.append(buf, res.ptr);
+      break;
+    }
+    case Type::kDouble: append_double(out, double_); break;
+    case Type::kString: append_escaped(out, string_); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        if (pretty) newline_pad(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (pretty) newline_pad(depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        if (pretty) newline_pad(depth + 1);
+        append_escaped(out, object_[i].first);
+        out.push_back(':');
+        if (pretty) out.push_back(' ');
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (pretty) newline_pad(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// --- parsing ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw JsonError("line " + std::to_string(line) + ", column " + std::to_string(col) +
+                    ": " + message);
+  }
+
+  bool eof() const noexcept { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) {
+      fail(std::string("expected '") + c + "'" +
+           (eof() ? ", got end of input" : std::string(", got '") + peek() + "'"));
+    }
+    ++pos_;
+  }
+
+  void expect_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      fail("invalid literal (expected '" + std::string(literal) + "')");
+    }
+    pos_ += literal.size();
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting depth limit exceeded");
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't': expect_literal("true"); return Json(true);
+      case 'f': expect_literal("false"); return Json(false);
+      case 'n': expect_literal("null"); return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json::Object members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return Json::object();
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected string key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      Json value = parse_value(depth + 1);
+      for (const Json::Member& m : members) {
+        if (m.first == key) fail("duplicate key '" + key + "'");
+      }
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return Json::object(std::move(members));
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json::Array items;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return Json::array();
+    }
+    while (true) {
+      skip_ws();
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array");
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return Json::array(std::move(items));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = next();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_utf8(out, parse_hex4()); break;
+        default: --pos_; fail(std::string("invalid escape '\\") + esc + "'");
+      }
+    }
+    return out;
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("invalid \\u escape digit");
+      }
+    }
+    return value;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    // Combine surrogate pairs (non-BMP code points).
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (text_.substr(pos_, 2) != "\\u") fail("unpaired UTF-16 surrogate");
+      pos_ += 2;
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired UTF-16 surrogate");
+    }
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    const std::size_t int_start = pos_;
+    bool is_double = false;
+    auto digits = [&] {
+      bool any = false;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+        any = true;
+      }
+      return any;
+    };
+    if (!digits()) {
+      pos_ = start;
+      fail(eof() ? "unexpected end of input"
+                 : std::string("unexpected character '") + peek() + "'");
+    }
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      pos_ = start;
+      fail("leading zeros are not allowed");
+    }
+    if (!eof() && peek() == '.') {
+      is_double = true;
+      ++pos_;
+      if (!digits()) fail("expected digits after decimal point");
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) fail("expected digits in exponent");
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      std::int64_t value = 0;
+      const auto res = std::from_chars(token.begin(), token.end(), value);
+      if (res.ec == std::errc() && res.ptr == token.end()) return Json(value);
+      // Integer literal overflowing int64: fall through to double.
+    }
+    double value = 0.0;
+    const auto res = std::from_chars(token.begin(), token.end(), value);
+    if (res.ec != std::errc() || res.ptr != token.end()) {
+      pos_ = start;
+      fail("invalid number '" + std::string(token) + "'");
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace gtrix

@@ -55,16 +55,21 @@ double Summary::max() const noexcept {
   return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
 }
 
-double quantile(std::span<const double> xs, double q) {
-  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const auto hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
 }
 
 double median(std::span<const double> xs) { return quantile(xs, 0.5); }

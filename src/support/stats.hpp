@@ -38,6 +38,10 @@ class Summary {
 /// (type-7, the numpy default). q in [0, 1]. The input span is copied.
 double quantile(std::span<const double> xs, double q);
 
+/// Same, but for input already sorted ascending; no copy, no sort. Callers
+/// extracting several quantiles should sort once and use this.
+double quantile_sorted(std::span<const double> sorted_xs, double q);
+
 /// Convenience: median.
 double median(std::span<const double> xs);
 

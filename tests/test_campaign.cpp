@@ -1,0 +1,114 @@
+#include "runner/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+
+namespace gtrix {
+namespace {
+
+Scenario tiny_scenario() {
+  return Scenario::from_json(Json::parse(R"({
+    "name": "tiny",
+    "config": {"columns": 5, "layers": 5, "pulses": 8},
+    "sweep": {"columns": [4, 5], "seed": {"from": 1, "count": 3}}
+  })"));
+}
+
+TEST(Campaign, RunsAllCellsInOrder) {
+  const CampaignResult result = run_campaign(tiny_scenario(), {.threads = 2});
+  EXPECT_EQ(result.scenario, "tiny");
+  ASSERT_EQ(result.cells.size(), 6u);
+  EXPECT_EQ(result.cells[0].label, "columns=4,seed=1");
+  EXPECT_EQ(result.cells[5].label, "columns=5,seed=3");
+  for (const CampaignCell& cell : result.cells) {
+    EXPECT_GT(cell.result.skew.pairs_checked, 0u);
+    EXPECT_GT(cell.result.counters.events_executed, 0u);
+    EXPECT_GT(cell.result.skew.max_intra, 0.0);
+  }
+  EXPECT_GE(result.wall_seconds, 0.0);
+}
+
+TEST(Campaign, JsonlIsByteIdenticalAcrossThreadCounts) {
+  const std::string one = campaign_jsonl(run_campaign(tiny_scenario(), {.threads = 1}));
+  const std::string four = campaign_jsonl(run_campaign(tiny_scenario(), {.threads = 4}));
+  EXPECT_EQ(one, four);
+  EXPECT_FALSE(one.empty());
+}
+
+TEST(Campaign, JsonlLinesParseAndRoundTripConfigs) {
+  const CampaignResult result = run_campaign(tiny_scenario(), {.threads = 2});
+  std::istringstream lines(campaign_jsonl(result));
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    const Json parsed = Json::parse(line);
+    EXPECT_EQ(parsed.at("scenario").as_string(), "tiny");
+    EXPECT_EQ(parsed.at("cell").as_string(), result.cells[count].label);
+    // The embedded config is a complete, loadable experiment description.
+    const ExperimentConfig back = config_from_json(parsed.at("config"));
+    EXPECT_EQ(back, result.cells[count].config);
+    EXPECT_GT(parsed.at("result").at("skew").at("local").as_double(), 0.0);
+    ++count;
+  }
+  EXPECT_EQ(count, result.cells.size());
+}
+
+TEST(Campaign, SummaryAggregates) {
+  const CampaignResult result = run_campaign(tiny_scenario(), {.threads = 2});
+  const Json summary = campaign_summary(result);
+  EXPECT_EQ(summary.at("scenario").as_string(), "tiny");
+  EXPECT_EQ(summary.at("cells").as_int(), 6);
+  const Json& local = summary.at("local_skew");
+  EXPECT_LE(local.at("min").as_double(), local.at("p50").as_double());
+  EXPECT_LE(local.at("p50").as_double(), local.at("p95").as_double());
+  EXPECT_LE(local.at("p95").as_double(), local.at("max").as_double());
+  EXPECT_GT(summary.at("counters").at("events_executed").as_int(), 0);
+  EXPECT_EQ(summary.at("cells_within_thm11_bound").as_int(), 6);
+}
+
+TEST(Campaign, CorruptionCellRecoversWithinBound) {
+  const Scenario scenario = Scenario::from_json(Json::parse(R"({
+    "name": "stab-tiny",
+    "config": {"columns": 6, "layers": 5, "pulses": 30, "self_stabilizing": true},
+    "corrupt": {"wave": 8, "fraction": 1.0}
+  })"));
+  const CampaignResult result = run_campaign(scenario, {.threads = 1});
+  ASSERT_EQ(result.cells.size(), 1u);
+  const CampaignCell& cell = result.cells[0];
+  EXPECT_TRUE(cell.corrupt.enabled);
+  // Post-recovery window: skew is back under the Theorem 1.1 bound even
+  // though the corruption transient itself was far above it.
+  EXPECT_GT(cell.result.skew.pairs_checked, 0u);
+  EXPECT_LE(cell.result.skew.max_intra, cell.result.thm11_bound);
+  // Corruption runs deterministically too.
+  const CampaignResult again = run_campaign(scenario, {.threads = 4});
+  EXPECT_EQ(campaign_jsonl(result), campaign_jsonl(again));
+}
+
+TEST(Campaign, CorruptionWithoutRecoveryWindowIsRejected) {
+  // pulses leaves no waves after the recovery budget -> loud error instead
+  // of reporting mid-transient skew as the stabilized result.
+  const Scenario scenario = Scenario::from_json(Json::parse(R"({
+    "name": "stab-short",
+    "config": {"columns": 6, "layers": 12, "pulses": 16, "self_stabilizing": true},
+    "corrupt": {"wave": 10, "fraction": 1.0}
+  })"));
+  EXPECT_THROW((void)run_campaign(scenario, {.threads = 1}), std::runtime_error);
+}
+
+TEST(Campaign, BuiltinQuickstartDeterministicEndToEnd) {
+  const Scenario scenario = builtin_scenario("quickstart-grid");
+  const std::string one = campaign_jsonl(run_campaign(scenario, {.threads = 1}));
+  const std::string many = campaign_jsonl(run_campaign(scenario, {.threads = 0}));
+  EXPECT_EQ(one, many);
+  // 8 lines, one per cell.
+  EXPECT_EQ(static_cast<int>(std::count(one.begin(), one.end(), '\n')), 8);
+}
+
+}  // namespace
+}  // namespace gtrix

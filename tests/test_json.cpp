@@ -1,0 +1,206 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace gtrix {
+namespace {
+
+TEST(JsonParse, Primitives) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntegerLiteralStaysInt) {
+  const Json j = Json::parse("3");
+  EXPECT_TRUE(j.is_int());
+  EXPECT_FALSE(j.is_double());
+  EXPECT_DOUBLE_EQ(j.as_double(), 3.0);  // as_double accepts ints
+}
+
+TEST(JsonParse, DoubleLiteralStaysDouble) {
+  EXPECT_TRUE(Json::parse("3.0").is_double());
+  EXPECT_TRUE(Json::parse("3e0").is_double());
+  EXPECT_THROW((void)Json::parse("3.0").as_int(), JsonError);
+}
+
+TEST(JsonParse, IntOverflowFallsBackToDouble) {
+  const Json j = Json::parse("99999999999999999999999999");
+  EXPECT_TRUE(j.is_double());
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Json j = Json::parse(R"({"a": [1, {"b": true}], "c": {"d": null}})");
+  EXPECT_EQ(j.at("a")[0].as_int(), 1);
+  EXPECT_TRUE(j.at("a")[1].at("b").as_bool());
+  EXPECT_TRUE(j.at("c").at("d").is_null());
+}
+
+TEST(JsonParse, ObjectOrderPreserved) {
+  const Json j = Json::parse(R"({"z": 1, "a": 2, "m": 3})");
+  const Json::Object& members = j.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(Json::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("\u00e9")").as_string(), "\xc3\xa9");       // é
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(), "\xf0\x9f\x98\x80");  // 😀
+}
+
+TEST(JsonParse, Whitespace) {
+  const Json j = Json::parse("  {\n\t\"a\" : [ 1 , 2 ]\r\n}  ");
+  EXPECT_EQ(j.at("a").size(), 2u);
+}
+
+TEST(JsonParseError, Truncated) {
+  EXPECT_THROW((void)Json::parse(""), JsonError);
+  EXPECT_THROW((void)Json::parse("{"), JsonError);
+  EXPECT_THROW((void)Json::parse("[1, 2"), JsonError);
+  EXPECT_THROW((void)Json::parse("\"abc"), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\":"), JsonError);
+}
+
+TEST(JsonParseError, TrailingGarbage) {
+  EXPECT_THROW((void)Json::parse("1 2"), JsonError);
+  EXPECT_THROW((void)Json::parse("{} x"), JsonError);
+}
+
+TEST(JsonParseError, Malformed) {
+  EXPECT_THROW((void)Json::parse("{'a': 1}"), JsonError);    // wrong quotes
+  EXPECT_THROW((void)Json::parse("{\"a\" 1}"), JsonError);   // missing colon
+  EXPECT_THROW((void)Json::parse("[1,,2]"), JsonError);
+  EXPECT_THROW((void)Json::parse("01"), JsonError);          // trailing garbage
+  EXPECT_THROW((void)Json::parse("truth"), JsonError);
+  EXPECT_THROW((void)Json::parse("1."), JsonError);
+  EXPECT_THROW((void)Json::parse("\"\\q\""), JsonError);     // bad escape
+}
+
+TEST(JsonParseError, DuplicateObjectKey) {
+  EXPECT_THROW((void)Json::parse(R"({"a": 1, "a": 2})"), JsonError);
+}
+
+TEST(JsonParseError, MessagesCarryLineAndColumn) {
+  try {
+    (void)Json::parse("{\n  \"a\": xyz\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("column"), std::string::npos) << what;
+  }
+}
+
+TEST(JsonParseError, DepthLimit) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_THROW((void)Json::parse(deep), JsonError);
+}
+
+TEST(JsonAccessors, TypeErrorsNameBothTypes) {
+  try {
+    (void)Json(5).as_string();
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("string"), std::string::npos) << what;
+    EXPECT_NE(what.find("int"), std::string::npos) << what;
+  }
+}
+
+TEST(JsonAccessors, MissingKeyNamed) {
+  const Json j = Json::parse(R"({"a": 1})");
+  EXPECT_EQ(j.find("b"), nullptr);
+  try {
+    (void)j.at("b");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("'b'"), std::string::npos);
+  }
+}
+
+TEST(JsonAccessors, U64RejectsNegative) {
+  EXPECT_EQ(Json(7).as_u64(), 7u);
+  EXPECT_THROW((void)Json(-1).as_u64(), JsonError);
+}
+
+TEST(JsonBuild, SetAndPushBack) {
+  Json obj = Json::object();
+  obj.set("a", 1);
+  obj.set("b", "x");
+  obj.set("a", 2);  // overwrite keeps position
+  ASSERT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.as_object()[0].first, "a");
+  EXPECT_EQ(obj.at("a").as_int(), 2);
+
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back(true);
+  EXPECT_EQ(arr.size(), 2u);
+}
+
+TEST(JsonDump, Compact) {
+  Json j = Json::object();
+  j.set("a", 1);
+  j.set("b", Json::array({Json(1), Json(2)}));
+  EXPECT_EQ(j.dump(), R"({"a":1,"b":[1,2]})");
+}
+
+TEST(JsonDump, Pretty) {
+  Json j = Json::object();
+  j.set("a", 1);
+  EXPECT_EQ(j.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonDump, DoubleKeepsTypeMarker) {
+  // 2.0 must not serialize as "2" (which would parse back as an int).
+  EXPECT_EQ(Json(2.0).dump(), "2.0");
+  const Json back = Json::parse(Json(2.0).dump());
+  EXPECT_TRUE(back.is_double());
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  EXPECT_EQ(Json("a\"b\n\x01").dump(), R"("a\"b\n\u0001")");
+}
+
+TEST(JsonDump, NonFiniteRejected) {
+  EXPECT_THROW((void)Json(std::numeric_limits<double>::infinity()).dump(), JsonError);
+  EXPECT_THROW((void)Json(std::numeric_limits<double>::quiet_NaN()).dump(), JsonError);
+}
+
+TEST(JsonRoundTrip, ValuesSurviveDumpParse) {
+  const char* docs[] = {
+      R"({"a":1,"b":[1,2.5,"x",null,true],"c":{"d":[{"e":-3}]}})",
+      R"([0.1,1e-9,123456789.25,-0.0078125])",
+      R"("unicode: \u00e9 \ud83d\ude00")",
+  };
+  for (const char* doc : docs) {
+    const Json first = Json::parse(doc);
+    const Json second = Json::parse(first.dump());
+    EXPECT_TRUE(first == second) << doc;
+    // Serialization is deterministic.
+    EXPECT_EQ(first.dump(), second.dump());
+    EXPECT_EQ(first.dump(2), second.dump(2));
+  }
+}
+
+TEST(JsonEquality, NumbersCompareAcrossIntDouble) {
+  EXPECT_TRUE(Json(2) == Json(2.0));
+  EXPECT_FALSE(Json(2) == Json(2.5));
+  EXPECT_FALSE(Json(2) == Json("2"));
+}
+
+}  // namespace
+}  // namespace gtrix

@@ -1,0 +1,183 @@
+// gtrix_campaign: run declarative scenario campaigns.
+//
+//   gtrix_campaign thm13-random-faults --threads=8 --out=results
+//   gtrix_campaign scenarios/*.json --threads=4
+//   gtrix_campaign --list
+//   gtrix_campaign --export=scenarios
+//
+// Each scenario expands into a config matrix, runs through the parallel
+// sweep runner, and produces <out>/<name>.jsonl (one deterministic JSON
+// object per cell) plus <out>/<name>.summary.json (aggregate percentiles,
+// counters, wall time).
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runner/campaign.hpp"
+#include "scenario/registry.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+namespace gtrix {
+namespace {
+
+Usage make_usage(const std::string& program) {
+  Usage usage(program, "Run declarative Gradient TRIX scenario campaigns.");
+  usage.positional("SCENARIO", "scenario .json file or built-in name (--list)");
+  usage.flag("--list", "list built-in scenarios and exit");
+  usage.flag("--export=DIR", "write built-in scenarios as JSON files and exit");
+  usage.flag("--out=DIR", "output directory (default: campaign-out)");
+  usage.flag("--threads=N", "sweep worker threads (default 0 = all cores)");
+  usage.flag("--dry-run", "expand and list cells without running");
+  usage.flag("--quiet", "suppress the per-scenario result table");
+  usage.flag("--help", "show this help");
+  return usage;
+}
+
+void write_file(const std::filesystem::path& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  out << contents;
+  if (!out.flush()) throw std::runtime_error("short write to " + path.string());
+}
+
+int list_builtins() {
+  Table table({"name", "summary", "cells"});
+  for (const BuiltinInfo& info : builtin_scenarios()) {
+    const Scenario scenario = builtin_scenario(info.name);
+    table.row()
+        .add(std::string(info.name))
+        .add(std::string(info.summary))
+        .add(static_cast<std::uint64_t>(scenario.cell_count()));
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int export_builtins(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  for (const BuiltinInfo& info : builtin_scenarios()) {
+    const Json doc = builtin_scenario_doc(info.name);
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / (std::string(info.name) + ".json");
+    write_file(path, doc.dump(2) + "\n");
+    std::printf("wrote %s\n", path.string().c_str());
+  }
+  return 0;
+}
+
+Scenario load_scenario(const std::string& ref) {
+  if (is_builtin_scenario(ref)) return builtin_scenario(ref);
+  return Scenario::from_file(ref);
+}
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv, {"list", "dry-run", "quiet", "help"});
+  const Usage usage = make_usage(flags.program());
+  // Reject typos ("--thread=1") instead of silently using defaults; the
+  // accepted set is exactly what --help documents.
+  const std::vector<std::string> known = usage.flag_names();
+  for (const std::string& name : flags.names()) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::fprintf(stderr, "error: unknown flag --%s (see --help)\n", name.c_str());
+      return 2;
+    }
+  }
+  if (flags.get_bool("help", false)) {
+    std::fputs(usage.str().c_str(), stdout);
+    return 0;
+  }
+  if (flags.get_bool("list", false)) return list_builtins();
+  if (flags.has("export")) {
+    const std::string dir = flags.get_string("export", "");
+    // A bare "--export" parses as the boolean value "true" -- demand a real
+    // directory rather than silently creating one named "true".
+    if (dir.empty() || dir == "true") {
+      std::fputs("error: --export requires a directory (--export=DIR)\n", stderr);
+      return 2;
+    }
+    return export_builtins(dir);
+  }
+
+  const std::vector<std::string>& refs = flags.positional();
+  if (refs.empty()) {
+    std::fputs(usage.str().c_str(), stderr);
+    std::fputs("\nerror: no scenario given\n", stderr);
+    return 2;
+  }
+
+  const std::int64_t threads = flags.get_int("threads", 0);
+  if (threads < 0 || threads > 1024) {
+    std::fprintf(stderr, "error: --threads must be in [0, 1024], got %lld\n",
+                 static_cast<long long>(threads));
+    return 2;
+  }
+  CampaignOptions options;
+  options.threads = static_cast<unsigned>(threads);
+  const std::string out_dir = flags.get_string("out", "campaign-out");
+  const bool dry_run = flags.get_bool("dry-run", false);
+  const bool quiet = flags.get_bool("quiet", false);
+
+  if (!dry_run) std::filesystem::create_directories(out_dir);
+
+  Table table({"scenario", "cells", "local p95", "local max", "within Thm1.1",
+               "wall s", "output"});
+  std::vector<std::string> seen_names;
+  for (const std::string& ref : refs) {
+    const Scenario scenario = load_scenario(ref);
+    // Output files are keyed by the scenario's internal name; two inputs
+    // sharing one name would silently clobber each other's results.
+    if (std::find(seen_names.begin(), seen_names.end(), scenario.name()) !=
+        seen_names.end()) {
+      std::fprintf(stderr, "error: duplicate scenario name '%s' (from %s)\n",
+                   scenario.name().c_str(), ref.c_str());
+      return 2;
+    }
+    seen_names.push_back(scenario.name());
+    if (dry_run) {
+      std::printf("%s: %zu cells\n", scenario.name().c_str(), scenario.cell_count());
+      for (const ScenarioCell& cell : scenario.cells()) {
+        std::printf("  %s\n", cell.label.c_str());
+      }
+      continue;
+    }
+
+    const CampaignResult result = run_campaign(scenario, options);
+    const std::filesystem::path jsonl_path =
+        std::filesystem::path(out_dir) / (result.scenario + ".jsonl");
+    const std::filesystem::path summary_path =
+        std::filesystem::path(out_dir) / (result.scenario + ".summary.json");
+    write_file(jsonl_path, campaign_jsonl(result));
+    const Json summary = campaign_summary(result);
+    write_file(summary_path, summary.dump(2) + "\n");
+
+    table.row()
+        .add(result.scenario)
+        .add(static_cast<std::uint64_t>(result.cells.size()))
+        .add(summary.at("local_skew").at("p95").as_double(), 1)
+        .add(summary.at("local_skew").at("max").as_double(), 1)
+        .add(std::to_string(summary.at("cells_within_thm11_bound").as_int()) + "/" +
+             std::to_string(result.cells.size()))
+        .add(result.wall_seconds, 2)
+        .add(jsonl_path.string());
+  }
+  if (!dry_run && !quiet) std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gtrix
+
+int main(int argc, char** argv) {
+  try {
+    return gtrix::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gtrix_campaign: %s\n", e.what());
+    return 1;
+  }
+}
