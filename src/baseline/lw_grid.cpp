@@ -1,0 +1,120 @@
+#include "baseline/lw_grid.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+LynchWelchGridNode::LynchWelchGridNode(Simulator& sim, Network& net, NetNodeId self,
+                                       HardwareClock clock, std::vector<NetNodeId> preds,
+                                       Params params, std::uint32_t trim, Recorder* recorder)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      clock_(std::move(clock)),
+      preds_(std::move(preds)),
+      params_(params),
+      trim_(trim),
+      recorder_(recorder) {
+  GTRIX_CHECK_MSG(preds_.size() >= 2, "LW grid node needs at least 2 predecessors");
+  // Clamp so the trimmed window keeps at least its two extremes.
+  const auto max_trim = static_cast<std::uint32_t>((preds_.size() - 1) / 2);
+  trim_ = std::min(trim_, max_trim);
+  seen_.assign(preds_.size(), false);
+  slot_arrival_.assign(preds_.size(), 0.0);
+  slot_sigma_.assign(preds_.size(), 0);
+}
+
+int LynchWelchGridNode::slot_of(NetNodeId from) const {
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    if (preds_[i] == from) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void LynchWelchGridNode::on_pulse(NetNodeId from, EdgeId /*edge*/, const Pulse& pulse,
+                                  SimTime now) {
+  const int slot = slot_of(from);
+  if (slot < 0) return;
+  const LocalTime h = clock_.to_local(now);
+  if (seen_[static_cast<std::size_t>(slot)]) {
+    // A second pulse from the same predecessor belongs to the next wave.
+    // Dropping one would leave a wave permanently incomplete (the node only
+    // fires on a FULL reception set), so overflow is a hard error rather
+    // than the silent deadlock a pop_front would cause.
+    GTRIX_CHECK_MSG(pending_.size() < kPendingCap,
+                    "LW grid node pending-queue overflow: predecessors ran more than "
+                    "kPendingCap pulses ahead");
+    pending_.push_back(PendingMsg{from, h, pulse.stamp});
+    return;
+  }
+  process(from, h, pulse.stamp);
+}
+
+void LynchWelchGridNode::process(NetNodeId from, LocalTime h, Sigma sigma) {
+  const auto slot = static_cast<std::size_t>(slot_of(from));
+  seen_[slot] = true;
+  slot_arrival_[slot] = h;
+  slot_sigma_[slot] = sigma;
+  ++seen_count_;
+  if (seen_count_ < preds_.size()) return;
+
+  // Full reception set: trimmed midpoint of the arrival times. Sorting in a
+  // member scratch buffer keeps the per-wave path allocation-free.
+  sort_scratch_.assign(slot_arrival_.begin(), slot_arrival_.end());
+  std::sort(sort_scratch_.begin(), sort_scratch_.end());
+  const LocalTime lo = sort_scratch_[trim_];
+  const LocalTime hi = sort_scratch_[sort_scratch_.size() - 1 - trim_];
+  const LocalTime target = (lo + hi) / 2.0 + params_.lambda - params_.d;
+  fire_timer_ = sim_.at(clock_.to_real(std::max(target, clock_.to_local(sim_.now()))), this,
+                        kFire, EventPayload{});
+}
+
+void LynchWelchGridNode::on_timer(const Event& event) {
+  fire_timer_.reset();
+  fire(event.time);
+}
+
+void LynchWelchGridNode::fire(SimTime now) {
+  const Sigma sigma = estimate_sigma();
+  if (recorder_ != nullptr) recorder_->record_pulse(self_, sigma, now);
+  ++forwarded_;
+  net_.broadcast(self_, Pulse{sigma});
+  reset();
+  // Deliver each predecessor's earliest queued pulse into the new wave,
+  // LEAVING later duplicates queued: a predecessor two waves ahead must not
+  // lose its second queued pulse (per-predecessor order within the deque is
+  // arrival order, so a front-to-back scan takes the earliest first).
+  for (auto it = pending_.begin(); it != pending_.end() && seen_count_ < preds_.size();) {
+    if (seen_[static_cast<std::size_t>(slot_of(it->from))]) {
+      ++it;
+      continue;
+    }
+    const PendingMsg msg = *it;
+    it = pending_.erase(it);
+    process(msg.from, msg.h_arrival, msg.sigma);
+  }
+}
+
+void LynchWelchGridNode::reset() {
+  std::fill(seen_.begin(), seen_.end(), false);
+  std::fill(slot_sigma_.begin(), slot_sigma_.end(), 0);
+  seen_count_ = 0;
+  sim_.cancel(fire_timer_);
+}
+
+Sigma LynchWelchGridNode::estimate_sigma() const {
+  // Majority stamp over the full reception set, falling back to the own
+  // copy's stamp (slot 0).
+  for (std::size_t i = 0; i < slot_sigma_.size(); ++i) {
+    std::size_t same = 0;
+    for (std::size_t j = 0; j < slot_sigma_.size(); ++j) {
+      same += slot_sigma_[j] == slot_sigma_[i] ? 1U : 0U;
+    }
+    if (same * 2 > slot_sigma_.size()) return slot_sigma_[i];
+  }
+  return slot_sigma_[0];
+}
+
+}  // namespace gtrix

@@ -1,0 +1,81 @@
+// Baseline: Lynch-Welch-style trimmed-midpoint forwarding [WL88] adapted to
+// the TRIX grid (paper Table 1, row "LW", transplanted from the complete
+// graph onto the layered topology).
+//
+// Each node collects the reception times of ALL its predecessors' pulses,
+// discards the `trim` earliest and `trim` latest, and fires Lambda - d
+// local time after the midpoint of the remaining extremes. This is the
+// classic approximate-agreement correction; unlike Gradient TRIX it has no
+// gradient property and unlike naive TRIX it needs every predecessor to
+// pulse (a silent predecessor stalls it), so the config layer rejects fault
+// plans for it outright.
+//
+// The closed-form complete-graph simulation lives in baseline/lynch_welch.*;
+// this node exists so the same algorithm family is addressable through the
+// AlgorithmProvider registry on any topology.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "clock/hardware_clock.hpp"
+#include "core/params.hpp"
+#include "metrics/recorder.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace gtrix {
+
+class LynchWelchGridNode final : public PulseSink, public TimerTarget {
+ public:
+  /// `preds` lists the predecessors' network ids, own copy first (exactly
+  /// Grid::predecessors). `trim` receptions are discarded on each side; it
+  /// is clamped so at least two receptions survive.
+  LynchWelchGridNode(Simulator& sim, Network& net, NetNodeId self, HardwareClock clock,
+                     std::vector<NetNodeId> preds, Params params, std::uint32_t trim,
+                     Recorder* recorder);
+
+  void on_pulse(NetNodeId from, EdgeId edge, const Pulse& pulse, SimTime now) override;
+  void on_timer(const Event& event) override;
+
+  std::uint64_t pulses_forwarded() const noexcept { return forwarded_; }
+  std::uint32_t effective_trim() const noexcept { return trim_; }
+
+ private:
+  enum TimerKind : std::uint32_t { kFire = 1 };
+
+  static constexpr std::size_t kPendingCap = 32;
+
+  struct PendingMsg {
+    NetNodeId from;
+    LocalTime h_arrival;
+    Sigma sigma;
+  };
+
+  int slot_of(NetNodeId from) const;
+  void process(NetNodeId from, LocalTime h, Sigma sigma);
+  void fire(SimTime now);
+  void reset();
+  Sigma estimate_sigma() const;
+
+  Simulator& sim_;
+  Network& net_;
+  NetNodeId self_;
+  HardwareClock clock_;
+  std::vector<NetNodeId> preds_;
+  Params params_;
+  std::uint32_t trim_;
+  Recorder* recorder_;
+
+  std::vector<bool> seen_;
+  std::vector<LocalTime> slot_arrival_;
+  std::vector<Sigma> slot_sigma_;
+  std::vector<LocalTime> sort_scratch_;
+  std::size_t seen_count_ = 0;
+  TimerHandle fire_timer_;
+  std::deque<PendingMsg> pending_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace gtrix

@@ -2,10 +2,49 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 
 #include "support/check.hpp"
+#include "support/json.hpp"
 
 namespace gtrix {
+
+namespace {
+
+struct FaultName {
+  FaultKind value;
+  std::string_view name;
+};
+
+constexpr FaultName kFaultNames[] = {
+    {FaultKind::kCrash, "crash"},
+    {FaultKind::kMuteAfter, "mute-after"},
+    {FaultKind::kStaticOffset, "static-offset"},
+    {FaultKind::kSplit, "split"},
+    {FaultKind::kJitter, "jitter"},
+    {FaultKind::kFixedPeriod, "fixed-period"},
+};
+
+}  // namespace
+
+std::string_view to_string(FaultKind v) {
+  for (const FaultName& entry : kFaultNames) {
+    if (entry.value == v) return entry.name;
+  }
+  return "?";
+}
+
+FaultKind fault_kind_from_string(std::string_view s) {
+  for (const FaultName& entry : kFaultNames) {
+    if (entry.name == s) return entry.value;
+  }
+  std::string valid;
+  for (const FaultName& entry : kFaultNames) {
+    if (!valid.empty()) valid += ", ";
+    valid += entry.name;
+  }
+  throw JsonError("unknown fault kind '" + std::string(s) + "' (valid: " + valid + ")");
+}
 
 FaultSpec FaultSpec::static_offset(double offset) {
   FaultSpec s;

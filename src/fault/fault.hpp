@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "graph/grid.hpp"
@@ -60,6 +61,12 @@ struct PlacedFault {
 
   bool operator==(const PlacedFault&) const = default;
 };
+
+/// Canonical kind names shared by the scenario parser, result emission and
+/// error messages.
+std::string_view to_string(FaultKind v);
+/// Throws JsonError-compatible std::runtime_error listing the valid names.
+FaultKind fault_kind_from_string(std::string_view s);
 
 /// Options for random fault placement.
 struct PlacementOptions {

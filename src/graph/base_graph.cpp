@@ -15,7 +15,6 @@ constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
 BaseGraph BaseGraph::line_replicated(std::uint32_t columns) {
   GTRIX_CHECK_MSG(columns >= 2, "line needs at least 2 columns");
   BaseGraph g;
-  g.kind_ = BaseGraphKind::kLineReplicated;
   g.column_count_ = columns;
   // Node layout: 0 and 1 are the two replicas in column 0; 2 .. columns-1
   // are the interior nodes of columns 1 .. columns-2; the last two ids are
@@ -73,7 +72,6 @@ BaseGraph BaseGraph::cycle_wide(std::uint32_t n, std::uint32_t reach) {
   GTRIX_CHECK_MSG(reach >= 1, "reach must be at least 1");
   GTRIX_CHECK_MSG(n > 2 * reach, "cycle needs more than 2*reach nodes");
   BaseGraph g;
-  g.kind_ = BaseGraphKind::kCycle;
   g.column_count_ = n;
   g.adjacency_.resize(n);
   g.columns_.resize(n);
@@ -92,10 +90,37 @@ BaseGraph BaseGraph::cycle_wide(std::uint32_t n, std::uint32_t reach) {
   return g;
 }
 
+BaseGraph BaseGraph::torus(std::uint32_t rows, std::uint32_t cols) {
+  GTRIX_CHECK_MSG(rows >= 3, "torus needs at least 3 rows");
+  GTRIX_CHECK_MSG(cols >= 3, "torus needs at least 3 columns");
+  BaseGraph g;
+  g.column_count_ = cols;
+  const std::uint32_t n = rows * cols;
+  g.adjacency_.resize(n);
+  g.columns_.resize(n);
+  g.is_replica_.assign(n, false);
+  g.column_nodes_.resize(cols);
+  auto id = [&](std::uint32_t r, std::uint32_t c) -> BaseNodeId { return r * cols + c; };
+  auto connect = [&](BaseNodeId a, BaseNodeId b) {
+    g.adjacency_[a].push_back(b);
+    g.adjacency_[b].push_back(a);
+  };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      const BaseNodeId v = id(r, c);
+      g.columns_[v] = c;
+      g.column_nodes_[c].push_back(v);
+      connect(v, id(r, (c + 1) % cols));
+      connect(v, id((r + 1) % rows, c));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
 BaseGraph BaseGraph::path(std::uint32_t n) {
   GTRIX_CHECK_MSG(n >= 2, "path needs at least 2 nodes");
   BaseGraph g;
-  g.kind_ = BaseGraphKind::kPath;
   g.column_count_ = n;
   g.adjacency_.resize(n);
   g.columns_.resize(n);

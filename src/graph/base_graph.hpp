@@ -18,6 +18,10 @@ namespace gtrix {
 
 using BaseNodeId = std::uint32_t;
 
+/// Legacy closed enumeration of base-graph shapes, kept as a thin adapter
+/// for ExperimentConfig source compatibility. New topologies (e.g. the
+/// torus) exist only as registered TopologyProvider kinds and have no enum
+/// value -- see registry/topology.hpp.
 enum class BaseGraphKind {
   kLineReplicated,  ///< paper default (Fig. 2)
   kCycle,
@@ -44,7 +48,12 @@ class BaseGraph {
   /// Path on `n >= 2` nodes (minimum degree 1).
   static BaseGraph path(std::uint32_t n);
 
-  BaseGraphKind kind() const noexcept { return kind_; }
+  /// 2D torus: `rows` rings of `cols` nodes, wrapping in both dimensions.
+  /// Node (r, c) sits in column c; min degree 4, diameter
+  /// floor(rows/2) + floor(cols/2). Requires rows >= 3 and cols >= 3 so the
+  /// wraparound creates no parallel edges.
+  static BaseGraph torus(std::uint32_t rows, std::uint32_t cols);
+
   std::uint32_t node_count() const noexcept { return static_cast<std::uint32_t>(adjacency_.size()); }
   std::uint32_t edge_count() const;
 
@@ -80,7 +89,6 @@ class BaseGraph {
   BaseGraph() = default;
   void finalize();  // sorts adjacency, computes distances/diameter
 
-  BaseGraphKind kind_ = BaseGraphKind::kPath;
   std::vector<std::vector<BaseNodeId>> adjacency_;
   std::vector<std::uint32_t> columns_;
   std::vector<std::vector<BaseNodeId>> column_nodes_;

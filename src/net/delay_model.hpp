@@ -1,9 +1,9 @@
-// Strategies for assigning static per-edge delays delta_e in [d-u, d].
+// Legacy closed enumeration of delay strategies, kept as a thin adapter on
+// ExperimentConfig for source compatibility. The implementations live as
+// registered DelayProvider kinds in registry/delay.cpp (the single home of
+// the sampling semantics); new strategies exist only there, without enum
+// values.
 #pragma once
-
-#include <cstdint>
-
-#include "support/rng.hpp"
 
 namespace gtrix {
 
@@ -18,18 +18,6 @@ enum class DelayModelKind {
                       ///< measurement overestimates by u, the consistent
                       ///< overshoot the jump condition exists to damp
                       ///< (Figure 5 scenario)
-};
-
-struct DelayModel {
-  DelayModelKind kind = DelayModelKind::kUniformRandom;
-  double d = 1000.0;  ///< maximum end-to-end delay
-  double u = 10.0;    ///< delay uncertainty
-  std::uint32_t split_column = 0;  ///< for kColumnSplit
-
-  /// Delay for an edge described by its endpoints' columns and layers.
-  /// `rng` is consumed only by the random model.
-  double sample(std::uint32_t from_column, std::uint32_t to_column,
-                std::uint32_t from_layer, std::uint32_t to_layer, Rng& rng) const;
 };
 
 }  // namespace gtrix

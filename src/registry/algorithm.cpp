@@ -1,0 +1,188 @@
+#include "registry/algorithm.hpp"
+
+#include <utility>
+
+#include "baseline/lw_grid.hpp"
+#include "baseline/trix_node.hpp"
+#include "core/gradient_node.hpp"
+#include "support/check.hpp"
+
+namespace gtrix {
+
+void NodeModel::set_send_override(SendOverride) {
+  GTRIX_CHECK_MSG(false, "this algorithm does not support send-behaviour faults");
+}
+
+void NodeModel::corrupt_state(Rng&) {
+  GTRIX_CHECK_MSG(false, "this algorithm does not support state corruption");
+}
+
+namespace {
+
+class GradientNodeModel final : public NodeModel {
+ public:
+  GradientNodeModel(NodeContext ctx, bool simplified) {
+    GradientNodeConfig config;
+    config.params = ctx.params;
+    config.simplified = simplified;
+    config.self_stabilizing = ctx.self_stabilizing;
+    config.jump_condition = ctx.jump_condition;
+    config.trim = ctx.trim;
+    config.skew_bound_hint = ctx.params.thm11_bound(ctx.diameter);
+    config.broadcast_offset = ctx.broadcast_offset;
+    node_ = std::make_unique<GradientTrixNode>(ctx.sim, ctx.net, ctx.self, std::move(ctx.clock),
+                                               std::move(ctx.preds), config, ctx.recorder);
+  }
+
+  PulseSink& sink() override { return *node_; }
+  void set_send_override(SendOverride fn) override { node_->set_send_override(std::move(fn)); }
+  void corrupt_state(Rng& rng) override { node_->corrupt_state(rng); }
+
+  void add_counters(ExperimentCounters& total) const override {
+    const auto& c = node_->counters();
+    total.iterations += c.iterations;
+    total.late_broadcasts += c.late_broadcasts;
+    total.guard_aborts += c.guard_aborts;
+    total.watchdog_resets += c.watchdog_resets;
+    total.timeout_branches += c.timeout_branches;
+    total.duplicate_drops += c.duplicate_drops;
+  }
+
+  GradientTrixNode* gradient() noexcept override { return node_.get(); }
+
+ private:
+  std::unique_ptr<GradientTrixNode> node_;
+};
+
+class GradientProvider final : public AlgorithmProvider {
+ public:
+  explicit GradientProvider(bool simplified) : simplified_(simplified) {}
+
+  AlgorithmCaps caps() const override {
+    return AlgorithmCaps{.send_fault_overrides = true,
+                         .state_corruption = true,
+                         .tolerates_silent_preds = true};
+  }
+
+  std::unique_ptr<NodeModel> make_node(NodeContext ctx) const override {
+    return std::make_unique<GradientNodeModel>(std::move(ctx), simplified_);
+  }
+
+ private:
+  bool simplified_;
+};
+
+class TrixNaiveNodeModel final : public NodeModel {
+ public:
+  explicit TrixNaiveNodeModel(NodeContext ctx)
+      : node_(std::make_unique<TrixNaiveNode>(ctx.sim, ctx.net, ctx.self, std::move(ctx.clock),
+                                              std::move(ctx.preds), ctx.params, ctx.recorder)) {}
+
+  PulseSink& sink() override { return *node_; }
+
+ private:
+  std::unique_ptr<TrixNaiveNode> node_;
+};
+
+class TrixNaiveProvider final : public AlgorithmProvider {
+ public:
+  AlgorithmCaps caps() const override {
+    // Waits only for the *second* pulse copy, so one silent predecessor per
+    // node is survivable; send-behaviour faults and corruption are not.
+    return AlgorithmCaps{.send_fault_overrides = false,
+                         .state_corruption = false,
+                         .tolerates_silent_preds = true};
+  }
+
+  std::unique_ptr<NodeModel> make_node(NodeContext ctx) const override {
+    return std::make_unique<TrixNaiveNodeModel>(std::move(ctx));
+  }
+};
+
+class LynchWelchNodeModel final : public NodeModel {
+ public:
+  explicit LynchWelchNodeModel(NodeContext ctx)
+      : node_(std::make_unique<LynchWelchGridNode>(ctx.sim, ctx.net, ctx.self,
+                                                   std::move(ctx.clock), std::move(ctx.preds),
+                                                   ctx.params, ctx.trim, ctx.recorder)) {}
+
+  PulseSink& sink() override { return *node_; }
+
+ private:
+  std::unique_ptr<LynchWelchGridNode> node_;
+};
+
+class LynchWelchProvider final : public AlgorithmProvider {
+ public:
+  AlgorithmCaps caps() const override {
+    // Needs every predecessor's pulse before it corrects, so any silent
+    // node upstream stalls it -- the config layer rejects fault plans.
+    return AlgorithmCaps{};
+  }
+
+  std::unique_ptr<NodeModel> make_node(NodeContext ctx) const override {
+    return std::make_unique<LynchWelchNodeModel>(std::move(ctx));
+  }
+};
+
+void register_builtins(ComponentRegistry<AlgorithmProvider>& reg) {
+  reg.add("gradient-full", "Algorithm 3 (optionally with Algorithm 4 guards)", {},
+          [](const ComponentSpec&) { return std::make_shared<const GradientProvider>(false); });
+  reg.add("gradient-simplified", "Algorithm 1 (fault-free settings only)", {},
+          [](const ComponentSpec&) { return std::make_shared<const GradientProvider>(true); });
+  reg.add("trix-naive", "baseline [LW20]: forward on the second pulse copy", {},
+          [](const ComponentSpec&) { return std::make_shared<const TrixNaiveProvider>(); });
+  // Like the gradient kinds, lynch-welch reads the config-level `trim`
+  // field (clamped per node so the trimmed window keeps its extremes).
+  reg.add("lynch-welch",
+          "trimmed-midpoint approximate agreement [WL88] adapted to the grid", {},
+          [](const ComponentSpec&) { return std::make_shared<const LynchWelchProvider>(); });
+}
+
+}  // namespace
+
+ComponentRegistry<AlgorithmProvider>& algorithm_registry() {
+  static ComponentRegistry<AlgorithmProvider>* registry = [] {
+    auto* reg = new ComponentRegistry<AlgorithmProvider>("algorithm");
+    register_builtins(*reg);
+    return reg;
+  }();
+  return *registry;
+}
+
+ComponentSpec algorithm_spec_from_legacy(Algorithm kind) {
+  switch (kind) {
+    case Algorithm::kGradientFull: return ComponentSpec::of("gradient-full");
+    case Algorithm::kGradientSimplified: return ComponentSpec::of("gradient-simplified");
+    case Algorithm::kTrixNaive: return ComponentSpec::of("trix-naive");
+  }
+  return ComponentSpec::of("gradient-full");
+}
+
+bool algorithm_spec_to_legacy(const ComponentSpec& canonical, Algorithm& kind) {
+  if (canonical.kind == "gradient-full") kind = Algorithm::kGradientFull;
+  else if (canonical.kind == "gradient-simplified") kind = Algorithm::kGradientSimplified;
+  else if (canonical.kind == "trix-naive") kind = Algorithm::kTrixNaive;
+  else return false;
+  return true;
+}
+
+std::string_view to_string(Algorithm v) {
+  switch (v) {
+    case Algorithm::kGradientFull: return "gradient-full";
+    case Algorithm::kGradientSimplified: return "gradient-simplified";
+    case Algorithm::kTrixNaive: return "trix-naive";
+  }
+  return "?";
+}
+
+Algorithm algorithm_from_string(std::string_view s) {
+  Algorithm kind = Algorithm::kGradientFull;
+  const ComponentSpec spec = algorithm_registry().canonicalize(ComponentSpec::of(std::string(s)));
+  if (!algorithm_spec_to_legacy(spec, kind)) {
+    throw JsonError("algorithm '" + std::string(s) + "' has no legacy enum value");
+  }
+  return kind;
+}
+
+}  // namespace gtrix

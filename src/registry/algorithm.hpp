@@ -1,0 +1,123 @@
+// AlgorithmProvider: pluggable per-node algorithm construction behind one
+// pulse-sink contract.
+//
+// A NodeModel wraps one algorithm-layer grid node (GradientTrixNode, the
+// naive TRIX baseline, the Lynch-Welch-style trimmed-midpoint node, or any
+// registered extension) and exposes the uniform surface World wires:
+// the PulseSink, the fault hooks, state corruption and counters. Providers
+// declare capabilities so the config layer can reject fault plans and
+// corruption schedules an algorithm cannot honor -- a hard, path-qualified
+// error instead of the silent no-op the enum-era World performed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "clock/hardware_clock.hpp"
+#include "core/params.hpp"
+#include "metrics/recorder.hpp"
+#include "net/network.hpp"
+#include "registry/registry.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace gtrix {
+
+class GradientTrixNode;
+
+/// Legacy closed enumeration of algorithms, kept as a thin adapter for
+/// ExperimentConfig source compatibility. New algorithms (e.g. the
+/// Lynch-Welch grid adaptation) exist only as registered kinds.
+enum class Algorithm {
+  kGradientFull,        ///< Algorithm 3 (optionally with Algorithm 4 guards)
+  kGradientSimplified,  ///< Algorithm 1 (fault-free settings only)
+  kTrixNaive,           ///< baseline [LW20]
+};
+
+/// Aggregated algorithm counters (summed over all nodes by World).
+struct ExperimentCounters {
+  std::uint64_t iterations = 0;
+  std::uint64_t late_broadcasts = 0;
+  std::uint64_t guard_aborts = 0;
+  std::uint64_t watchdog_resets = 0;
+  std::uint64_t timeout_branches = 0;
+  std::uint64_t duplicate_drops = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t messages_sent = 0;
+};
+
+/// What an algorithm can be asked to do. The scenario layer checks these
+/// when resolving a config; World re-checks as a hard backstop.
+struct AlgorithmCaps {
+  /// Send-behaviour faults (static-offset / split / jitter / mute-after)
+  /// can be installed on this algorithm's nodes.
+  bool send_fault_overrides = false;
+  /// corrupt_fraction / Theorem 1.6 transient-fault workloads.
+  bool state_corruption = false;
+  /// Keeps making progress when a predecessor never pulses (crash or
+  /// fixed-period faults anywhere in the grid).
+  bool tolerates_silent_preds = false;
+};
+
+/// Replaces a node's default broadcast (fault wrappers). Same contract as
+/// GradientTrixNode::SendOverride.
+using SendOverride = std::function<void(const Pulse&, SimTime)>;
+
+/// Everything needed to build one algorithm-layer node.
+struct NodeContext {
+  Simulator& sim;
+  Network& net;
+  NetNodeId self;
+  HardwareClock clock;
+  std::vector<NetNodeId> preds;  ///< own copy first (Grid::predecessors)
+  Params params;
+  std::uint32_t diameter = 0;        ///< base-graph diameter D
+  std::uint32_t trim = 0;            ///< trimmed-aggregation extension
+  bool self_stabilizing = false;
+  bool jump_condition = true;
+  double broadcast_offset = 0.0;     ///< static fault shift (0 when correct)
+  Recorder* recorder = nullptr;
+};
+
+/// One constructed algorithm node; owns the underlying object.
+class NodeModel {
+ public:
+  virtual ~NodeModel() = default;
+
+  virtual PulseSink& sink() = 0;
+
+  /// Fault hooks. World only calls these when the provider's caps() allow
+  /// it (the config layer rejects mismatches earlier with path context).
+  virtual void set_send_override(SendOverride fn);
+  virtual void corrupt_state(Rng& rng);
+
+  virtual void add_counters(ExperimentCounters& /*total*/) const {}
+
+  /// The wrapped GradientTrixNode, for harnesses that poke gradient
+  /// internals (World::gradient_node); null for other algorithms.
+  virtual GradientTrixNode* gradient() noexcept { return nullptr; }
+};
+
+class AlgorithmProvider {
+ public:
+  virtual ~AlgorithmProvider() = default;
+
+  virtual AlgorithmCaps caps() const = 0;
+  virtual std::unique_ptr<NodeModel> make_node(NodeContext ctx) const = 0;
+};
+
+/// Global registry; built-ins (gradient-full, gradient-simplified,
+/// trix-naive, lynch-welch) register on first access.
+ComponentRegistry<AlgorithmProvider>& algorithm_registry();
+
+// --- legacy enum adapters ---------------------------------------------------
+ComponentSpec algorithm_spec_from_legacy(Algorithm kind);
+bool algorithm_spec_to_legacy(const ComponentSpec& canonical, Algorithm& kind);
+
+std::string_view to_string(Algorithm v);
+Algorithm algorithm_from_string(std::string_view s);
+
+}  // namespace gtrix

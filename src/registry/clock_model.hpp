@@ -1,0 +1,59 @@
+// ClockModelProvider: pluggable per-node hardware-clock construction.
+//
+// Built-ins: random-static (paper default: per-node rate uniform in
+// [1, theta]), all-fast, all-slow, alternating, and drift-walk (bounded
+// random-walk rate schedule -- time-varying drift, which the static models
+// cannot express; stresses the GCS gradient property under rate changes).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "clock/hardware_clock.hpp"
+#include "core/params.hpp"
+#include "registry/registry.hpp"
+#include "support/rng.hpp"
+
+namespace gtrix {
+
+/// Legacy closed enumeration of clock models, kept as a thin adapter for
+/// ExperimentConfig source compatibility. New models (e.g. drift-walk)
+/// exist only as registered ClockModelProvider kinds.
+enum class ClockModelKind {
+  kRandomStatic,  ///< per-node rate uniform in [1, theta]
+  kAllFast,       ///< every clock at rate theta
+  kAllSlow,       ///< every clock at rate 1
+  kAlternating,   ///< rate alternates 1 / theta by column (drift stress)
+};
+
+/// Everything a clock model may read when building one node's clock.
+struct ClockContext {
+  std::uint32_t column = 0;
+  std::uint32_t layer = 0;
+  Params params;
+  /// Real-time horizon the run will plausibly reach; rate schedules freeze
+  /// at their last breakpoint beyond it.
+  double horizon = 0.0;
+};
+
+class ClockModelProvider {
+ public:
+  virtual ~ClockModelProvider() = default;
+
+  /// Builds one node's clock. Called once per node in deterministic grid
+  /// order; implementations must draw from `rng` deterministically (the
+  /// draw count may depend only on ctx and the provider's parameters).
+  virtual HardwareClock make(const ClockContext& ctx, Rng& rng) const = 0;
+};
+
+/// Global registry; built-ins register on first access.
+ComponentRegistry<ClockModelProvider>& clock_model_registry();
+
+// --- legacy enum adapters ---------------------------------------------------
+ComponentSpec clock_spec_from_legacy(ClockModelKind kind);
+bool clock_spec_to_legacy(const ComponentSpec& canonical, ClockModelKind& kind);
+
+std::string_view to_string(ClockModelKind v);
+ClockModelKind clock_model_from_string(std::string_view s);
+
+}  // namespace gtrix

@@ -1,0 +1,135 @@
+#include "registry/delay.hpp"
+
+namespace gtrix {
+
+namespace {
+
+class UniformRandomDelay final : public DelayProvider {
+ public:
+  double sample(const DelayContext& ctx, Rng& rng) const override {
+    return rng.uniform(ctx.d - ctx.u, ctx.d);
+  }
+};
+
+class AllMaxDelay final : public DelayProvider {
+ public:
+  double sample(const DelayContext& ctx, Rng&) const override { return ctx.d; }
+};
+
+class AllMinDelay final : public DelayProvider {
+ public:
+  double sample(const DelayContext& ctx, Rng&) const override { return ctx.d - ctx.u; }
+};
+
+class ColumnSplitDelay final : public DelayProvider {
+ public:
+  explicit ColumnSplitDelay(std::uint32_t split_column) : split_column_(split_column) {}
+  double sample(const DelayContext& ctx, Rng&) const override {
+    return ctx.from_column < split_column_ ? ctx.d - ctx.u : ctx.d;
+  }
+
+ private:
+  std::uint32_t split_column_;
+};
+
+class AlternatingDelay final : public DelayProvider {
+ public:
+  double sample(const DelayContext& ctx, Rng&) const override {
+    return (ctx.to_column % 2 == 0) ? ctx.d : ctx.d - ctx.u;
+  }
+};
+
+class OwnSlowCrossFastDelay final : public DelayProvider {
+ public:
+  double sample(const DelayContext& ctx, Rng&) const override {
+    return ctx.from_column == ctx.to_column ? ctx.d : ctx.d - ctx.u;
+  }
+};
+
+void register_builtins(ComponentRegistry<DelayProvider>& reg) {
+  reg.add("uniform-random", "i.i.d. uniform in [d-u, d] (default realistic model)", {},
+          [](const ComponentSpec&) { return std::make_shared<const UniformRandomDelay>(); });
+  reg.add("all-max", "every edge at d", {},
+          [](const ComponentSpec&) { return std::make_shared<const AllMaxDelay>(); });
+  reg.add("all-min", "every edge at d-u", {},
+          [](const ComponentSpec&) { return std::make_shared<const AllMinDelay>(); });
+  reg.add("column-split",
+          "edges leaving columns < split_column get d-u, others d (Fig. 1 adversary)",
+          {{"split_column", ParamType::kInt, Json(0),
+            "first column whose outgoing edges run at the maximum delay"}},
+          [](const ComponentSpec& spec) {
+            const std::int64_t split = spec.params.at("split_column").as_int();
+            if (split < 0) throw JsonError("column-split: split_column must be >= 0");
+            return std::make_shared<const ColumnSplitDelay>(static_cast<std::uint32_t>(split));
+          });
+  reg.add("alternating", "d / d-u alternating by destination-column parity", {},
+          [](const ComponentSpec&) { return std::make_shared<const AlternatingDelay>(); });
+  reg.add("own-slow-cross-fast",
+          "own-copy edges d, cross edges d-u: consistent overshoot (Figure 5 scenario)", {},
+          [](const ComponentSpec&) { return std::make_shared<const OwnSlowCrossFastDelay>(); });
+}
+
+}  // namespace
+
+ComponentRegistry<DelayProvider>& delay_registry() {
+  static ComponentRegistry<DelayProvider>* registry = [] {
+    auto* reg = new ComponentRegistry<DelayProvider>("delay model");
+    register_builtins(*reg);
+    return reg;
+  }();
+  return *registry;
+}
+
+ComponentSpec delay_spec_from_legacy(DelayModelKind kind, std::uint32_t split_column) {
+  switch (kind) {
+    case DelayModelKind::kUniformRandom: return ComponentSpec::of("uniform-random");
+    case DelayModelKind::kAllMax: return ComponentSpec::of("all-max");
+    case DelayModelKind::kAllMin: return ComponentSpec::of("all-min");
+    case DelayModelKind::kColumnSplit: {
+      ComponentSpec spec = ComponentSpec::of("column-split");
+      spec.params.set("split_column", static_cast<std::int64_t>(split_column));
+      return spec;
+    }
+    case DelayModelKind::kAlternating: return ComponentSpec::of("alternating");
+    case DelayModelKind::kOwnSlowCrossFast: return ComponentSpec::of("own-slow-cross-fast");
+  }
+  return ComponentSpec::of("uniform-random");
+}
+
+bool delay_spec_to_legacy(const ComponentSpec& canonical, DelayModelKind& kind,
+                          std::uint32_t& split_column) {
+  if (canonical.kind == "uniform-random") kind = DelayModelKind::kUniformRandom;
+  else if (canonical.kind == "all-max") kind = DelayModelKind::kAllMax;
+  else if (canonical.kind == "all-min") kind = DelayModelKind::kAllMin;
+  else if (canonical.kind == "column-split") {
+    kind = DelayModelKind::kColumnSplit;
+    split_column = static_cast<std::uint32_t>(canonical.params.at("split_column").as_int());
+  } else if (canonical.kind == "alternating") kind = DelayModelKind::kAlternating;
+  else if (canonical.kind == "own-slow-cross-fast") kind = DelayModelKind::kOwnSlowCrossFast;
+  else return false;
+  return true;
+}
+
+std::string_view to_string(DelayModelKind v) {
+  switch (v) {
+    case DelayModelKind::kUniformRandom: return "uniform-random";
+    case DelayModelKind::kAllMax: return "all-max";
+    case DelayModelKind::kAllMin: return "all-min";
+    case DelayModelKind::kColumnSplit: return "column-split";
+    case DelayModelKind::kAlternating: return "alternating";
+    case DelayModelKind::kOwnSlowCrossFast: return "own-slow-cross-fast";
+  }
+  return "?";
+}
+
+DelayModelKind delay_model_from_string(std::string_view s) {
+  DelayModelKind kind = DelayModelKind::kUniformRandom;
+  std::uint32_t split = 0;
+  const ComponentSpec spec = delay_registry().canonicalize(ComponentSpec::of(std::string(s)));
+  if (!delay_spec_to_legacy(spec, kind, split)) {
+    throw JsonError("delay model '" + std::string(s) + "' has no legacy enum value");
+  }
+  return kind;
+}
+
+}  // namespace gtrix

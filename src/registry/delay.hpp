@@ -1,0 +1,47 @@
+// DelayProvider: pluggable per-edge delay assignment in [d-u, d].
+//
+// Mirrors the historical DelayModelKind strategies as registered kinds;
+// column-split's split column is a component parameter instead of a
+// config-level field.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/delay_model.hpp"
+#include "registry/registry.hpp"
+#include "support/rng.hpp"
+
+namespace gtrix {
+
+/// One edge, described by its endpoints, plus the model bounds.
+struct DelayContext {
+  std::uint32_t from_column = 0;
+  std::uint32_t to_column = 0;
+  std::uint32_t from_layer = 0;
+  std::uint32_t to_layer = 0;
+  double d = 1000.0;  ///< maximum end-to-end delay
+  double u = 10.0;    ///< delay uncertainty
+};
+
+class DelayProvider {
+ public:
+  virtual ~DelayProvider() = default;
+
+  /// Delay for one edge; must lie in [d-u, d]. `rng` is consumed only by
+  /// randomized providers (edge order is deterministic, so draws are too).
+  virtual double sample(const DelayContext& ctx, Rng& rng) const = 0;
+};
+
+/// Global registry; built-ins register on first access.
+ComponentRegistry<DelayProvider>& delay_registry();
+
+// --- legacy enum adapters ---------------------------------------------------
+ComponentSpec delay_spec_from_legacy(DelayModelKind kind, std::uint32_t split_column);
+bool delay_spec_to_legacy(const ComponentSpec& canonical, DelayModelKind& kind,
+                          std::uint32_t& split_column);
+
+std::string_view to_string(DelayModelKind v);
+DelayModelKind delay_model_from_string(std::string_view s);
+
+}  // namespace gtrix

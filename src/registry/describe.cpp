@@ -1,0 +1,46 @@
+#include "registry/describe.hpp"
+
+#include "registry/algorithm.hpp"
+#include "registry/clock_model.hpp"
+#include "registry/delay.hpp"
+#include "registry/topology.hpp"
+
+namespace gtrix {
+
+namespace {
+
+template <typename Provider>
+void collect(const ComponentRegistry<Provider>& registry, const std::string& config_key,
+             std::vector<ComponentDesc>& out) {
+  for (const auto& entry : registry.entries()) {
+    out.push_back(ComponentDesc{config_key, registry.dimension(), entry.kind, entry.summary,
+                                entry.params});
+  }
+}
+
+}  // namespace
+
+std::vector<ComponentDesc> all_component_descs() {
+  std::vector<ComponentDesc> out;
+  collect(topology_registry(), "base_graph", out);
+  collect(clock_model_registry(), "clock_model", out);
+  collect(delay_registry(), "delay_model", out);
+  collect(algorithm_registry(), "algorithm", out);
+  return out;
+}
+
+std::string render_param_schema(const std::vector<ParamInfo>& params) {
+  std::string out;
+  for (const ParamInfo& info : params) {
+    if (!out.empty()) out += ", ";
+    out += info.name;
+    out += " (";
+    out += param_type_name(info.type);
+    out += ", default ";
+    out += info.default_value.dump();
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace gtrix

@@ -1,0 +1,29 @@
+// Uniform enumeration of all registered components across the four
+// dimensions, for `gtrix_campaign --list` / `--describe` and for tests that
+// assert the self-describing property.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "registry/component.hpp"
+
+namespace gtrix {
+
+struct ComponentDesc {
+  std::string config_key;  ///< scenario JSON key ("base_graph", "clock_model", ...)
+  std::string dimension;   ///< human name ("base graph", "clock model", ...)
+  std::string kind;
+  std::string summary;
+  std::vector<ParamInfo> params;
+};
+
+/// Every registered component, grouped by dimension in a fixed order
+/// (topology, clock, delay, algorithm), kinds in registration order.
+std::vector<ComponentDesc> all_component_descs();
+
+/// Compact one-line rendering of a schema: "reach (int, default 1)" --
+/// empty string for parameterless kinds.
+std::string render_param_schema(const std::vector<ParamInfo>& params);
+
+}  // namespace gtrix

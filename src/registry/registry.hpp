@@ -1,0 +1,185 @@
+// Self-describing component registries: the experiment-assembly API.
+//
+// Each experiment dimension (topology, clock model, delay model, algorithm)
+// owns one ComponentRegistry mapping kind names to a summary, a parameter
+// schema and a factory. World resolves ComponentSpecs against these
+// registries at build time; the scenario layer validates specs against the
+// same schemas at parse time; the campaign CLI enumerates them for --list
+// and --describe. Adding a component is therefore ONE registration call in
+// ONE translation unit -- no World, spec.cpp or enum edits.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "registry/component.hpp"
+
+namespace gtrix {
+
+namespace registry_detail {
+
+/// Validates `given` against `schema` and returns the canonical parameter
+/// object: every declared key present, schema order, defaults filled,
+/// numbers normalized to the declared type. Throws JsonError on unknown
+/// keys and type mismatches.
+Json canonical_params(const std::vector<ParamInfo>& schema, const Json& given,
+                      const std::string& dimension, const std::string& kind);
+
+/// Type-checks and normalizes one parameter value; throws JsonError.
+Json checked_param(const ParamInfo& info, const Json& value, const std::string& dimension,
+                   const std::string& kind);
+
+const ParamInfo* find_param(const std::vector<ParamInfo>& schema, std::string_view name);
+
+[[noreturn]] void unknown_kind(const std::string& dimension, std::string_view kind,
+                               const std::vector<std::string>& valid);
+[[noreturn]] void duplicate_kind(const std::string& dimension, const std::string& kind);
+[[noreturn]] void unknown_param(const std::vector<ParamInfo>& schema, const std::string& dimension,
+                                const std::string& kind, std::string_view name);
+void check_schema(const std::vector<ParamInfo>& schema, const std::string& dimension,
+                  const std::string& kind);
+
+}  // namespace registry_detail
+
+template <typename Provider>
+class ComponentRegistry {
+ public:
+  /// Receives the canonical spec (all parameters present, type-checked).
+  /// Factories should validate parameter *ranges* and throw JsonError, so
+  /// bad values surface at parse/expansion time with path context.
+  using Factory = std::function<std::shared_ptr<const Provider>(const ComponentSpec&)>;
+
+  struct Entry {
+    std::string kind;
+    std::string summary;
+    std::vector<ParamInfo> params;
+    Factory factory;
+  };
+
+  explicit ComponentRegistry(std::string dimension) : dimension_(std::move(dimension)) {}
+
+  /// Human-readable dimension name used in error messages ("base graph",
+  /// "clock model", ...), matching the historical enum-parser wording.
+  const std::string& dimension() const noexcept { return dimension_; }
+
+  /// Registers a kind. Duplicate names are rejected (JsonError) so two
+  /// translation units cannot silently shadow each other's components.
+  void add(std::string kind, std::string summary, std::vector<ParamInfo> params,
+           Factory factory) {
+    for (const Entry& e : entries_) {
+      if (e.kind == kind) registry_detail::duplicate_kind(dimension_, kind);
+    }
+    registry_detail::check_schema(params, dimension_, kind);
+    entries_.push_back(
+        Entry{std::move(kind), std::move(summary), std::move(params), std::move(factory)});
+  }
+
+  bool contains(std::string_view kind) const noexcept {
+    for (const Entry& e : entries_) {
+      if (e.kind == kind) return true;
+    }
+    return false;
+  }
+
+  /// Entry for a kind; throws JsonError listing the valid kinds when absent.
+  const Entry& entry(std::string_view kind) const {
+    for (const Entry& e : entries_) {
+      if (e.kind == kind) return e;
+    }
+    registry_detail::unknown_kind(dimension_, kind, names());
+  }
+
+  /// Registered kind names, in registration order.
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(e.kind);
+    return out;
+  }
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  /// Validates the spec and fills parameter defaults. Canonical specs are
+  /// the equality domain: any two spellings of the same configuration
+  /// canonicalize to identical specs.
+  ComponentSpec canonicalize(const ComponentSpec& spec) const {
+    const Entry& e = entry(spec.kind);
+    ComponentSpec out;
+    out.kind = spec.kind;
+    out.params = registry_detail::canonical_params(e.params, spec.params, dimension_, e.kind);
+    return out;
+  }
+
+  /// canonicalize + factory.
+  std::shared_ptr<const Provider> create(const ComponentSpec& spec) const {
+    const Entry& e = entry(spec.kind);
+    return e.factory(canonicalize(spec));
+  }
+
+  /// Sets one parameter on a spec (the dotted sweep-axis path, e.g.
+  /// "base_graph.rows") with immediate name and type validation.
+  void set_param(ComponentSpec& spec, const std::string& name, const Json& value) const {
+    const Entry& e = entry(spec.kind);
+    const ParamInfo* info = registry_detail::find_param(e.params, name);
+    if (info == nullptr) {
+      registry_detail::unknown_param(e.params, dimension_, e.kind, name);
+    }
+    spec.params.set(name, registry_detail::checked_param(*info, value, dimension_, e.kind));
+  }
+
+ private:
+  std::string dimension_;
+  std::vector<Entry> entries_;
+};
+
+/// Parses the scenario-JSON component syntax: either a bare kind string or
+/// the {"kind": ..., <params>} object form. The result is canonical.
+/// Errors are prefixed with `path`.
+template <typename Provider>
+ComponentSpec component_from_json(const ComponentRegistry<Provider>& registry, const Json& value,
+                                  const std::string& path) {
+  try {
+    ComponentSpec spec;
+    if (value.is_string()) {
+      spec.kind = value.as_string();
+      return registry.canonicalize(spec);
+    }
+    bool saw_kind = false;
+    for (const auto& [key, member] : value.as_object()) {
+      if (key == "kind") {
+        spec.kind = member.as_string();
+        saw_kind = true;
+      } else {
+        spec.params.set(key, member);
+      }
+    }
+    if (!saw_kind) throw JsonError("missing key 'kind'");
+    return registry.canonicalize(spec);
+  } catch (const JsonError& e) {
+    throw JsonError(path + ": " + e.what());
+  }
+}
+
+/// Inverse of component_from_json: a bare kind string when every parameter
+/// sits at its default, otherwise {"kind": ..., <non-default params>}.
+/// `spec` must be canonical for the given registry.
+template <typename Provider>
+Json component_to_json(const ComponentRegistry<Provider>& registry, const ComponentSpec& spec) {
+  const auto& entry = registry.entry(spec.kind);
+  Json obj = Json::object();
+  obj.set("kind", spec.kind);
+  std::size_t non_default = 0;
+  for (const ParamInfo& info : entry.params) {
+    const Json* value = spec.params.find(info.name);
+    if (value == nullptr || *value == info.default_value) continue;
+    obj.set(info.name, *value);
+    ++non_default;
+  }
+  if (non_default == 0) return Json(spec.kind);
+  return obj;
+}
+
+}  // namespace gtrix

@@ -1,0 +1,129 @@
+#include "registry/topology.hpp"
+
+namespace gtrix {
+
+namespace {
+
+class LineReplicatedTopology final : public TopologyProvider {
+ public:
+  BaseGraph build(const TopologyContext& ctx) const override {
+    return BaseGraph::line_replicated(ctx.columns);
+  }
+};
+
+class CycleTopology final : public TopologyProvider {
+ public:
+  explicit CycleTopology(std::uint32_t reach) : reach_(reach) {}
+  BaseGraph build(const TopologyContext& ctx) const override {
+    return BaseGraph::cycle_wide(ctx.columns, reach_);
+  }
+
+ private:
+  std::uint32_t reach_;
+};
+
+class PathTopology final : public TopologyProvider {
+ public:
+  BaseGraph build(const TopologyContext& ctx) const override {
+    return BaseGraph::path(ctx.columns);
+  }
+};
+
+class TorusTopology final : public TopologyProvider {
+ public:
+  explicit TorusTopology(std::uint32_t rows) : rows_(rows) {}
+  BaseGraph build(const TopologyContext& ctx) const override {
+    return BaseGraph::torus(rows_, ctx.columns);
+  }
+
+ private:
+  std::uint32_t rows_;
+};
+
+void register_builtins(ComponentRegistry<TopologyProvider>& reg) {
+  reg.add("line-replicated",
+          "line with replicated, connected endpoints (paper default, Fig. 2)", {},
+          [](const ComponentSpec&) { return std::make_shared<const LineReplicatedTopology>(); });
+  reg.add("cycle", "cycle over `columns` nodes; `reach` widens adjacency to 2*reach",
+          {{"reach", ParamType::kInt, Json(1),
+            "hop distance considered adjacent (degree 2*reach); reach f tolerates f local "
+            "faults with the trimmed extension"}},
+          [](const ComponentSpec& spec) {
+            const std::int64_t reach = spec.params.at("reach").as_int();
+            if (reach < 1) throw JsonError("cycle: reach must be >= 1");
+            return std::make_shared<const CycleTopology>(static_cast<std::uint32_t>(reach));
+          });
+  reg.add("path", "bare path (min degree 1; layer-0-style tests only)", {},
+          [](const ComponentSpec&) { return std::make_shared<const PathTopology>(); });
+  reg.add("torus", "2D wraparound grid: `rows` rings of `columns` nodes (min degree 4)",
+          {{"rows", ParamType::kInt, Json(3),
+            "ring count in the second dimension; every column holds `rows` nodes"}},
+          [](const ComponentSpec& spec) {
+            const std::int64_t rows = spec.params.at("rows").as_int();
+            if (rows < 3) throw JsonError("torus: rows must be >= 3 (wraparound)");
+            return std::make_shared<const TorusTopology>(static_cast<std::uint32_t>(rows));
+          });
+}
+
+}  // namespace
+
+ComponentRegistry<TopologyProvider>& topology_registry() {
+  static ComponentRegistry<TopologyProvider>* registry = [] {
+    auto* reg = new ComponentRegistry<TopologyProvider>("base graph");
+    register_builtins(*reg);
+    return reg;
+  }();
+  return *registry;
+}
+
+ComponentSpec topology_spec_from_legacy(BaseGraphKind kind, std::uint32_t cycle_reach) {
+  switch (kind) {
+    case BaseGraphKind::kLineReplicated: return ComponentSpec::of("line-replicated");
+    case BaseGraphKind::kCycle: {
+      ComponentSpec spec = ComponentSpec::of("cycle");
+      spec.params.set("reach", static_cast<std::int64_t>(cycle_reach));
+      return spec;
+    }
+    case BaseGraphKind::kPath: return ComponentSpec::of("path");
+  }
+  return ComponentSpec::of("line-replicated");
+}
+
+bool topology_spec_to_legacy(const ComponentSpec& canonical, BaseGraphKind& kind,
+                             std::uint32_t& cycle_reach) {
+  if (canonical.kind == "line-replicated") {
+    kind = BaseGraphKind::kLineReplicated;
+    return true;
+  }
+  if (canonical.kind == "cycle") {
+    kind = BaseGraphKind::kCycle;
+    cycle_reach = static_cast<std::uint32_t>(canonical.params.at("reach").as_int());
+    return true;
+  }
+  if (canonical.kind == "path") {
+    kind = BaseGraphKind::kPath;
+    return true;
+  }
+  return false;
+}
+
+std::string_view to_string(BaseGraphKind v) {
+  switch (v) {
+    case BaseGraphKind::kLineReplicated: return "line-replicated";
+    case BaseGraphKind::kCycle: return "cycle";
+    case BaseGraphKind::kPath: return "path";
+  }
+  return "?";
+}
+
+BaseGraphKind base_graph_from_string(std::string_view s) {
+  BaseGraphKind kind = BaseGraphKind::kLineReplicated;
+  std::uint32_t reach = 1;
+  const ComponentSpec spec = topology_registry().canonicalize(ComponentSpec::of(std::string(s)));
+  if (!topology_spec_to_legacy(spec, kind, reach)) {
+    throw JsonError("base graph '" + std::string(s) + "' has no legacy enum value");
+  }
+  return kind;
+}
+
+}  // namespace gtrix

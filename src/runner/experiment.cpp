@@ -6,30 +6,78 @@
 
 namespace gtrix {
 
-BaseGraph World::make_base(const ExperimentConfig& config) {
-  switch (config.base_kind) {
-    case BaseGraphKind::kLineReplicated:
-      return BaseGraph::line_replicated(config.columns);
-    case BaseGraphKind::kCycle:
-      return BaseGraph::cycle_wide(config.columns, config.cycle_reach);
-    case BaseGraphKind::kPath:
-      return BaseGraph::path(config.columns);
+ResolvedComponents resolve_components(const ExperimentConfig& c) {
+  ResolvedComponents r;
+  r.topology = topology_registry().canonicalize(
+      c.topology_spec.empty() ? topology_spec_from_legacy(c.base_kind, c.cycle_reach)
+                              : c.topology_spec);
+  r.clock = clock_model_registry().canonicalize(
+      c.clock_spec.empty() ? clock_spec_from_legacy(c.clock_model) : c.clock_spec);
+  r.delay = delay_registry().canonicalize(
+      c.delay_spec.empty() ? delay_spec_from_legacy(c.delay_kind, c.delay_split_column)
+                           : c.delay_spec);
+  r.algorithm = algorithm_registry().canonicalize(
+      c.algorithm_spec.empty() ? algorithm_spec_from_legacy(c.algorithm) : c.algorithm_spec);
+  return r;
+}
+
+bool ExperimentConfig::operator==(const ExperimentConfig& other) const {
+  // Cheap scalar fields first: the common unequal case never touches the
+  // registries.
+  if (!(columns == other.columns && trim == other.trim && layers == other.layers &&
+        params == other.params && layer0 == other.layer0 &&
+        layer0_jitter == other.layer0_jitter &&
+        layer0_offset_by_column == other.layer0_offset_by_column && faults == other.faults &&
+        pulses == other.pulses && self_stabilizing == other.self_stabilizing &&
+        jump_condition == other.jump_condition && seed == other.seed &&
+        warmup == other.warmup)) {
+    return false;
   }
-  return BaseGraph::line_replicated(config.columns);
+  try {
+    return resolve_components(*this) == resolve_components(other);
+  } catch (const JsonError&) {
+    // Unresolvable (unregistered kind) on either side: equality must not
+    // throw, so fall back to comparing the raw selections.
+    return topology_spec == other.topology_spec && base_kind == other.base_kind &&
+           cycle_reach == other.cycle_reach && clock_spec == other.clock_spec &&
+           clock_model == other.clock_model && delay_spec == other.delay_spec &&
+           delay_kind == other.delay_kind &&
+           delay_split_column == other.delay_split_column &&
+           algorithm_spec == other.algorithm_spec && algorithm == other.algorithm;
+  }
+}
+
+BaseGraph World::make_base(const ExperimentConfig& config,
+                           const ResolvedComponents& components) {
+  TopologyContext ctx;
+  ctx.columns = config.columns;
+  return topology_registry().create(components.topology)->build(ctx);
 }
 
 World::World(ExperimentConfig config)
-    : config_(std::move(config)), grid_(make_base(config_), config_.layers), sim_(), net_(sim_) {
+    : config_(std::move(config)),
+      components_(resolve_components(config_)),
+      clock_provider_(clock_model_registry().create(components_.clock)),
+      delay_provider_(delay_registry().create(components_.delay)),
+      algorithm_provider_(algorithm_registry().create(components_.algorithm)),
+      algorithm_caps_(algorithm_provider_->caps()),
+      grid_(make_base(config_, components_), config_.layers),
+      sim_(),
+      net_(sim_) {
   GTRIX_CHECK_MSG(config_.layers >= 2, "need at least layer 0 and one algorithm layer");
   GTRIX_CHECK_MSG(config_.pulses >= 1, "need at least one pulse");
-
-  delay_model_.kind = config_.delay_kind;
-  delay_model_.d = config_.params.d;
-  delay_model_.u = config_.params.u;
-  delay_model_.split_column = config_.delay_split_column;
+  GTRIX_CHECK_MSG(config_.params.u >= 0.0 && config_.params.u < config_.params.d,
+                  "require 0 <= u < d");
 
   for (const PlacedFault& f : config_.faults) {
     fault_map_[grid_.id(f.base, f.layer)] = f.spec;
+    // Backstop mirroring the scenario layer's capability check (which has
+    // path context): a silent node at any layer starves its successors.
+    if (f.spec.kind == FaultKind::kCrash || f.spec.kind == FaultKind::kFixedPeriod) {
+      GTRIX_CHECK_MSG(algorithm_caps_.tolerates_silent_preds,
+                      "algorithm '" + components_.algorithm.kind + "' does not tolerate '" +
+                          std::string(to_string(f.spec.kind)) + "' faults");
+    }
   }
 
   Rng master(config_.seed);
@@ -39,6 +87,7 @@ World::World(ExperimentConfig config)
   Rng fault_rng = master.split("faults");
 
   sinks_.resize(grid_.node_count() + 1);  // +1 possible source slot
+  model_by_grid_.assign(grid_.node_count(), nullptr);
   gradient_by_grid_.assign(grid_.node_count(), nullptr);
   layer0_by_grid_.assign(grid_.node_count(), nullptr);
 
@@ -51,6 +100,17 @@ World::~World() = default;
 
 void World::build_network(Rng& delay_rng) {
   const BaseGraph& base = grid_.base();
+  const auto edge_delay = [&](std::uint32_t from_col, std::uint32_t to_col,
+                              std::uint32_t from_layer, std::uint32_t to_layer) {
+    DelayContext ctx;
+    ctx.from_column = from_col;
+    ctx.to_column = to_col;
+    ctx.from_layer = from_layer;
+    ctx.to_layer = to_layer;
+    ctx.d = config_.params.d;
+    ctx.u = config_.params.u;
+    return delay_provider_->sample(ctx, delay_rng);
+  };
   // Grid nodes get network ids equal to their grid ids.
   for (GridNodeId g = 0; g < grid_.node_count(); ++g) {
     const NetNodeId id = net_.add_node(nullptr);
@@ -73,8 +133,8 @@ void World::build_network(Rng& delay_rng) {
     const std::uint32_t from_col = base.column(grid_.base_of(g));
     const std::uint32_t from_layer = grid_.layer_of(g);
     for (GridNodeId succ : grid_.successors(g)) {
-      const double delay = delay_model_.sample(from_col, base.column(grid_.base_of(succ)),
-                                               from_layer, grid_.layer_of(succ), delay_rng);
+      const double delay = edge_delay(from_col, base.column(grid_.base_of(succ)), from_layer,
+                                      grid_.layer_of(succ));
       net_.add_edge(g, succ, delay);
     }
   }
@@ -82,39 +142,39 @@ void World::build_network(Rng& delay_rng) {
   if (config_.layer0 == Layer0Mode::kLinePropagation) {
     // Source feeds every column-0 node.
     for (BaseNodeId v : base.nodes_in_column(0)) {
-      const double delay = delay_model_.sample(0, 0, 0, 0, delay_rng);
-      net_.add_edge(source_id_, grid_.id(v, 0), delay);
+      net_.add_edge(source_id_, grid_.id(v, 0), edge_delay(0, 0, 0, 0));
     }
     // Column c's primary node feeds every node of column c+1.
     for (std::uint32_t c = 0; c + 1 < base.column_count(); ++c) {
       const BaseNodeId primary = base.nodes_in_column(c).front();
       for (BaseNodeId w : base.nodes_in_column(c + 1)) {
-        const double delay = delay_model_.sample(c, c + 1, 0, 0, delay_rng);
-        net_.add_edge(grid_.id(primary, 0), grid_.id(w, 0), delay);
+        net_.add_edge(grid_.id(primary, 0), grid_.id(w, 0), edge_delay(c, c + 1, 0, 0));
       }
     }
   }
 }
 
-HardwareClock World::make_clock(Rng& rng, std::uint32_t column) const {
-  const double theta = config_.params.theta;
-  double rate = 1.0;
-  switch (config_.clock_model) {
-    case ClockModelKind::kRandomStatic:
-      rate = rng.uniform(1.0, theta);
-      break;
-    case ClockModelKind::kAllFast:
-      rate = theta;
-      break;
-    case ClockModelKind::kAllSlow:
-      rate = 1.0;
-      break;
-    case ClockModelKind::kAlternating:
-      rate = column % 2 == 0 ? 1.0 : theta;
-      break;
+double World::clock_horizon() const {
+  // Real time the run plausibly reaches: every wave plus full propagation
+  // through the grid, with slack. Only rate-schedule models read this.
+  double horizon =
+      (static_cast<double>(config_.pulses) + static_cast<double>(config_.layers) + 8.0) *
+      config_.params.lambda;
+  if (config_.layer0 == Layer0Mode::kLinePropagation) {
+    // Line startup: the layer-0 wavefront crosses one column per ~d of real
+    // time before deep columns see their first pulse.
+    horizon += static_cast<double>(config_.columns) * config_.params.d;
   }
-  const double offset = rng.uniform(0.0, config_.params.lambda);
-  return HardwareClock(rate, offset);
+  return horizon;
+}
+
+HardwareClock World::make_clock(Rng& rng, std::uint32_t column, std::uint32_t layer) const {
+  ClockContext ctx;
+  ctx.column = column;
+  ctx.layer = layer;
+  ctx.params = config_.params;
+  ctx.horizon = clock_horizon();
+  return clock_provider_->make(ctx, rng);
 }
 
 void World::build_layer0(Rng& clock_rng, Rng& layer0_rng) {
@@ -140,6 +200,11 @@ void World::build_layer0(Rng& clock_rng, Rng& layer0_rng) {
       const auto fault_it = fault_map_.find(g);
       if (fault_it != fault_map_.end()) {
         if (fault_it->second.kind == FaultKind::kCrash) continue;  // silent
+        // Other kinds have no emitter realization; the scenario layer
+        // rejects them with path context, this is the direct-API backstop.
+        GTRIX_CHECK_MSG(fault_it->second.kind == FaultKind::kStaticOffset,
+                        "layer-0 faults in ideal-jitter mode support kCrash and "
+                        "kStaticOffset only");
         offset = std::max(0.0, offset + fault_it->second.offset);
       }
       auto emitter = std::make_unique<IdealEmitter>(sim_, net_, g, offset, config_.params,
@@ -169,7 +234,7 @@ void World::build_layer0(Rng& clock_rng, Rng& layer0_rng) {
       (void)clock_rng.next_u64();
       continue;
     }
-    auto node = std::make_unique<Layer0LineNode>(sim_, net_, g, make_clock(clock_rng, col),
+    auto node = std::make_unique<Layer0LineNode>(sim_, net_, g, make_clock(clock_rng, col, 0),
                                                  line_pred, config_.params, &recorder_);
     layer0_by_grid_[g] = node.get();
     net_.set_sink(g, node.get());
@@ -185,7 +250,7 @@ void World::build_algorithm_nodes(Rng& clock_rng, Rng& fault_rng) {
     const std::uint32_t layer = grid_.layer_of(g);
     if (layer == 0) continue;
     const std::uint32_t column = base.column(grid_.base_of(g));
-    HardwareClock clock = make_clock(clock_rng, column);
+    HardwareClock clock = make_clock(clock_rng, column, layer);
 
     const auto preds_span = grid_.predecessors(g);
     std::vector<NetNodeId> preds(preds_span.begin(), preds_span.end());
@@ -211,40 +276,35 @@ void World::build_algorithm_nodes(Rng& clock_rng, Rng& fault_rng) {
       continue;
     }
 
-    if (config_.algorithm == Algorithm::kTrixNaive) {
-      GTRIX_CHECK_MSG(spec == nullptr, "naive TRIX supports crash/fixed-period faults only");
-      auto node = std::make_unique<TrixNaiveNode>(sim_, net_, g, std::move(clock),
-                                                  std::move(preds), config_.params,
-                                                  &recorder_);
-      net_.set_sink(g, node.get());
-      sinks_[g] = std::move(node);
-      continue;
+    // The config layer rejects this mismatch with path context; a direct
+    // World construction gets the hard error instead of a silent no-op.
+    if (spec != nullptr) {
+      GTRIX_CHECK_MSG(algorithm_caps_.send_fault_overrides,
+                      "algorithm '" + components_.algorithm.kind + "' does not support '" +
+                          std::string(to_string(spec->kind)) + "' faults");
     }
 
-    GradientNodeConfig node_config;
-    node_config.params = config_.params;
-    node_config.simplified = config_.algorithm == Algorithm::kGradientSimplified;
-    node_config.self_stabilizing = config_.self_stabilizing;
-    node_config.jump_condition = config_.jump_condition;
-    node_config.trim = config_.trim;
-    node_config.skew_bound_hint = config_.params.thm11_bound(diameter);
+    double broadcast_offset = 0.0;
     if (spec != nullptr && spec->kind == FaultKind::kStaticOffset) {
-      node_config.broadcast_offset = spec->offset;
+      broadcast_offset = spec->offset;
     }
     if (spec != nullptr && (spec->kind == FaultKind::kSplit || spec->kind == FaultKind::kJitter)) {
-      node_config.broadcast_offset = -spec->alpha;
+      broadcast_offset = -spec->alpha;
     }
 
-    auto node = std::make_unique<GradientTrixNode>(sim_, net_, g, std::move(clock),
-                                                   std::move(preds), node_config, &recorder_);
-    if (spec != nullptr) install_fault(g, *spec, node.get(), fault_rng);
-    gradient_by_grid_[g] = node.get();
-    net_.set_sink(g, node.get());
-    sinks_[g] = std::move(node);
+    auto model = algorithm_provider_->make_node(NodeContext{
+        sim_, net_, g, std::move(clock), std::move(preds), config_.params, diameter,
+        config_.trim, config_.self_stabilizing, config_.jump_condition, broadcast_offset,
+        &recorder_});
+    if (spec != nullptr) install_fault(g, *spec, *model, fault_rng);
+    model_by_grid_[g] = model.get();
+    gradient_by_grid_[g] = model->gradient();
+    net_.set_sink(g, &model->sink());
+    models_.push_back(std::move(model));
   }
 }
 
-void World::install_fault(GridNodeId g, const FaultSpec& spec, GradientTrixNode* node,
+void World::install_fault(GridNodeId g, const FaultSpec& spec, NodeModel& model,
                           Rng& fault_rng) {
   switch (spec.kind) {
     case FaultKind::kStaticOffset:
@@ -263,7 +323,7 @@ void World::install_fault(GridNodeId g, const FaultSpec& spec, GradientTrixNode*
         if (to_col > own_col) extra = 2.0 * spec.alpha;
         plan.emplace_back(e, extra);
       }
-      node->set_send_override([this, plan](const Pulse& pulse, SimTime /*now*/) {
+      model.set_send_override([this, plan](const Pulse& pulse, SimTime /*now*/) {
         for (const auto& [edge, extra] : plan) {
           if (extra <= 0.0) {
             net_.send(edge, pulse);
@@ -280,7 +340,7 @@ void World::install_fault(GridNodeId g, const FaultSpec& spec, GradientTrixNode*
       FaultRuntime* rt = runtime.get();
       fault_runtimes_.push_back(std::move(runtime));
       const double alpha = spec.alpha;
-      node->set_send_override([this, rt, alpha, g](const Pulse& pulse, SimTime /*now*/) {
+      model.set_send_override([this, rt, alpha, g](const Pulse& pulse, SimTime /*now*/) {
         for (EdgeId e : net_.out_edges(g)) {
           const double extra = rt->rng.uniform(0.0, 2.0 * alpha);
           net_.send_after(e, pulse, extra);
@@ -293,7 +353,7 @@ void World::install_fault(GridNodeId g, const FaultSpec& spec, GradientTrixNode*
       FaultRuntime* rt = runtime.get();
       fault_runtimes_.push_back(std::move(runtime));
       const std::int64_t after = spec.after;
-      node->set_send_override([this, rt, after, g](const Pulse& pulse, SimTime) {
+      model.set_send_override([this, rt, after, g](const Pulse& pulse, SimTime) {
         if (rt->sent >= after) return;  // silent from now on
         ++rt->sent;
         net_.broadcast(g, pulse);
@@ -309,9 +369,13 @@ void World::install_fault(GridNodeId g, const FaultSpec& spec, GradientTrixNode*
 void World::run_to_completion() { sim_.run_all(); }
 
 void World::corrupt_fraction(double fraction, Rng& rng) {
+  GTRIX_CHECK_MSG(algorithm_caps_.state_corruption,
+                  "algorithm '" + components_.algorithm.kind +
+                      "' does not support state corruption (Theorem 1.6 workloads need a "
+                      "gradient algorithm)");
   for (GridNodeId g = 0; g < grid_.node_count(); ++g) {
-    if (gradient_by_grid_[g] != nullptr && rng.bernoulli(fraction)) {
-      gradient_by_grid_[g]->corrupt_state(rng);
+    if (model_by_grid_[g] != nullptr && rng.bernoulli(fraction)) {
+      model_by_grid_[g]->corrupt_state(rng);
     } else if (layer0_by_grid_[g] != nullptr && rng.bernoulli(fraction)) {
       layer0_by_grid_[g]->corrupt_state(rng);
     }
@@ -356,16 +420,7 @@ ConditionReport World::conditions_window(std::uint32_t s_max, Sigma lo, Sigma hi
 
 ExperimentCounters World::counters() const {
   ExperimentCounters total;
-  for (const GradientTrixNode* node : gradient_by_grid_) {
-    if (node == nullptr) continue;
-    const auto& c = node->counters();
-    total.iterations += c.iterations;
-    total.late_broadcasts += c.late_broadcasts;
-    total.guard_aborts += c.guard_aborts;
-    total.watchdog_resets += c.watchdog_resets;
-    total.timeout_branches += c.timeout_branches;
-    total.duplicate_drops += c.duplicate_drops;
-  }
+  for (const auto& model : models_) model->add_counters(total);
   total.events_executed = sim_.executed_events();
   total.messages_sent = net_.messages_sent();
   return total;

@@ -1,6 +1,14 @@
 // Experiment assembly: builds a complete simulated system from a declarative
-// config (topology, parameters, delay/clock models, layer-0 mode, algorithm,
-// fault plan), runs it, and produces skew/condition reports.
+// config, runs it, and produces skew/condition reports.
+//
+// The four experiment dimensions -- topology, clock model, delay model and
+// algorithm -- are resolved against the string-keyed component registries
+// (see registry/*.hpp); World is a pure wiring engine over the resolved
+// providers and contains no per-kind switches. The legacy enum fields on
+// ExperimentConfig (BaseGraphKind, ClockModelKind, DelayModelKind,
+// Algorithm) remain as thin adapters for source compatibility: a non-empty
+// ComponentSpec wins over its enum counterpart, and equality compares the
+// resolved components, so both spellings are interchangeable.
 #pragma once
 
 #include <cstdint>
@@ -19,39 +27,35 @@
 #include "metrics/conditions.hpp"
 #include "metrics/realign.hpp"
 #include "metrics/skew.hpp"
-#include "net/delay_model.hpp"
 #include "net/network.hpp"
+#include "registry/algorithm.hpp"
+#include "registry/clock_model.hpp"
+#include "registry/component.hpp"
+#include "registry/delay.hpp"
+#include "registry/topology.hpp"
 #include "sim/simulator.hpp"
 #include "support/rng.hpp"
 
 namespace gtrix {
-
-enum class Algorithm {
-  kGradientFull,        ///< Algorithm 3 (optionally with Algorithm 4 guards)
-  kGradientSimplified,  ///< Algorithm 1 (fault-free settings only)
-  kTrixNaive,           ///< baseline [LW20]
-};
 
 enum class Layer0Mode {
   kIdealJitter,       ///< direct synchronized input, L_0 <= jitter
   kLinePropagation,   ///< Appendix A line forwarding (Algorithm 2)
 };
 
-enum class ClockModelKind {
-  kRandomStatic,  ///< per-node rate uniform in [1, theta]
-  kAllFast,       ///< every clock at rate theta
-  kAllSlow,       ///< every clock at rate 1
-  kAlternating,   ///< rate alternates 1 / theta by column (drift stress)
-};
-
 struct ExperimentConfig {
+  /// Legacy topology selection; `topology_spec` wins when non-empty.
   BaseGraphKind base_kind = BaseGraphKind::kLineReplicated;
+  /// Registered topology by kind name, e.g. {"torus", {"rows": 4}}.
+  ComponentSpec topology_spec;
   std::uint32_t columns = 16;  ///< base-graph columns (diameter = columns-1)
-  std::uint32_t cycle_reach = 1;  ///< kCycle only: adjacency reach (degree 2*reach)
+  std::uint32_t cycle_reach = 1;  ///< legacy kCycle only: adjacency reach (degree 2*reach)
   std::uint32_t trim = 0;         ///< trimmed aggregation (extension; see core)
   std::uint32_t layers = 16;   ///< grid layers including layer 0
   Params params = Params::with(1000.0, 10.0, 1.0005);
+  /// Legacy algorithm selection; `algorithm_spec` wins when non-empty.
   Algorithm algorithm = Algorithm::kGradientFull;
+  ComponentSpec algorithm_spec;
   Layer0Mode layer0 = Layer0Mode::kIdealJitter;
   double layer0_jitter = -1.0;  ///< ideal-mode input jitter; < 0 -> kappa/2
   /// Optional deterministic per-column extra offsets for ideal-mode layer-0
@@ -60,9 +64,13 @@ struct ExperimentConfig {
   /// scenario) without declaring any node faulty. May contain negative
   /// values; the whole pattern is shifted to keep emitter offsets >= 0.
   std::vector<double> layer0_offset_by_column;
+  /// Legacy delay selection; `delay_spec` wins when non-empty.
   DelayModelKind delay_kind = DelayModelKind::kUniformRandom;
-  std::uint32_t delay_split_column = 0;  ///< for kColumnSplit
+  ComponentSpec delay_spec;
+  std::uint32_t delay_split_column = 0;  ///< legacy kColumnSplit only
+  /// Legacy clock selection; `clock_spec` wins when non-empty.
   ClockModelKind clock_model = ClockModelKind::kRandomStatic;
+  ComponentSpec clock_spec;
   std::vector<PlacedFault> faults;
   std::int64_t pulses = 30;
   bool self_stabilizing = false;
@@ -70,19 +78,24 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   Sigma warmup = 4;  ///< waves skipped at the start of the measurement window
 
-  bool operator==(const ExperimentConfig&) const = default;
+  /// Semantic equality: the four component dimensions compare by their
+  /// resolved canonical specs, so a config authored via the legacy enums
+  /// equals the identical config authored via component specs.
+  bool operator==(const ExperimentConfig& other) const;
 };
 
-struct ExperimentCounters {
-  std::uint64_t iterations = 0;
-  std::uint64_t late_broadcasts = 0;
-  std::uint64_t guard_aborts = 0;
-  std::uint64_t watchdog_resets = 0;
-  std::uint64_t timeout_branches = 0;
-  std::uint64_t duplicate_drops = 0;
-  std::uint64_t events_executed = 0;
-  std::uint64_t messages_sent = 0;
+/// The four component selections with the legacy enum fields folded in,
+/// canonicalized against the registries (unknown kinds throw JsonError).
+struct ResolvedComponents {
+  ComponentSpec topology;
+  ComponentSpec clock;
+  ComponentSpec delay;
+  ComponentSpec algorithm;
+
+  bool operator==(const ResolvedComponents&) const = default;
 };
+
+ResolvedComponents resolve_components(const ExperimentConfig& config);
 
 /// A fully wired simulated system. Most callers use run_experiment(); the
 /// class is exposed for experiments needing custom control (e.g. corrupting
@@ -100,10 +113,13 @@ class World {
   void run_until(SimTime t) { sim_.run_until(t); }
 
   /// Randomly corrupts the state of (roughly) `fraction` of all algorithm
-  /// nodes -- a system-wide transient fault (Theorem 1.6).
+  /// nodes -- a system-wide transient fault (Theorem 1.6). Hard error when
+  /// the algorithm does not support state corruption (the scenario layer
+  /// rejects such configs earlier with path context).
   void corrupt_fraction(double fraction, Rng& rng);
 
   const ExperimentConfig& config() const noexcept { return config_; }
+  const ResolvedComponents& components() const noexcept { return components_; }
   const Grid& grid() const noexcept { return grid_; }
   Simulator& simulator() noexcept { return sim_; }
   Network& network() noexcept { return net_; }
@@ -140,23 +156,30 @@ class World {
     FaultRuntime() : rng(0) {}
   };
 
-  static BaseGraph make_base(const ExperimentConfig& config);
-  HardwareClock make_clock(Rng& rng, std::uint32_t column) const;
+  static BaseGraph make_base(const ExperimentConfig& config,
+                             const ResolvedComponents& components);
+  HardwareClock make_clock(Rng& rng, std::uint32_t column, std::uint32_t layer) const;
+  double clock_horizon() const;
   void build_network(Rng& delay_rng);
   void build_layer0(Rng& clock_rng, Rng& layer0_rng);
   void build_algorithm_nodes(Rng& clock_rng, Rng& fault_rng);
-  void install_fault(GridNodeId g, const FaultSpec& spec, GradientTrixNode* node,
-                     Rng& fault_rng);
+  void install_fault(GridNodeId g, const FaultSpec& spec, NodeModel& model, Rng& fault_rng);
 
   ExperimentConfig config_;
+  ResolvedComponents components_;
+  std::shared_ptr<const ClockModelProvider> clock_provider_;
+  std::shared_ptr<const DelayProvider> delay_provider_;
+  std::shared_ptr<const AlgorithmProvider> algorithm_provider_;
+  AlgorithmCaps algorithm_caps_;
   Grid grid_;
   Simulator sim_;
   Network net_;
   Recorder recorder_;
-  DelayModel delay_model_;
 
   NetNodeId source_id_ = 0;  // line mode only
   std::vector<std::unique_ptr<PulseSink>> sinks_;
+  std::vector<std::unique_ptr<NodeModel>> models_;
+  std::vector<NodeModel*> model_by_grid_;
   std::vector<GradientTrixNode*> gradient_by_grid_;
   std::vector<Layer0LineNode*> layer0_by_grid_;
   std::unique_ptr<ClockSource> source_;

@@ -47,46 +47,11 @@ E value_of(const Name<E> (&table)[N], std::string_view name, const char* what) {
                   "' (valid: " + valid + ")");
 }
 
-constexpr Name<Algorithm> kAlgorithmNames[] = {
-    {Algorithm::kGradientFull, "gradient-full"},
-    {Algorithm::kGradientSimplified, "gradient-simplified"},
-    {Algorithm::kTrixNaive, "trix-naive"},
-};
-
+// The four component dimensions are parsed schema-driven against the
+// registries; only Layer0Mode (not a registry dimension) keeps a table here.
 constexpr Name<Layer0Mode> kLayer0Names[] = {
     {Layer0Mode::kIdealJitter, "ideal-jitter"},
     {Layer0Mode::kLinePropagation, "line-propagation"},
-};
-
-constexpr Name<ClockModelKind> kClockNames[] = {
-    {ClockModelKind::kRandomStatic, "random-static"},
-    {ClockModelKind::kAllFast, "all-fast"},
-    {ClockModelKind::kAllSlow, "all-slow"},
-    {ClockModelKind::kAlternating, "alternating"},
-};
-
-constexpr Name<DelayModelKind> kDelayNames[] = {
-    {DelayModelKind::kUniformRandom, "uniform-random"},
-    {DelayModelKind::kAllMax, "all-max"},
-    {DelayModelKind::kAllMin, "all-min"},
-    {DelayModelKind::kColumnSplit, "column-split"},
-    {DelayModelKind::kAlternating, "alternating"},
-    {DelayModelKind::kOwnSlowCrossFast, "own-slow-cross-fast"},
-};
-
-constexpr Name<BaseGraphKind> kBaseGraphNames[] = {
-    {BaseGraphKind::kLineReplicated, "line-replicated"},
-    {BaseGraphKind::kCycle, "cycle"},
-    {BaseGraphKind::kPath, "path"},
-};
-
-constexpr Name<FaultKind> kFaultNames[] = {
-    {FaultKind::kCrash, "crash"},
-    {FaultKind::kMuteAfter, "mute-after"},
-    {FaultKind::kStaticOffset, "static-offset"},
-    {FaultKind::kSplit, "split"},
-    {FaultKind::kJitter, "jitter"},
-    {FaultKind::kFixedPeriod, "fixed-period"},
 };
 
 // --- path-qualified typed readers -------------------------------------------
@@ -166,6 +131,18 @@ struct ConfigDraft {
   ExperimentConfig config;
   bool layers_track_columns = false;
   bool split_center = false;
+  bool saw_cycle_reach = false;   ///< explicit 'cycle_reach' key given
+  bool saw_delay_split = false;   ///< explicit 'delay_split_column' key given
+  bool saw_spec_reach = false;    ///< 'reach' set via object form / dotted axis
+  bool saw_spec_split = false;    ///< 'split_column' set via object form / dotted axis
+  /// Dimensions that received a dotted component-parameter key; a later
+  /// whole-component key would silently discard those values, so it is
+  /// rejected instead (order the whole key first, e.g. axis declaration
+  /// order in a sweep).
+  bool dotted_topology = false;
+  bool dotted_clock = false;
+  bool dotted_delay = false;
+  bool dotted_algorithm = false;
   bool params_explicit = false;  ///< an explicit d/u/theta/lambda was given
   std::optional<ParamsDerive> derive;
   std::optional<Layer0Pattern> layer0_pattern;
@@ -203,7 +180,7 @@ PlacedFault fault_from_json(const Json& j, const std::string& path) {
       fault.layer = read_u32(value, sub);
     } else if (key == "kind") {
       fault.spec.kind = at_path(sub, [&] {
-        return value_of(kFaultNames, read_string(value, sub), "fault kind");
+        return fault_kind_from_string(read_string(value, sub));
       });
       saw_kind = true;
     } else if (key == "offset") {
@@ -287,7 +264,7 @@ void apply_random_faults_key(RandomFaultGen& gen, const std::string& key, const 
     for (std::size_t i = 0; i < items.size(); ++i) {
       const std::string sub = path + "[" + std::to_string(i) + "]";
       gen.kinds.push_back(at_path(sub, [&] {
-        return value_of(kFaultNames, read_string(items[i], sub), "fault kind");
+        return fault_kind_from_string(read_string(items[i], sub));
       }));
     }
   } else if (key == "offset") {
@@ -331,7 +308,7 @@ void apply_clustered_key(ClusteredFaultGen& gen, const std::string& key, const J
     if (gen.stride == 0) fail(path, "stride must be >= 1");
   } else if (key == "kind") {
     gen.kind = at_path(path, [&] {
-      return value_of(kFaultNames, read_string(value, path), "fault kind");
+      return fault_kind_from_string(read_string(value, path));
     });
   } else if (key == "offset") {
     gen.offset = read_double(value, path);
@@ -359,6 +336,32 @@ void apply_corrupt_key(CorruptPlan& plan, const std::string& key, const Json& va
     }
   } else {
     fail(path, "unknown key");
+  }
+}
+
+// Materializes a component spec from the legacy enum fields so a dotted
+// sweep axis ("base_graph.rows") can set parameters on whatever the base
+// config selected, component- or enum-spelled.
+void ensure_topology_spec(ExperimentConfig& c) {
+  if (c.topology_spec.empty()) {
+    c.topology_spec =
+        topology_registry().canonicalize(topology_spec_from_legacy(c.base_kind, c.cycle_reach));
+  }
+}
+void ensure_clock_spec(ExperimentConfig& c) {
+  if (c.clock_spec.empty()) {
+    c.clock_spec = clock_model_registry().canonicalize(clock_spec_from_legacy(c.clock_model));
+  }
+}
+void ensure_delay_spec(ExperimentConfig& c) {
+  if (c.delay_spec.empty()) {
+    c.delay_spec = delay_registry().canonicalize(
+        delay_spec_from_legacy(c.delay_kind, c.delay_split_column));
+  }
+}
+void ensure_algorithm_spec(ExperimentConfig& c) {
+  if (c.algorithm_spec.empty()) {
+    c.algorithm_spec = algorithm_registry().canonicalize(algorithm_spec_from_legacy(c.algorithm));
   }
 }
 
@@ -404,6 +407,24 @@ void apply_config_key(ConfigDraft& draft, const std::string& key, const Json& va
       apply_clustered_key(*draft.clustered_faults, rest, value, path);
     } else if (head == "corrupt") {
       apply_corrupt_key(draft.corrupt, rest, value, path);
+    } else if (head == "base_graph") {
+      ensure_topology_spec(draft.config);
+      at_path(path, [&] { topology_registry().set_param(draft.config.topology_spec, rest, value); });
+      if (rest == "reach") draft.saw_spec_reach = true;
+      draft.dotted_topology = true;
+    } else if (head == "clock_model") {
+      ensure_clock_spec(draft.config);
+      at_path(path, [&] { clock_model_registry().set_param(draft.config.clock_spec, rest, value); });
+      draft.dotted_clock = true;
+    } else if (head == "delay_model") {
+      ensure_delay_spec(draft.config);
+      at_path(path, [&] { delay_registry().set_param(draft.config.delay_spec, rest, value); });
+      if (rest == "split_column") draft.saw_spec_split = true;
+      draft.dotted_delay = true;
+    } else if (head == "algorithm") {
+      ensure_algorithm_spec(draft.config);
+      at_path(path, [&] { algorithm_registry().set_param(draft.config.algorithm_spec, rest, value); });
+      draft.dotted_algorithm = true;
     } else {
       fail(path, "unknown key '" + key + "'");
     }
@@ -411,15 +432,37 @@ void apply_config_key(ConfigDraft& draft, const std::string& key, const Json& va
   }
 
   ExperimentConfig& c = draft.config;
+  // A whole-component key replaces the spec wholesale; if dotted parameter
+  // keys for this dimension were applied first, their values would be
+  // silently discarded -- reject and ask for the other order.
+  const auto check_not_after_dotted = [&](bool dotted) {
+    if (dotted) {
+      fail(path, "'" + key + "' would overwrite parameters set via dotted '" + key +
+                     ".<param>' keys; apply the whole-component key first (e.g. declare its "
+                     "sweep axis before the parameter axes)");
+    }
+  };
   if (key == "base_graph") {
-    c.base_kind = at_path(path, [&] {
-      return value_of(kBaseGraphNames, read_string(value, path), "base graph");
-    });
+    check_not_after_dotted(draft.dotted_topology);
+    const ComponentSpec spec = component_from_json(topology_registry(), value, path);
+    BaseGraphKind kind{};
+    std::uint32_t reach = 0;
+    // Only the bare-string spelling maps onto the legacy enum, and it never
+    // touches the parameter fields ('cycle_reach' keeps carrying reach, in
+    // any key order). The object form is authoritative: the spec wins.
+    if (value.is_string() && topology_spec_to_legacy(spec, kind, reach)) {
+      c.base_kind = kind;
+      c.topology_spec = ComponentSpec{};
+    } else {
+      c.topology_spec = spec;
+      if (value.is_object() && value.contains("reach")) draft.saw_spec_reach = true;
+    }
   } else if (key == "columns") {
     c.columns = read_u32(value, path);
     if (c.columns < 2) fail(path, "need at least 2 columns");
   } else if (key == "cycle_reach") {
     c.cycle_reach = read_u32(value, path);
+    draft.saw_cycle_reach = true;
   } else if (key == "trim") {
     c.trim = read_u32(value, path);
   } else if (key == "layers") {
@@ -439,9 +482,13 @@ void apply_config_key(ConfigDraft& draft, const std::string& key, const Json& va
       apply_params_key(draft, k, v, path + "." + k);
     }
   } else if (key == "algorithm") {
-    c.algorithm = at_path(path, [&] {
-      return value_of(kAlgorithmNames, read_string(value, path), "algorithm");
-    });
+    check_not_after_dotted(draft.dotted_algorithm);
+    const ComponentSpec spec = component_from_json(algorithm_registry(), value, path);
+    if (value.is_string() && algorithm_spec_to_legacy(spec, c.algorithm)) {
+      c.algorithm_spec = ComponentSpec{};
+    } else {
+      c.algorithm_spec = spec;
+    }
   } else if (key == "layer0_mode") {
     c.layer0 = at_path(path, [&] {
       return value_of(kLayer0Names, read_string(value, path), "layer-0 mode");
@@ -471,9 +518,19 @@ void apply_config_key(ConfigDraft& draft, const std::string& key, const Json& va
     }
     draft.layer0_pattern = pattern;
   } else if (key == "delay_model") {
-    c.delay_kind = at_path(path, [&] {
-      return value_of(kDelayNames, read_string(value, path), "delay model");
-    });
+    check_not_after_dotted(draft.dotted_delay);
+    const ComponentSpec spec = component_from_json(delay_registry(), value, path);
+    DelayModelKind kind{};
+    std::uint32_t split = 0;
+    // Same rule as base_graph: bare string -> enum only ('delay_split_column'
+    // stays untouched); object form -> the spec wins.
+    if (value.is_string() && delay_spec_to_legacy(spec, kind, split)) {
+      c.delay_kind = kind;
+      c.delay_spec = ComponentSpec{};
+    } else {
+      c.delay_spec = spec;
+      if (value.is_object() && value.contains("split_column")) draft.saw_spec_split = true;
+    }
   } else if (key == "delay_split_column") {
     if (value.is_string()) {
       if (read_string(value, path) != "center") {
@@ -484,10 +541,15 @@ void apply_config_key(ConfigDraft& draft, const std::string& key, const Json& va
       c.delay_split_column = read_u32(value, path);
       draft.split_center = false;
     }
+    draft.saw_delay_split = true;
   } else if (key == "clock_model") {
-    c.clock_model = at_path(path, [&] {
-      return value_of(kClockNames, read_string(value, path), "clock model");
-    });
+    check_not_after_dotted(draft.dotted_clock);
+    const ComponentSpec spec = component_from_json(clock_model_registry(), value, path);
+    if (value.is_string() && clock_spec_to_legacy(spec, c.clock_model)) {
+      c.clock_spec = ComponentSpec{};
+    } else {
+      c.clock_spec = spec;
+    }
   } else if (key == "faults") {
     const auto& items = at_path(path, [&]() -> const Json::Array& {
       return value.as_array();
@@ -540,15 +602,14 @@ ConfigDraft draft_from_json(const Json& j, const std::string& path) {
 }
 
 BaseGraph make_base_graph(const ExperimentConfig& config) {
-  switch (config.base_kind) {
-    case BaseGraphKind::kLineReplicated:
-      return BaseGraph::line_replicated(config.columns);
-    case BaseGraphKind::kCycle:
-      return BaseGraph::cycle_wide(config.columns, config.cycle_reach);
-    case BaseGraphKind::kPath:
-      return BaseGraph::path(config.columns);
-  }
-  throw JsonError("invalid base graph kind");
+  // Resolve only the topology dimension; the generators calling this do not
+  // need the other three canonicalized.
+  const ComponentSpec spec = config.topology_spec.empty()
+                                 ? topology_spec_from_legacy(config.base_kind, config.cycle_reach)
+                                 : config.topology_spec;
+  TopologyContext ctx;
+  ctx.columns = config.columns;
+  return topology_registry().create(spec)->build(ctx);
 }
 
 /// Resolves all generators against the final cell shape. `context` prefixes
@@ -557,6 +618,43 @@ ExperimentConfig resolve_draft(ConfigDraft draft, const std::string& context) {
   ExperimentConfig& c = draft.config;
   if (draft.layers_track_columns) c.layers = c.columns;
   if (draft.split_center) c.delay_split_column = c.columns / 2;
+
+  // An explicit legacy parameter key must reach the experiment even when
+  // its dimension was selected with the object-form spec (e.g. base_graph
+  // {"kind": "cycle"} plus a swept "cycle_reach" axis): route it into the
+  // spec, or reject it when the selected kind cannot take it -- silently
+  // ignoring a swept key would emit identical cells under distinct labels.
+  if (draft.saw_cycle_reach) {
+    const std::string kind = c.topology_spec.empty() ? std::string(to_string(c.base_kind))
+                                                     : c.topology_spec.kind;
+    if (kind != "cycle") {
+      throw JsonError(context + ": 'cycle_reach' has no effect on base graph '" + kind + "'");
+    }
+    if (!c.topology_spec.empty()) {
+      if (draft.saw_spec_reach) {
+        throw JsonError(context + ": 'cycle_reach' conflicts with an explicit "
+                        "'base_graph' reach parameter; use one spelling");
+      }
+      topology_registry().set_param(c.topology_spec, "reach",
+                                    Json(static_cast<std::int64_t>(c.cycle_reach)));
+    }
+  }
+  if (draft.saw_delay_split || draft.split_center) {
+    const std::string kind = c.delay_spec.empty() ? std::string(to_string(c.delay_kind))
+                                                  : c.delay_spec.kind;
+    if (kind != "column-split") {
+      throw JsonError(context + ": 'delay_split_column' has no effect on delay model '" +
+                      kind + "'");
+    }
+    if (!c.delay_spec.empty()) {
+      if (draft.saw_spec_split) {
+        throw JsonError(context + ": 'delay_split_column' conflicts with an explicit "
+                        "'delay_model' split_column parameter; use one spelling");
+      }
+      delay_registry().set_param(c.delay_spec, "split_column",
+                                 Json(static_cast<std::int64_t>(c.delay_split_column)));
+    }
+  }
 
   if (draft.derive) {
     const BaseGraph base = make_base_graph(c);
@@ -620,6 +718,81 @@ ExperimentConfig resolve_draft(ConfigDraft draft, const std::string& context) {
     }
   }
 
+  // Component validation: canonicalize every dimension, instantiate the
+  // providers, and build the topology once against the cell's shape, so
+  // unknown kinds, out-of-range parameters and topology-vs-columns
+  // mismatches all surface here with the cell's path context rather than
+  // later inside a worker thread.
+  const ResolvedComponents components = at_path(context, [&] { return resolve_components(c); });
+  // Sweeps revisit a handful of topology shapes over and over; memoize the
+  // successfully built ones so expansion does not pay an all-pairs BFS per
+  // cell (the set stays tiny: one string per distinct shape ever seen).
+  static thread_local std::set<std::string> valid_shapes;
+  const std::string shape = component_to_json(topology_registry(), components.topology).dump() +
+                            "@" + std::to_string(c.columns);
+  if (!valid_shapes.contains(shape)) {
+    try {
+      TopologyContext tctx;
+      tctx.columns = c.columns;
+      (void)topology_registry().create(components.topology)->build(tctx);
+    } catch (const std::exception& e) {
+      throw JsonError(context + ": invalid topology: " + e.what());
+    }
+    valid_shapes.insert(shape);
+  }
+  at_path(context, [&] { clock_model_registry().create(components.clock); });
+  at_path(context, [&] { delay_registry().create(components.delay); });
+  const auto algorithm = at_path(context, [&] {
+    return algorithm_registry().create(components.algorithm);
+  });
+
+  // Capability checks (previously silent no-ops inside World): a fault plan
+  // or corruption schedule the experiment cannot honor is a config error.
+  const AlgorithmCaps caps = algorithm->caps();
+  for (std::size_t i = 0; i < c.faults.size(); ++i) {
+    const PlacedFault& fault = c.faults[i];
+    const auto fault_error = [&](const std::string& reason) {
+      return JsonError(context + ": fault " + std::to_string(i) + " (kind '" +
+                       std::string(to_string(fault.spec.kind)) + "' at base=" +
+                       std::to_string(fault.base) + ", layer=" +
+                       std::to_string(fault.layer) + "): " + reason);
+    };
+    // Layer-0 nodes are sources, not algorithm nodes: the layer-0 machinery
+    // can realize a silent node (crash) and, in ideal mode, a static shift;
+    // other kinds would be silent no-ops, so reject them outright.
+    if (fault.layer == 0) {
+      const bool realizable =
+          fault.spec.kind == FaultKind::kCrash ||
+          (c.layer0 == Layer0Mode::kIdealJitter &&
+           fault.spec.kind == FaultKind::kStaticOffset);
+      if (!realizable) {
+        throw fault_error("layer-0 faults in layer0_mode '" +
+                          std::string(to_string(c.layer0)) + "' support " +
+                          (c.layer0 == Layer0Mode::kIdealJitter
+                               ? "'crash' and 'static-offset' only"
+                               : "'crash' only"));
+      }
+    }
+    // A silent node at ANY layer (including layer 0) starves its
+    // successors, so it needs tolerates_silent_preds; send-behaviour faults
+    // above layer 0 need a node that accepts send overrides.
+    const bool silent_kind = fault.spec.kind == FaultKind::kCrash ||
+                             fault.spec.kind == FaultKind::kFixedPeriod;
+    const bool supported = silent_kind ? caps.tolerates_silent_preds
+                                       : (fault.layer == 0 || caps.send_fault_overrides);
+    if (!supported) {
+      throw fault_error("algorithm '" + components.algorithm.kind +
+                        "' does not support it" +
+                        (caps.tolerates_silent_preds
+                             ? " (supported kinds: crash, fixed-period)"
+                             : ""));
+    }
+  }
+  if (draft.corrupt.enabled && !caps.state_corruption) {
+    throw JsonError(context + ": corrupt plan requires an algorithm with state-corruption "
+                    "support; '" + components.algorithm.kind + "' has none");
+  }
+
   return std::move(draft.config);
 }
 
@@ -631,30 +804,10 @@ std::string axis_value_label(const Json& value) {
 
 // --- enum <-> string --------------------------------------------------------
 
-std::string_view to_string(Algorithm v) { return name_of(kAlgorithmNames, v); }
 std::string_view to_string(Layer0Mode v) { return name_of(kLayer0Names, v); }
-std::string_view to_string(ClockModelKind v) { return name_of(kClockNames, v); }
-std::string_view to_string(DelayModelKind v) { return name_of(kDelayNames, v); }
-std::string_view to_string(BaseGraphKind v) { return name_of(kBaseGraphNames, v); }
-std::string_view to_string(FaultKind v) { return name_of(kFaultNames, v); }
 
-Algorithm algorithm_from_string(std::string_view s) {
-  return value_of(kAlgorithmNames, s, "algorithm");
-}
 Layer0Mode layer0_mode_from_string(std::string_view s) {
   return value_of(kLayer0Names, s, "layer-0 mode");
-}
-ClockModelKind clock_model_from_string(std::string_view s) {
-  return value_of(kClockNames, s, "clock model");
-}
-DelayModelKind delay_model_from_string(std::string_view s) {
-  return value_of(kDelayNames, s, "delay model");
-}
-BaseGraphKind base_graph_from_string(std::string_view s) {
-  return value_of(kBaseGraphNames, s, "base graph");
-}
-FaultKind fault_kind_from_string(std::string_view s) {
-  return value_of(kFaultNames, s, "fault kind");
 }
 
 // --- serialization ----------------------------------------------------------
@@ -672,10 +825,13 @@ Json to_json(const PlacedFault& fault) {
 }
 
 Json to_json(const ExperimentConfig& c) {
+  // The four component dimensions serialize in resolved canonical form
+  // (bare kind string, or {"kind": ...} with the non-default parameters),
+  // whether the config was authored via specs or the legacy enums.
+  const ResolvedComponents components = resolve_components(c);
   Json j = Json::object();
-  j.set("base_graph", to_string(c.base_kind));
+  j.set("base_graph", component_to_json(topology_registry(), components.topology));
   j.set("columns", c.columns);
-  if (c.base_kind == BaseGraphKind::kCycle) j.set("cycle_reach", c.cycle_reach);
   if (c.trim != 0) j.set("trim", c.trim);
   j.set("layers", c.layers);
   Json params = Json::object();
@@ -684,7 +840,7 @@ Json to_json(const ExperimentConfig& c) {
   params.set("theta", c.params.theta);
   params.set("lambda", c.params.lambda);
   j.set("params", std::move(params));
-  j.set("algorithm", to_string(c.algorithm));
+  j.set("algorithm", component_to_json(algorithm_registry(), components.algorithm));
   j.set("layer0_mode", to_string(c.layer0));
   j.set("layer0_jitter", c.layer0_jitter);
   if (!c.layer0_offset_by_column.empty()) {
@@ -692,9 +848,8 @@ Json to_json(const ExperimentConfig& c) {
     for (const double v : c.layer0_offset_by_column) offsets.push_back(v);
     j.set("layer0_offsets", std::move(offsets));
   }
-  j.set("delay_model", to_string(c.delay_kind));
-  if (c.delay_split_column != 0) j.set("delay_split_column", c.delay_split_column);
-  j.set("clock_model", to_string(c.clock_model));
+  j.set("delay_model", component_to_json(delay_registry(), components.delay));
+  j.set("clock_model", component_to_json(clock_model_registry(), components.clock));
   if (!c.faults.empty()) {
     Json faults = Json::array();
     for (const PlacedFault& fault : c.faults) faults.push_back(to_json(fault));

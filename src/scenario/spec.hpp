@@ -13,6 +13,19 @@
 //     }
 //   }
 //
+// The four component dimensions (base_graph, clock_model, delay_model,
+// algorithm) accept either a bare kind string or the self-describing
+// component object syntax, validated against the registered provider's
+// parameter schema (see registry/*.hpp):
+//
+//   "base_graph": "cycle"                          // defaults
+//   "base_graph": {"kind": "cycle", "reach": 2}    // explicit parameters
+//   "clock_model": {"kind": "drift-walk", "step": 0.25}
+//
+// Sweep axes reach component parameters through dotted paths
+// ("base_graph.rows", "clock_model.step"). Legacy spellings
+// ("cycle_reach", "delay_split_column") keep working as adapters.
+//
 // "config" holds the base ExperimentConfig plus *generators* -- fields that
 // cannot be resolved until the concrete cell is known (grid-dependent fault
 // placements, derived parameter sets, column-relative positions):
@@ -45,20 +58,13 @@
 
 namespace gtrix {
 
-// --- enum <-> string names (shared by parser, writer and CLI) ---------------
-std::string_view to_string(Algorithm v);
+// --- enum <-> string names --------------------------------------------------
+// The component-dimension names (Algorithm, ClockModelKind, DelayModelKind,
+// BaseGraphKind) live next to their registry adapters in registry/*.hpp and
+// FaultKind's in fault/fault.hpp; all are visible through this header.
+// Layer0Mode is not a registry dimension and stays here.
 std::string_view to_string(Layer0Mode v);
-std::string_view to_string(ClockModelKind v);
-std::string_view to_string(DelayModelKind v);
-std::string_view to_string(BaseGraphKind v);
-std::string_view to_string(FaultKind v);
-
-Algorithm algorithm_from_string(std::string_view s);
 Layer0Mode layer0_mode_from_string(std::string_view s);
-ClockModelKind clock_model_from_string(std::string_view s);
-DelayModelKind delay_model_from_string(std::string_view s);
-BaseGraphKind base_graph_from_string(std::string_view s);
-FaultKind fault_kind_from_string(std::string_view s);
 
 /// Serializes a fully resolved config. Generators never appear in the
 /// output; fault plans are emitted as explicit placements. Default-valued

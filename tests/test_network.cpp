@@ -4,7 +4,7 @@
 
 #include <vector>
 
-#include "net/delay_model.hpp"
+#include "registry/delay.hpp"
 #include "sim/simulator.hpp"
 #include "support/rng.hpp"
 
@@ -194,14 +194,20 @@ TEST(Network, NonPositiveDelayRejected) {
   EXPECT_THROW(net.add_edge(a, b, -1.0), std::logic_error);
 }
 
+double sample_delay(DelayModelKind kind, std::uint32_t split, std::uint32_t from_col,
+                    std::uint32_t to_col, Rng& rng) {
+  DelayContext ctx;
+  ctx.from_column = from_col;
+  ctx.to_column = to_col;
+  ctx.d = 100.0;
+  ctx.u = 10.0;
+  return delay_registry().create(delay_spec_from_legacy(kind, split))->sample(ctx, rng);
+}
+
 TEST(DelayModelTest, UniformStaysInRange) {
-  DelayModel model;
-  model.kind = DelayModelKind::kUniformRandom;
-  model.d = 100.0;
-  model.u = 10.0;
   Rng rng(5);
   for (int i = 0; i < 1000; ++i) {
-    const double delay = model.sample(0, 1, 0, 1, rng);
+    const double delay = sample_delay(DelayModelKind::kUniformRandom, 0, 0, 1, rng);
     EXPECT_GE(delay, 90.0);
     EXPECT_LE(delay, 100.0);
   }
@@ -209,20 +215,13 @@ TEST(DelayModelTest, UniformStaysInRange) {
 
 TEST(DelayModelTest, ExtremesAndSplit) {
   Rng rng(6);
-  DelayModel model;
-  model.d = 100.0;
-  model.u = 10.0;
-  model.kind = DelayModelKind::kAllMax;
-  EXPECT_DOUBLE_EQ(model.sample(3, 4, 0, 1, rng), 100.0);
-  model.kind = DelayModelKind::kAllMin;
-  EXPECT_DOUBLE_EQ(model.sample(3, 4, 0, 1, rng), 90.0);
-  model.kind = DelayModelKind::kColumnSplit;
-  model.split_column = 4;
-  EXPECT_DOUBLE_EQ(model.sample(3, 4, 0, 1, rng), 90.0);  // from column < 4: fast
-  EXPECT_DOUBLE_EQ(model.sample(4, 5, 0, 1, rng), 100.0);
-  model.kind = DelayModelKind::kAlternating;
-  EXPECT_DOUBLE_EQ(model.sample(0, 2, 0, 1, rng), 100.0);
-  EXPECT_DOUBLE_EQ(model.sample(0, 3, 0, 1, rng), 90.0);
+  EXPECT_DOUBLE_EQ(sample_delay(DelayModelKind::kAllMax, 0, 3, 4, rng), 100.0);
+  EXPECT_DOUBLE_EQ(sample_delay(DelayModelKind::kAllMin, 0, 3, 4, rng), 90.0);
+  // from column < split 4: fast.
+  EXPECT_DOUBLE_EQ(sample_delay(DelayModelKind::kColumnSplit, 4, 3, 4, rng), 90.0);
+  EXPECT_DOUBLE_EQ(sample_delay(DelayModelKind::kColumnSplit, 4, 4, 5, rng), 100.0);
+  EXPECT_DOUBLE_EQ(sample_delay(DelayModelKind::kAlternating, 0, 0, 2, rng), 100.0);
+  EXPECT_DOUBLE_EQ(sample_delay(DelayModelKind::kAlternating, 0, 0, 3, rng), 90.0);
 }
 
 }  // namespace

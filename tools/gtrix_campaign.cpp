@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "registry/describe.hpp"
 #include "runner/campaign.hpp"
 #include "scenario/registry.hpp"
 #include "support/flags.hpp"
@@ -29,7 +30,8 @@ namespace {
 Usage make_usage(const std::string& program) {
   Usage usage(program, "Run declarative Gradient TRIX scenario campaigns.");
   usage.positional("SCENARIO", "scenario .json file or built-in name (--list)");
-  usage.flag("--list", "list built-in scenarios and exit");
+  usage.flag("--list", "list built-in scenarios and registered components, then exit");
+  usage.flag("--describe=KIND", "show a registered component's parameter schema and exit");
   usage.flag("--export=DIR", "write built-in scenarios as JSON files and exit");
   usage.flag("--out=DIR", "output directory (default: campaign-out)");
   usage.flag("--threads=N", "sweep worker threads (default 0 = all cores)");
@@ -55,7 +57,54 @@ int list_builtins() {
         .add(std::string(info.summary))
         .add(static_cast<std::uint64_t>(scenario.cell_count()));
   }
-  std::printf("%s", table.render().c_str());
+  std::printf("built-in scenarios:\n%s", table.render().c_str());
+
+  Table components({"dimension", "kind", "parameters", "summary"});
+  for (const ComponentDesc& desc : all_component_descs()) {
+    components.row()
+        .add(desc.config_key)
+        .add(desc.kind)
+        .add(desc.params.empty() ? "-" : render_param_schema(desc.params))
+        .add(desc.summary);
+  }
+  std::printf("\nregistered components (scenario config syntax: \"<dimension>\": \"<kind>\" "
+              "or {\"kind\": ..., <params>}):\n%s",
+              components.render().c_str());
+  return 0;
+}
+
+int describe_component(const std::string& kind) {
+  bool found = false;
+  for (const ComponentDesc& desc : all_component_descs()) {
+    if (desc.kind != kind) continue;
+    found = true;
+    std::printf("%s '%s' (config key \"%s\")\n  %s\n", desc.dimension.c_str(),
+                desc.kind.c_str(), desc.config_key.c_str(), desc.summary.c_str());
+    if (desc.params.empty()) {
+      std::printf("  parameters: none\n");
+    } else {
+      Table params({"parameter", "type", "default", "description"});
+      for (const ParamInfo& info : desc.params) {
+        params.row()
+            .add(info.name)
+            .add(param_type_name(info.type))
+            .add(info.default_value.dump())
+            .add(info.description);
+      }
+      std::printf("%s", params.render().c_str());
+    }
+    std::printf("\n");
+  }
+  if (!found) {
+    std::string valid;
+    for (const ComponentDesc& desc : all_component_descs()) {
+      if (!valid.empty()) valid += ", ";
+      valid += desc.kind;
+    }
+    std::fprintf(stderr, "error: no registered component named '%s' (valid: %s)\n",
+                 kind.c_str(), valid.c_str());
+    return 2;
+  }
   return 0;
 }
 
@@ -93,6 +142,14 @@ int run(int argc, char** argv) {
     return 0;
   }
   if (flags.get_bool("list", false)) return list_builtins();
+  if (flags.has("describe")) {
+    const std::string kind = flags.get_string("describe", "");
+    if (kind.empty() || kind == "true") {
+      std::fputs("error: --describe requires a component kind (--describe=KIND)\n", stderr);
+      return 2;
+    }
+    return describe_component(kind);
+  }
   if (flags.has("export")) {
     const std::string dir = flags.get_string("export", "");
     // A bare "--export" parses as the boolean value "true" -- demand a real
