@@ -8,7 +8,8 @@ namespace gtrix {
 
 LynchWelchGridNode::LynchWelchGridNode(Simulator& sim, Network& net, NetNodeId self,
                                        HardwareClock clock, std::vector<NetNodeId> preds,
-                                       Params params, std::uint32_t trim, Recorder* recorder)
+                                       Params params, std::uint32_t trim, Recorder* recorder,
+                                       LwSoa* soa)
     : sim_(sim),
       net_(net),
       self_(self),
@@ -21,9 +22,13 @@ LynchWelchGridNode::LynchWelchGridNode(Simulator& sim, Network& net, NetNodeId s
   // Clamp so the trimmed window keeps at least its two extremes.
   const auto max_trim = static_cast<std::uint32_t>((preds_.size() - 1) / 2);
   trim_ = std::min(trim_, max_trim);
-  seen_.assign(preds_.size(), false);
-  slot_arrival_.assign(preds_.size(), 0.0);
-  slot_sigma_.assign(preds_.size(), 0);
+  if (soa == nullptr) {
+    owned_soa_ = std::make_unique<LwSoa>();
+    soa = owned_soa_.get();
+  }
+  soa_ = soa;
+  i_ = soa_->add_node(static_cast<std::uint32_t>(preds_.size()));
+  slot_base_ = soa_->slot_base[i_];
 }
 
 int LynchWelchGridNode::slot_of(NetNodeId from) const {
@@ -38,7 +43,7 @@ void LynchWelchGridNode::on_pulse(NetNodeId from, EdgeId /*edge*/, const Pulse& 
   const int slot = slot_of(from);
   if (slot < 0) return;
   const LocalTime h = clock_.to_local(now);
-  if (seen_[static_cast<std::size_t>(slot)]) {
+  if (seen(static_cast<std::size_t>(slot))) {
     // A second pulse from the same predecessor belongs to the next wave.
     // Dropping one would leave a wave permanently incomplete (the node only
     // fires on a FULL reception set), so overflow is a hard error rather
@@ -54,25 +59,28 @@ void LynchWelchGridNode::on_pulse(NetNodeId from, EdgeId /*edge*/, const Pulse& 
 
 void LynchWelchGridNode::process(NetNodeId from, LocalTime h, Sigma sigma) {
   const auto slot = static_cast<std::size_t>(slot_of(from));
-  seen_[slot] = true;
-  slot_arrival_[slot] = h;
-  slot_sigma_[slot] = sigma;
-  ++seen_count_;
-  if (seen_count_ < preds_.size()) return;
+  seen(slot) = 1;
+  slot_arrival(slot) = h;
+  slot_sigma(slot) = sigma;
+  ++seen_count();
+  if (seen_count() < preds_.size()) return;
 
-  // Full reception set: trimmed midpoint of the arrival times. Sorting in a
-  // member scratch buffer keeps the per-wave path allocation-free.
-  sort_scratch_.assign(slot_arrival_.begin(), slot_arrival_.end());
-  std::sort(sort_scratch_.begin(), sort_scratch_.end());
-  const LocalTime lo = sort_scratch_[trim_];
-  const LocalTime hi = sort_scratch_[sort_scratch_.size() - 1 - trim_];
+  // Full reception set: trimmed midpoint of the arrival times. Sorting in
+  // the arena's shared scratch buffer keeps the per-wave path
+  // allocation-free (one World runs single-threaded).
+  std::vector<LocalTime>& scratch = soa_->fire_scratch;
+  scratch.assign(soa_->slot_arrival.begin() + slot_base_,
+                 soa_->slot_arrival.begin() + slot_base_ + preds_.size());
+  std::sort(scratch.begin(), scratch.end());
+  const LocalTime lo = scratch[trim_];
+  const LocalTime hi = scratch[scratch.size() - 1 - trim_];
   const LocalTime target = (lo + hi) / 2.0 + params_.lambda - params_.d;
-  fire_timer_ = sim_.at(clock_.to_real(std::max(target, clock_.to_local(sim_.now()))), this,
-                        kFire, EventPayload{});
+  fire_timer() = sim_.at(clock_.to_real(std::max(target, clock_.to_local(sim_.now()))), this,
+                         kFire, EventPayload{});
 }
 
 void LynchWelchGridNode::on_timer(const Event& event) {
-  fire_timer_.reset();
+  fire_timer().reset();
   fire(event.time);
 }
 
@@ -86,8 +94,8 @@ void LynchWelchGridNode::fire(SimTime now) {
   // LEAVING later duplicates queued: a predecessor two waves ahead must not
   // lose its second queued pulse (per-predecessor order within the deque is
   // arrival order, so a front-to-back scan takes the earliest first).
-  for (auto it = pending_.begin(); it != pending_.end() && seen_count_ < preds_.size();) {
-    if (seen_[static_cast<std::size_t>(slot_of(it->from))]) {
+  for (auto it = pending_.begin(); it != pending_.end() && seen_count() < preds_.size();) {
+    if (seen(static_cast<std::size_t>(slot_of(it->from)))) {
       ++it;
       continue;
     }
@@ -98,23 +106,26 @@ void LynchWelchGridNode::fire(SimTime now) {
 }
 
 void LynchWelchGridNode::reset() {
-  std::fill(seen_.begin(), seen_.end(), false);
-  std::fill(slot_sigma_.begin(), slot_sigma_.end(), 0);
-  seen_count_ = 0;
-  sim_.cancel(fire_timer_);
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    seen(i) = 0;
+    slot_sigma(i) = 0;
+  }
+  seen_count() = 0;
+  sim_.cancel(fire_timer());
 }
 
 Sigma LynchWelchGridNode::estimate_sigma() const {
   // Majority stamp over the full reception set, falling back to the own
   // copy's stamp (slot 0).
-  for (std::size_t i = 0; i < slot_sigma_.size(); ++i) {
+  const std::size_t n = preds_.size();
+  for (std::size_t i = 0; i < n; ++i) {
     std::size_t same = 0;
-    for (std::size_t j = 0; j < slot_sigma_.size(); ++j) {
-      same += slot_sigma_[j] == slot_sigma_[i] ? 1U : 0U;
+    for (std::size_t j = 0; j < n; ++j) {
+      same += slot_sigma(j) == slot_sigma(i) ? 1U : 0U;
     }
-    if (same * 2 > slot_sigma_.size()) return slot_sigma_[i];
+    if (same * 2 > n) return slot_sigma(i);
   }
-  return slot_sigma_[0];
+  return slot_sigma(0);
 }
 
 }  // namespace gtrix

@@ -17,9 +17,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "clock/hardware_clock.hpp"
+#include "core/node_state.hpp"
 #include "core/params.hpp"
 #include "metrics/recorder.hpp"
 #include "net/network.hpp"
@@ -31,10 +33,12 @@ class LynchWelchGridNode final : public PulseSink, public TimerTarget {
  public:
   /// `preds` lists the predecessors' network ids, own copy first (exactly
   /// Grid::predecessors). `trim` receptions are discarded on each side; it
-  /// is clamped so at least two receptions survive.
+  /// is clamped so at least two receptions survive. Hot per-wave state
+  /// lives in `soa` (the World arena's lw lanes); null falls back to a
+  /// private single-entry arena.
   LynchWelchGridNode(Simulator& sim, Network& net, NetNodeId self, HardwareClock clock,
                      std::vector<NetNodeId> preds, Params params, std::uint32_t trim,
-                     Recorder* recorder);
+                     Recorder* recorder, LwSoa* soa = nullptr);
 
   void on_pulse(NetNodeId from, EdgeId edge, const Pulse& pulse, SimTime now) override;
   void on_timer(const Event& event) override;
@@ -59,6 +63,16 @@ class LynchWelchGridNode final : public PulseSink, public TimerTarget {
   void reset();
   Sigma estimate_sigma() const;
 
+  // Arena accessors for the per-wave registers.
+  std::uint32_t& seen_count() { return soa_->seen_count[i_]; }
+  std::uint32_t seen_count() const { return soa_->seen_count[i_]; }
+  TimerHandle& fire_timer() { return soa_->fire_timer[i_]; }
+  std::uint8_t& seen(std::size_t slot) { return soa_->slot_seen[slot_base_ + slot]; }
+  std::uint8_t seen(std::size_t slot) const { return soa_->slot_seen[slot_base_ + slot]; }
+  LocalTime& slot_arrival(std::size_t slot) { return soa_->slot_arrival[slot_base_ + slot]; }
+  Sigma& slot_sigma(std::size_t slot) { return soa_->slot_sigma[slot_base_ + slot]; }
+  Sigma slot_sigma(std::size_t slot) const { return soa_->slot_sigma[slot_base_ + slot]; }
+
   Simulator& sim_;
   Network& net_;
   NetNodeId self_;
@@ -68,12 +82,11 @@ class LynchWelchGridNode final : public PulseSink, public TimerTarget {
   std::uint32_t trim_;
   Recorder* recorder_;
 
-  std::vector<bool> seen_;
-  std::vector<LocalTime> slot_arrival_;
-  std::vector<Sigma> slot_sigma_;
-  std::vector<LocalTime> sort_scratch_;
-  std::size_t seen_count_ = 0;
-  TimerHandle fire_timer_;
+  std::unique_ptr<LwSoa> owned_soa_;  // fallback only
+  LwSoa* soa_;
+  std::uint32_t i_;
+  std::uint32_t slot_base_;
+
   std::deque<PendingMsg> pending_;
   std::uint64_t forwarded_ = 0;
 };

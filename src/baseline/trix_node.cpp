@@ -6,7 +6,7 @@ namespace gtrix {
 
 TrixNaiveNode::TrixNaiveNode(Simulator& sim, Network& net, NetNodeId self,
                              HardwareClock clock, std::vector<NetNodeId> preds,
-                             Params params, Recorder* recorder)
+                             Params params, Recorder* recorder, TrixSoa* soa)
     : sim_(sim),
       net_(net),
       self_(self),
@@ -16,6 +16,13 @@ TrixNaiveNode::TrixNaiveNode(Simulator& sim, Network& net, NetNodeId self,
       recorder_(recorder) {
   GTRIX_CHECK_MSG(preds_.size() >= 2 && preds_.size() <= kMaxSlots,
                   "naive TRIX node needs 2..5 predecessors");
+  if (soa == nullptr) {
+    owned_soa_ = std::make_unique<TrixSoa>();
+    soa = owned_soa_.get();
+  }
+  soa_ = soa;
+  i_ = soa_->add_node(static_cast<std::uint32_t>(preds_.size()));
+  slot_base_ = soa_->slot_base[i_];
 }
 
 int TrixNaiveNode::slot_of(NetNodeId from) const {
@@ -30,7 +37,7 @@ void TrixNaiveNode::on_pulse(NetNodeId from, EdgeId /*edge*/, const Pulse& pulse
   const int slot = slot_of(from);
   if (slot < 0) return;
   const LocalTime h = clock_.to_local(now);
-  if (seen_[static_cast<std::size_t>(slot)]) {
+  if (seen(static_cast<std::size_t>(slot))) {
     // Second message from the same predecessor within this iteration: it
     // belongs to the next wave; queue it.
     if (pending_.size() >= kPendingCap) pending_.pop_front();
@@ -42,21 +49,21 @@ void TrixNaiveNode::on_pulse(NetNodeId from, EdgeId /*edge*/, const Pulse& pulse
 
 void TrixNaiveNode::process(NetNodeId from, LocalTime h, Sigma sigma, SimTime /*now*/) {
   const auto slot = static_cast<std::size_t>(slot_of(from));
-  seen_[slot] = true;
-  slot_sigma_[slot] = sigma;
-  ++seen_count_;
-  if (seen_count_ == 2 && !armed_) {
+  seen(slot) = 1;
+  slot_sigma(slot) = sigma;
+  ++seen_count();
+  if (seen_count() == 2 && !armed()) {
     // Second copy: forward after the nominal wait (the paper's "wait for
     // the second copy of each pulse before forwarding", Fig. 1).
-    armed_ = true;
+    armed() = 1;
     const LocalTime target = h + params_.lambda - params_.d;
-    fire_timer_ =
+    fire_timer() =
         sim_.at(clock_.to_real(target), this, kFire, EventPayload{.f = target});
   }
 }
 
 void TrixNaiveNode::on_timer(const Event& event) {
-  fire_timer_.reset();
+  fire_timer().reset();
   fire(event.time, event.payload.f);
 }
 
@@ -67,28 +74,30 @@ void TrixNaiveNode::fire(SimTime now, LocalTime fire_local) {
   ++forwarded_;
   net_.broadcast(self_, Pulse{sigma});
   reset();
-  while (!pending_.empty() && !armed_) {
+  while (!pending_.empty() && !armed()) {
     const PendingMsg msg = pending_.front();
     pending_.pop_front();
-    if (!seen_[static_cast<std::size_t>(slot_of(msg.from))]) {
+    if (!seen(static_cast<std::size_t>(slot_of(msg.from)))) {
       process(msg.from, msg.h_arrival, msg.sigma, now);
     }
   }
 }
 
 void TrixNaiveNode::reset() {
-  seen_.fill(false);
-  slot_sigma_.fill(0);
-  seen_count_ = 0;
-  armed_ = false;
-  sim_.cancel(fire_timer_);
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    seen(i) = 0;
+    slot_sigma(i) = 0;
+  }
+  seen_count() = 0;
+  armed() = 0;
+  sim_.cancel(fire_timer());
 }
 
 Sigma TrixNaiveNode::estimate_sigma() const {
   std::array<Sigma, kMaxSlots> vals{};
   std::size_t n = 0;
   for (std::size_t i = 0; i < preds_.size(); ++i) {
-    if (seen_[i]) vals[n++] = slot_sigma_[i];
+    if (seen(i)) vals[n++] = slot_sigma(i);
   }
   if (n == 0) return 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -96,7 +105,7 @@ Sigma TrixNaiveNode::estimate_sigma() const {
     for (std::size_t j = 0; j < n; ++j) same += vals[j] == vals[i] ? 1U : 0U;
     if (same >= 2) return vals[i];
   }
-  if (seen_[0]) return slot_sigma_[0];
+  if (seen(0)) return slot_sigma(0);
   return vals[0];
 }
 

@@ -9,9 +9,11 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "clock/hardware_clock.hpp"
+#include "core/node_state.hpp"
 #include "core/params.hpp"
 #include "metrics/recorder.hpp"
 #include "net/network.hpp"
@@ -21,8 +23,11 @@ namespace gtrix {
 
 class TrixNaiveNode final : public PulseSink, public TimerTarget {
  public:
+  /// Hot per-wave state lives in `soa` (the World arena's trix lanes);
+  /// null falls back to a private single-entry arena.
   TrixNaiveNode(Simulator& sim, Network& net, NetNodeId self, HardwareClock clock,
-                std::vector<NetNodeId> preds, Params params, Recorder* recorder);
+                std::vector<NetNodeId> preds, Params params, Recorder* recorder,
+                TrixSoa* soa = nullptr);
 
   void on_pulse(NetNodeId from, EdgeId edge, const Pulse& pulse, SimTime now) override;
 
@@ -48,6 +53,15 @@ class TrixNaiveNode final : public PulseSink, public TimerTarget {
   void reset();
   Sigma estimate_sigma() const;
 
+  // Arena accessors for the per-wave registers.
+  std::uint8_t& armed() { return soa_->armed[i_]; }
+  std::uint32_t& seen_count() { return soa_->seen_count[i_]; }
+  TimerHandle& fire_timer() { return soa_->fire_timer[i_]; }
+  std::uint8_t& seen(std::size_t slot) { return soa_->slot_seen[slot_base_ + slot]; }
+  std::uint8_t seen(std::size_t slot) const { return soa_->slot_seen[slot_base_ + slot]; }
+  Sigma& slot_sigma(std::size_t slot) { return soa_->slot_sigma[slot_base_ + slot]; }
+  Sigma slot_sigma(std::size_t slot) const { return soa_->slot_sigma[slot_base_ + slot]; }
+
   Simulator& sim_;
   Network& net_;
   NetNodeId self_;
@@ -56,11 +70,11 @@ class TrixNaiveNode final : public PulseSink, public TimerTarget {
   Params params_;
   Recorder* recorder_;
 
-  bool armed_ = false;  // second copy seen; broadcast scheduled
-  std::array<bool, kMaxSlots> seen_{};
-  std::array<Sigma, kMaxSlots> slot_sigma_{};
-  std::size_t seen_count_ = 0;
-  TimerHandle fire_timer_;
+  std::unique_ptr<TrixSoa> owned_soa_;  // fallback only
+  TrixSoa* soa_;
+  std::uint32_t i_;
+  std::uint32_t slot_base_;
+
   std::deque<PendingMsg> pending_;
   std::uint64_t forwarded_ = 0;
 };

@@ -27,8 +27,7 @@ HardwareClock::HardwareClock(std::vector<std::pair<SimTime, double>> breakpoints
   }
 }
 
-LocalTime HardwareClock::to_local(SimTime t) const {
-  GTRIX_CHECK_MSG(t >= 0.0, "negative real time");
+LocalTime HardwareClock::to_local_schedule(SimTime t) const {
   // Find the last segment with t0 <= t.
   auto it = std::upper_bound(segments_.begin(), segments_.end(), t,
                              [](SimTime v, const Segment& s) { return v < s.t0; });
@@ -36,8 +35,7 @@ LocalTime HardwareClock::to_local(SimTime t) const {
   return seg.h0 + seg.rate * (t - seg.t0);
 }
 
-SimTime HardwareClock::to_real(LocalTime h) const {
-  GTRIX_CHECK_MSG(h >= segments_.front().h0, "local time precedes clock origin");
+SimTime HardwareClock::to_real_schedule(LocalTime h) const {
   // Find the last segment with h0 <= h. h0 is increasing because rates are
   // positive and breakpoints increase.
   auto it = std::upper_bound(segments_.begin(), segments_.end(), h,

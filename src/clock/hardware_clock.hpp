@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "support/check.hpp"
 
 namespace gtrix {
 
@@ -30,11 +31,27 @@ class HardwareClock {
   /// be at real time 0. `offset` is H(0).
   HardwareClock(std::vector<std::pair<SimTime, double>> breakpoints, LocalTime offset);
 
-  /// Local reading at real time t (t >= 0).
-  LocalTime to_local(SimTime t) const;
+  /// Local reading at real time t (t >= 0). The single-segment (static
+  /// rate) case is inlined: these conversions run several times per event
+  /// on the hot path. Identical arithmetic to the schedule walk.
+  LocalTime to_local(SimTime t) const {
+    GTRIX_CHECK_MSG(t >= 0.0, "negative real time");
+    if (segments_.size() == 1) [[likely]] {
+      const Segment& seg = segments_.front();
+      return seg.h0 + seg.rate * (t - seg.t0);
+    }
+    return to_local_schedule(t);
+  }
 
   /// Real time at which the local reading reaches h (h >= H(0)).
-  SimTime to_real(LocalTime h) const;
+  SimTime to_real(LocalTime h) const {
+    GTRIX_CHECK_MSG(h >= segments_.front().h0, "local time precedes clock origin");
+    if (segments_.size() == 1) [[likely]] {
+      const Segment& seg = segments_.front();
+      return seg.t0 + (h - seg.h0) / seg.rate;
+    }
+    return to_real_schedule(h);
+  }
 
   /// Instantaneous rate at real time t.
   double rate_at(SimTime t) const;
@@ -49,6 +66,9 @@ class HardwareClock {
     LocalTime h0;    // H(t0)
     double rate;     // slope on [t0, next.t0)
   };
+
+  LocalTime to_local_schedule(SimTime t) const;
+  SimTime to_real_schedule(LocalTime h) const;
 
   std::vector<Segment> segments_;  // sorted by t0; first has t0 == 0
 };

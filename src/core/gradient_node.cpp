@@ -13,7 +13,8 @@ constexpr double kGuardSlack = 1e-9;  // float-noise tolerance in guard checks
 
 GradientTrixNode::GradientTrixNode(Simulator& sim, Network& net, NetNodeId self,
                                    HardwareClock clock, std::vector<NetNodeId> preds,
-                                   GradientNodeConfig config, Recorder* recorder)
+                                   GradientNodeConfig config, Recorder* recorder,
+                                   GradientSoa* soa)
     : sim_(sim),
       net_(net),
       self_(self),
@@ -23,6 +24,13 @@ GradientTrixNode::GradientTrixNode(Simulator& sim, Network& net, NetNodeId self,
       recorder_(recorder) {
   GTRIX_CHECK_MSG(preds_.size() >= 2, "node needs its own copy plus >= 1 neighbour");
   GTRIX_CHECK_MSG(preds_.size() <= kMaxSlots, "too many predecessors");
+  if (soa == nullptr) {
+    owned_soa_ = std::make_unique<GradientSoa>();
+    soa = owned_soa_.get();
+  }
+  soa_ = soa;
+  i_ = soa_->add_node(static_cast<std::uint32_t>(preds_.size()));
+  slot_base_ = soa_->slot_base[i_];
 }
 
 int GradientTrixNode::slot_of(NetNodeId from) const {
@@ -37,7 +45,7 @@ void GradientTrixNode::on_pulse(NetNodeId from, EdgeId /*edge*/, const Pulse& pu
   const int slot = slot_of(from);
   if (slot < 0) return;  // not one of our predecessors
   const LocalTime h = clock_.to_local(now);
-  if (phase_ != Phase::kCollect) {
+  if (phase() != Phase::kCollect) {
     // The pulse decision for this iteration is already made. A message from
     // a slot not yet seen still belongs to the *current* wave (Lemma B.1:
     // e.g. the own-copy pulse arriving after the timeout branch committed,
@@ -45,10 +53,10 @@ void GradientTrixNode::on_pulse(NetNodeId from, EdgeId /*edge*/, const Pulse& pu
     // it so it cannot leak into the next iteration. Repeats belong to the
     // next wave and are queued.
     const auto uslot = static_cast<std::size_t>(slot);
-    if (!slot_seen_[uslot]) {
-      slot_seen_[uslot] = true;
-      if (slot > 0) r_[uslot] = true;
-      slot_sigma_[uslot] = pulse.stamp;
+    if (!seen(uslot)) {
+      seen(uslot) = 1;
+      if (slot > 0) r(uslot) = 1;
+      slot_sigma(uslot) = pulse.stamp;
       ++counters_.late_absorbed;
       return;
     }
@@ -70,10 +78,10 @@ void GradientTrixNode::process_message(NetNodeId from, LocalTime h, Sigma sigma,
   bool changed = false;
   if (slot == 0) {
     // Pulse from the node's own copy (v, l-1).
-    if (!std::isfinite(h_own_)) {
-      h_own_ = h;
-      slot_seen_[0] = true;
-      slot_sigma_[0] = sigma;
+    if (!std::isfinite(h_own())) {
+      h_own() = h;
+      seen(0) = 1;
+      slot_sigma(0) = sigma;
       changed = true;
     } else {
       ++counters_.duplicate_drops;
@@ -82,20 +90,20 @@ void GradientTrixNode::process_message(NetNodeId from, LocalTime h, Sigma sigma,
     // Pulse from a neighbour copy (w, l-1). With trimming, H_min is the
     // (trim+1)-th earliest and H_max the (deg - trim)-th reception; the
     // paper's rule is trim = 0 (first and last).
-    if (!r_[uslot]) {
+    if (!r(uslot)) {
       std::size_t seen_before = 0;
-      for (std::size_t i = 1; i < preds_.size(); ++i) seen_before += r_[i] ? 1U : 0U;
+      for (std::size_t i = 1; i < preds_.size(); ++i) seen_before += r(i) ? 1U : 0U;
       const std::size_t degree = preds_.size() - 1;
       const std::size_t trim = config_.trim;
       GTRIX_CHECK_MSG(2 * trim < degree, "trim too large for degree");
       if (seen_before == trim) {
-        h_min_ = h;
+        h_min() = h;
         if (config_.self_stabilizing || config_.startup_watchdog) arm_watchdog();
       }
-      r_[uslot] = true;
-      slot_seen_[uslot] = true;
-      slot_sigma_[uslot] = sigma;
-      if (seen_before + 1 == degree - trim) h_max_ = h;
+      r(uslot) = 1;
+      seen(uslot) = 1;
+      slot_sigma(uslot) = sigma;
+      if (seen_before + 1 == degree - trim) h_max() = h;
       changed = true;
     } else {
       ++counters_.duplicate_drops;
@@ -113,11 +121,11 @@ std::pair<LocalTime, LocalTime> GradientTrixNode::thresholds() const {
   // thr2 (2 H_own - H_min + 2 kappa) is the symmetric wait for the last
   // neighbour once the own copy is known.
   const double kappa = config_.params.kappa();
-  const LocalTime thr1 = (!std::isfinite(h_own_) && std::isfinite(h_max_))
-                             ? h_max_ + kappa / 2.0 + config_.params.theta * kappa
+  const LocalTime thr1 = (!std::isfinite(h_own()) && std::isfinite(h_max()))
+                             ? h_max() + kappa / 2.0 + config_.params.theta * kappa
                              : kLocalInfinity;
-  const LocalTime thr2 = (std::isfinite(h_own_) && std::isfinite(h_min_))
-                             ? 2.0 * h_own_ - h_min_ + 2.0 * kappa
+  const LocalTime thr2 = (std::isfinite(h_own()) && std::isfinite(h_min()))
+                             ? 2.0 * h_own() - h_min() + 2.0 * kappa
                              : kLocalInfinity;
   return {thr1, thr2};
 }
@@ -125,12 +133,12 @@ std::pair<LocalTime, LocalTime> GradientTrixNode::thresholds() const {
 void GradientTrixNode::update_until(SimTime now, LocalTime now_local) {
   if (config_.simplified) {
     // Algorithm 1: wait until H_own, H_min, H_max are all known.
-    if (std::isfinite(h_own_) && std::isfinite(h_min_) && std::isfinite(h_max_)) {
+    if (std::isfinite(h_own()) && std::isfinite(h_min()) && std::isfinite(h_max())) {
       exit_collect(now, now_local);
     }
     return;
   }
-  if (!std::isfinite(h_min_)) return;  // until requires H_min < inf
+  if (!std::isfinite(h_min())) return;  // until requires H_min < inf
   const auto [thr1, thr2] = thresholds();
   const LocalTime thr = std::min(thr1, thr2);
   if (!std::isfinite(thr)) return;  // keep collecting, no deadline yet
@@ -142,11 +150,16 @@ void GradientTrixNode::update_until(SimTime now, LocalTime now_local) {
 }
 
 void GradientTrixNode::arm_until_timer(LocalTime threshold) {
-  sim_.cancel(until_timer_);
+  // Always cancel + reschedule, even at an unchanged threshold: eliding the
+  // re-arm would keep the original event's older sequence number, which can
+  // reorder float-exact same-instant ties relative to an engine that
+  // re-armed -- a ~3% saving is not worth weakening the bit-identity
+  // guarantee between engine configurations.
+  sim_.cancel(until_timer());
   const SimTime fire_at = std::max(clock_.to_real(threshold), sim_.now());
   // The exact local threshold rides along in the payload so the fire path
   // compares the same floating-point value that defined the deadline.
-  until_timer_ = sim_.at(fire_at, this, kUntilTimer, EventPayload{.f = threshold});
+  until_timer() = sim_.at(fire_at, this, kUntilTimer, EventPayload{.f = threshold});
 }
 
 void GradientTrixNode::arm_watchdog() {
@@ -154,61 +167,63 @@ void GradientTrixNode::arm_watchdog() {
   // all remaining correct pulses must follow within theta (2 L + u) local
   // time; if neither the own-copy nor the last neighbour pulse shows up, the
   // stored partial state stems from a spurious message and is cleared.
-  sim_.cancel(watchdog_timer_);
+  sim_.cancel(watchdog_timer());
   const double interval =
       config_.params.theta * (2.0 * config_.skew_bound_hint + config_.params.u);
   const LocalTime fire_local = clock_.to_local(sim_.now()) + interval;
-  watchdog_timer_ = sim_.at(clock_.to_real(fire_local), this, kWatchdogTimer);
+  watchdog_timer() = sim_.at(clock_.to_real(fire_local), this, kWatchdogTimer);
 }
 
 void GradientTrixNode::on_timer(const Event& event) {
   switch (event.kind) {
     case kUntilTimer:
-      until_timer_.reset();  // fired; the handle is stale
-      if (phase_ != Phase::kCollect) return;
+      until_timer().reset();  // fired; the handle is stale
+      if (phase() != Phase::kCollect) return;
       exit_collect(event.time, event.payload.f);
       return;
     case kBroadcastTimer:
-      broadcast_timer_.reset();
-      if (phase_ != Phase::kWaitBroadcast) return;
+      broadcast_timer().reset();
+      if (phase() != Phase::kWaitBroadcast) return;
       do_broadcast(event.time, event.payload.f);
       return;
     case kWatchdogTimer:
-      watchdog_timer_.reset();
-      if (phase_ != Phase::kCollect) return;
-      if (std::isfinite(h_min_) && !std::isfinite(h_own_) && !std::isfinite(h_max_)) {
-        h_min_ = kLocalInfinity;
+      watchdog_timer().reset();
+      if (phase() != Phase::kCollect) return;
+      if (std::isfinite(h_min()) && !std::isfinite(h_own()) && !std::isfinite(h_max())) {
+        h_min() = kLocalInfinity;
         for (std::size_t i = 1; i < preds_.size(); ++i) {
-          r_[i] = false;
-          slot_seen_[i] = false;
-          slot_sigma_[i] = 0;
+          r(i) = 0;
+          seen(i) = 0;
+          slot_sigma(i) = 0;
         }
         ++counters_.watchdog_resets;
-        sim_.cancel(until_timer_);  // any armed until-timer is now meaningless
+        sim_.cancel(until_timer());  // any armed until-timer is now meaningless
       }
       return;
   }
 }
 
 void GradientTrixNode::exit_collect(SimTime now, LocalTime now_local) {
-  sim_.cancel(until_timer_);
-  sim_.cancel(watchdog_timer_);
+  sim_.cancel(until_timer());
+  sim_.cancel(watchdog_timer());
 
   const Params& p = config_.params;
   const double kappa = p.kappa();
 
   IterationRecord rec;
   rec.sigma = estimate_sigma();
-  rec.h_own = h_own_;
-  rec.h_min = h_min_;
-  rec.h_max = h_max_;
-  rec.own_missing = !std::isfinite(h_own_);
-  rec.max_missing = !std::isfinite(h_max_);
+  rec.h_own = h_own();
+  rec.h_min = h_min();
+  rec.h_max = h_max();
+  rec.own_missing = !std::isfinite(h_own());
+  rec.max_missing = !std::isfinite(h_max());
   rec.slot_count = static_cast<std::uint8_t>(preds_.size());
-  rec.slot_sigma = slot_sigma_;
-  rec.slot_seen = slot_seen_;
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    rec.slot_sigma[i] = slot_sigma(i);
+    rec.slot_seen[i] = seen(i) != 0;
+  }
 
-  const bool branch1 = !config_.simplified && !std::isfinite(h_own_);
+  const bool branch1 = !config_.simplified && !std::isfinite(h_own());
 
   if (branch1) {
     // Algorithm 3 first branch: the own-copy pulse never showed up before
@@ -216,12 +231,12 @@ void GradientTrixNode::exit_collect(SimTime now, LocalTime now_local) {
     // neighbour reception instead: H_max + 3 kappa/2 + Lambda - d.
     rec.timeout_branch = true;
     ++counters_.timeout_branches;
-    if (config_.self_stabilizing && h_max_ > now_local + kGuardSlack) {
+    if (config_.self_stabilizing && h_max() > now_local + kGuardSlack) {
       ++counters_.guard_aborts;  // corrupted state: reception in the future
       finish_iteration_without_pulse(now);
       return;
     }
-    const LocalTime target = h_max_ + 1.5 * kappa + p.lambda - p.d;
+    const LocalTime target = h_max() + 1.5 * kappa + p.lambda - p.d;
     rec.correction = 0.0;  // no own reference; no correction defined
     schedule_broadcast(now, target + config_.broadcast_offset, rec);
     return;
@@ -234,25 +249,25 @@ void GradientTrixNode::exit_collect(SimTime now, LocalTime now_local) {
   // cancels out", §3) and the computation collapses to the Delta < 0 branch
   // with C = min{H_own - H_min + 3 kappa/2, 0} -- exactly the value
   // Algorithm 1 computes in that regime (Lemma B.2, second case).
-  GTRIX_CHECK_MSG(std::isfinite(h_own_) && std::isfinite(h_min_),
+  GTRIX_CHECK_MSG(std::isfinite(h_own()) && std::isfinite(h_min()),
                   "branch 2 requires own and first-neighbour receptions");
   Correction c;
-  if (!std::isfinite(h_max_)) {
+  if (!std::isfinite(h_max())) {
     c.branch = CorrectionBranch::kNegativeJump;
     c.delta = -std::numeric_limits<double>::infinity();
-    c.value = std::min(h_own_ - h_min_ + 1.5 * kappa, 0.0);
+    c.value = std::min(h_own() - h_min() + 1.5 * kappa, 0.0);
   } else {
     // h_max < h_min can only result from corrupted state (receptions are
     // processed in arrival order); clamp so the computation stays defined.
-    const double h_max_eff = std::max(h_max_, h_min_);
-    c = compute_correction(h_own_, h_min_, h_max_eff, p, config_.jump_condition);
+    const double h_max_eff = std::max(h_max(), h_min());
+    c = compute_correction(h_own(), h_min(), h_max_eff, p, config_.jump_condition);
   }
   rec.correction = c.value;
-  const LocalTime target = h_own_ + p.lambda - p.d - c.value;
+  const LocalTime target = h_own() + p.lambda - p.d - c.value;
 
   if (config_.self_stabilizing) {
-    const bool future_own = h_own_ > now_local + kGuardSlack;
-    const bool future_min = c.value < 0.0 && h_min_ > now_local + kGuardSlack;
+    const bool future_own = h_own() > now_local + kGuardSlack;
+    const bool future_min = c.value < 0.0 && h_min() > now_local + kGuardSlack;
     const bool absurd_wait = target > now_local + (p.lambda - p.d) + kGuardSlack;
     if (future_own || future_min || absurd_wait) {
       ++counters_.guard_aborts;
@@ -265,15 +280,15 @@ void GradientTrixNode::exit_collect(SimTime now, LocalTime now_local) {
 
 void GradientTrixNode::finish_iteration_without_pulse(SimTime now) {
   reset_iteration_state();
-  phase_ = Phase::kCollect;
+  set_phase(Phase::kCollect);
   drain_pending(now);
 }
 
 void GradientTrixNode::schedule_broadcast(SimTime now, LocalTime target,
                                           IterationRecord record) {
   staged_record_ = record;
-  phase_ = Phase::kWaitBroadcast;
-  sim_.cancel(broadcast_timer_);  // supersede any stale armed broadcast
+  set_phase(Phase::kWaitBroadcast);
+  sim_.cancel(broadcast_timer());  // supersede any stale armed broadcast
   const LocalTime now_local = clock_.to_local(now);
   if (target <= now_local) {
     // "wait until H(t) = X" with X already reached: act immediately. This
@@ -284,15 +299,15 @@ void GradientTrixNode::schedule_broadcast(SimTime now, LocalTime target,
     do_broadcast(now, now_local);
     return;
   }
-  broadcast_timer_ =
+  broadcast_timer() =
       sim_.at(clock_.to_real(target), this, kBroadcastTimer, EventPayload{.f = target});
 }
 
 void GradientTrixNode::do_broadcast(SimTime now, LocalTime fire_local) {
-  sim_.cancel(broadcast_timer_);  // no-op when called from the timer itself
+  sim_.cancel(broadcast_timer());  // no-op when called from the timer itself
   staged_record_.pulse_time = now;
   staged_record_.pulse_local = fire_local;
-  last_sigma_ = staged_record_.sigma;
+  last_sigma() = staged_record_.sigma;
   const Pulse pulse{staged_record_.sigma};
   if (recorder_ != nullptr) {
     recorder_->record_pulse(self_, staged_record_.sigma, now);
@@ -305,23 +320,25 @@ void GradientTrixNode::do_broadcast(SimTime now, LocalTime fire_local) {
     net_.broadcast(self_, pulse);
   }
   reset_iteration_state();
-  phase_ = Phase::kCollect;
+  set_phase(Phase::kCollect);
   drain_pending(now);
 }
 
 void GradientTrixNode::reset_iteration_state() {
-  h_own_ = kLocalInfinity;
-  h_min_ = kLocalInfinity;
-  h_max_ = kLocalInfinity;
-  r_.fill(false);
-  slot_seen_.fill(false);
-  slot_sigma_.fill(0);
-  sim_.cancel(until_timer_);
-  sim_.cancel(watchdog_timer_);
+  h_own() = kLocalInfinity;
+  h_min() = kLocalInfinity;
+  h_max() = kLocalInfinity;
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    r(i) = 0;
+    seen(i) = 0;
+    slot_sigma(i) = 0;
+  }
+  sim_.cancel(until_timer());
+  sim_.cancel(watchdog_timer());
 }
 
 void GradientTrixNode::drain_pending(SimTime now) {
-  while (!pending_.empty() && phase_ == Phase::kCollect) {
+  while (!pending_.empty() && phase() == Phase::kCollect) {
     const PendingMsg msg = pending_.front();
     pending_.pop_front();
     process_message(msg.from, msg.h_arrival, msg.sigma, now);
@@ -338,9 +355,9 @@ Sigma GradientTrixNode::estimate_sigma() const {
   std::array<Sigma, kMaxSlots> vals{};
   std::size_t n = 0;
   for (std::size_t i = 0; i < preds_.size(); ++i) {
-    if (slot_seen_[i]) vals[n++] = slot_sigma_[i];
+    if (seen(i)) vals[n++] = slot_sigma(i);
   }
-  if (n == 0) return last_sigma_ + 1;
+  if (n == 0) return last_sigma() + 1;
   for (std::size_t i = 0; i < n; ++i) {
     std::size_t same = 0;
     for (std::size_t j = 0; j < n; ++j) same += vals[j] == vals[i] ? 1U : 0U;
@@ -348,10 +365,10 @@ Sigma GradientTrixNode::estimate_sigma() const {
   }
   if (counters_.iterations > 0) {
     for (std::size_t i = 0; i < n; ++i) {
-      if (vals[i] == last_sigma_ + 1) return vals[i];
+      if (vals[i] == last_sigma() + 1) return vals[i];
     }
   }
-  if (slot_seen_[0]) return slot_sigma_[0];
+  if (seen(0)) return slot_sigma(0);
   return vals[0];
 }
 
@@ -366,26 +383,26 @@ void GradientTrixNode::corrupt_state(Rng& rng) {
   const Sigma bogus_sigma = rng.uniform_int(-4, 4);
 
   if (rng.bernoulli(0.5)) {
-    phase_ = Phase::kCollect;
+    set_phase(Phase::kCollect);
     // Random subset of receptions with random timestamps (possibly in the
     // "future" -- exactly the inconsistency Algorithm 4's guards detect).
     if (rng.bernoulli(0.7)) {
-      h_own_ = now_local + rng.uniform(-2.0 * lambda, lambda);
-      slot_seen_[0] = true;
-      slot_sigma_[0] = bogus_sigma;
+      h_own() = now_local + rng.uniform(-2.0 * lambda, lambda);
+      seen(0) = 1;
+      slot_sigma(0) = bogus_sigma;
     }
     if (rng.bernoulli(0.7)) {
-      h_min_ = now_local + rng.uniform(-2.0 * lambda, lambda);
+      h_min() = now_local + rng.uniform(-2.0 * lambda, lambda);
       for (std::size_t i = 1; i < preds_.size(); ++i) {
         if (rng.bernoulli(0.5)) {
-          r_[i] = true;
-          slot_seen_[i] = true;
-          slot_sigma_[i] = bogus_sigma + rng.uniform_int(-1, 1);
+          r(i) = 1;
+          seen(i) = 1;
+          slot_sigma(i) = bogus_sigma + rng.uniform_int(-1, 1);
         }
       }
       bool all = true;
-      for (std::size_t i = 1; i < preds_.size(); ++i) all = all && r_[i];
-      if (all) h_max_ = h_min_ + rng.uniform(0.0, lambda);
+      for (std::size_t i = 1; i < preds_.size(); ++i) all = all && r(i);
+      if (all) h_max() = h_min() + rng.uniform(0.0, lambda);
     }
   } else {
     // Mid-wait with a garbage target.

@@ -19,10 +19,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "clock/hardware_clock.hpp"
 #include "core/correction.hpp"
+#include "core/node_state.hpp"
 #include "core/params.hpp"
 #include "metrics/recorder.hpp"
 #include "net/network.hpp"
@@ -75,9 +77,13 @@ class GradientTrixNode final : public PulseSink, public TimerTarget {
  public:
   /// `preds` lists the network ids of the predecessors, own copy first --
   /// exactly Grid::predecessors mapped to network ids. The clock is owned.
+  /// Hot per-iteration state lives in `soa` (typically the World-owned
+  /// NodeArena's gradient lanes, see core/node_state.hpp); when null the
+  /// node allocates a private single-entry arena so standalone construction
+  /// keeps working unchanged.
   GradientTrixNode(Simulator& sim, Network& net, NetNodeId self, HardwareClock clock,
                    std::vector<NetNodeId> preds, GradientNodeConfig config,
-                   Recorder* recorder);
+                   Recorder* recorder, GradientSoa* soa = nullptr);
 
   GradientTrixNode(const GradientTrixNode&) = delete;
   GradientTrixNode& operator=(const GradientTrixNode&) = delete;
@@ -145,6 +151,28 @@ class GradientTrixNode final : public PulseSink, public TimerTarget {
   Sigma estimate_sigma() const;
   std::pair<LocalTime, LocalTime> thresholds() const;  ///< (thr1, thr2); inf if unset
 
+  // Hot-state accessors into the SoA arena (Algorithm 3 registers). The
+  // arena index and slot-lane base are resolved once at construction.
+  Phase phase() const { return static_cast<Phase>(soa_->phase[i_]); }
+  void set_phase(Phase p) { soa_->phase[i_] = static_cast<std::uint8_t>(p); }
+  LocalTime& h_own() { return soa_->h_own[i_]; }
+  LocalTime h_own() const { return soa_->h_own[i_]; }
+  LocalTime& h_min() { return soa_->h_min[i_]; }
+  LocalTime h_min() const { return soa_->h_min[i_]; }
+  LocalTime& h_max() { return soa_->h_max[i_]; }
+  LocalTime h_max() const { return soa_->h_max[i_]; }
+  Sigma& last_sigma() { return soa_->last_sigma[i_]; }
+  Sigma last_sigma() const { return soa_->last_sigma[i_]; }
+  TimerHandle& until_timer() { return soa_->until_timer[i_]; }
+  TimerHandle& broadcast_timer() { return soa_->broadcast_timer[i_]; }
+  TimerHandle& watchdog_timer() { return soa_->watchdog_timer[i_]; }
+  std::uint8_t& r(std::size_t slot) { return soa_->slot_r[slot_base_ + slot]; }
+  std::uint8_t r(std::size_t slot) const { return soa_->slot_r[slot_base_ + slot]; }
+  std::uint8_t& seen(std::size_t slot) { return soa_->slot_seen[slot_base_ + slot]; }
+  std::uint8_t seen(std::size_t slot) const { return soa_->slot_seen[slot_base_ + slot]; }
+  Sigma& slot_sigma(std::size_t slot) { return soa_->slot_sigma[slot_base_ + slot]; }
+  Sigma slot_sigma(std::size_t slot) const { return soa_->slot_sigma[slot_base_ + slot]; }
+
   Simulator& sim_;
   Network& net_;
   NetNodeId self_;
@@ -154,24 +182,18 @@ class GradientTrixNode final : public PulseSink, public TimerTarget {
   Recorder* recorder_;  // non-owning; may be null
   SendOverride send_override_;
 
-  // Per-iteration state (Algorithm 3 variables).
-  Phase phase_ = Phase::kCollect;
-  LocalTime h_own_ = kLocalInfinity;
-  LocalTime h_min_ = kLocalInfinity;
-  LocalTime h_max_ = kLocalInfinity;
-  std::array<bool, kMaxSlots> r_{};                 // neighbour-received flags (slot 1..)
-  std::array<bool, kMaxSlots> slot_seen_{};
-  std::array<Sigma, kMaxSlots> slot_sigma_{};
-  std::deque<PendingMsg> pending_;
-
-  // Timer bookkeeping: one cancellable handle per timer. Handles go stale
+  // SoA residency: World-owned arena lanes, or the private fallback arena
+  // for standalone nodes. Timer handles live there too; they go stale
   // automatically when a timer fires, so a reset is always safe.
-  TimerHandle until_timer_;
-  TimerHandle broadcast_timer_;
-  TimerHandle watchdog_timer_;
+  std::unique_ptr<GradientSoa> owned_soa_;  // fallback only
+  GradientSoa* soa_;
+  std::uint32_t i_;          // arena index
+  std::uint32_t slot_base_;  // first entry of this node's slot lanes
 
+  // Cold per-node state: touched once per iteration (or less), kept out of
+  // the hot lanes on purpose.
+  std::deque<PendingMsg> pending_;
   IterationRecord staged_record_{};  // filled at exit_collect, recorded at fire
-  Sigma last_sigma_ = 0;             // wave label of the last broadcast
   Counters counters_;
 };
 

@@ -35,46 +35,53 @@ void ClockSource::on_timer(const Event& event) {
 
 Layer0LineNode::Layer0LineNode(Simulator& sim, Network& net, NetNodeId self,
                                HardwareClock clock, NetNodeId line_pred, Params params,
-                               Recorder* recorder)
+                               Recorder* recorder, Layer0Soa* soa)
     : sim_(sim),
       net_(net),
       self_(self),
       clock_(std::move(clock)),
       line_pred_(line_pred),
       params_(params),
-      recorder_(recorder) {}
+      recorder_(recorder) {
+  if (soa == nullptr) {
+    owned_soa_ = std::make_unique<Layer0Soa>();
+    soa = owned_soa_.get();
+  }
+  soa_ = soa;
+  i_ = soa_->add_node();
+}
 
 void Layer0LineNode::on_pulse(NetNodeId from, EdgeId /*edge*/, const Pulse& pulse,
                               SimTime now) {
   if (from != line_pred_) return;
   // Algorithm 2: H := H(t). Receptions overwrite unconditionally, which is
   // what makes the scheme self-stabilizing (proof of Lemma A.1).
-  stored_h_ = clock_.to_local(now);
-  out_sigma_ = pulse.stamp + 1;  // each line hop advances the wave label
-  arm_broadcast(stored_h_ + params_.lambda - params_.d);
+  stored_h() = clock_.to_local(now);
+  out_sigma() = pulse.stamp + 1;  // each line hop advances the wave label
+  arm_broadcast(stored_h() + params_.lambda - params_.d);
 }
 
 void Layer0LineNode::arm_broadcast(LocalTime target) {
-  sim_.cancel(broadcast_timer_);  // a pending broadcast is superseded
-  broadcast_timer_ = sim_.at(clock_.to_real(target), this, kBroadcast);
+  sim_.cancel(broadcast_timer());  // a pending broadcast is superseded
+  broadcast_timer() = sim_.at(clock_.to_real(target), this, kBroadcast);
 }
 
 void Layer0LineNode::on_timer(const Event& event) {
-  broadcast_timer_.reset();
+  broadcast_timer().reset();
   broadcast(event.time);
 }
 
 void Layer0LineNode::broadcast(SimTime now) {
-  if (recorder_ != nullptr) recorder_->record_pulse(self_, out_sigma_, now);
+  if (recorder_ != nullptr) recorder_->record_pulse(self_, out_sigma(), now);
   ++forwarded_;
-  net_.broadcast(self_, Pulse{out_sigma_});
+  net_.broadcast(self_, Pulse{out_sigma()});
 }
 
 void Layer0LineNode::corrupt_state(Rng& rng) {
-  sim_.cancel(broadcast_timer_);  // drop any armed broadcast
+  sim_.cancel(broadcast_timer());  // drop any armed broadcast
   const LocalTime now_local = clock_.to_local(sim_.now());
-  stored_h_ = now_local + rng.uniform(-params_.lambda, params_.lambda);
-  out_sigma_ = rng.uniform_int(-4, 4);
+  stored_h() = now_local + rng.uniform(-params_.lambda, params_.lambda);
+  out_sigma() = rng.uniform_int(-4, 4);
   if (rng.bernoulli(0.5)) {
     arm_broadcast(now_local + rng.uniform(0.0, params_.lambda));
   }

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "clock/hardware_clock.hpp"
+#include "core/node_state.hpp"
 #include "core/params.hpp"
 #include "metrics/recorder.hpp"
 #include "net/network.hpp"
@@ -50,11 +52,15 @@ class ClockSource final : public TimerTarget {
   Recorder* recorder_;
 };
 
-/// Algorithm 2: layer-0 line forwarding node.
+/// Algorithm 2: layer-0 line forwarding node. Hot state (the stored
+/// timestamp, outgoing wave label and armed broadcast timer) lives in the
+/// arena's layer-0 lanes; `soa = nullptr` falls back to a private
+/// single-entry arena for standalone construction.
 class Layer0LineNode final : public PulseSink, public TimerTarget {
  public:
   Layer0LineNode(Simulator& sim, Network& net, NetNodeId self, HardwareClock clock,
-                 NetNodeId line_pred, Params params, Recorder* recorder);
+                 NetNodeId line_pred, Params params, Recorder* recorder,
+                 Layer0Soa* soa = nullptr);
 
   void on_pulse(NetNodeId from, EdgeId edge, const Pulse& pulse, SimTime now) override;
 
@@ -71,6 +77,11 @@ class Layer0LineNode final : public PulseSink, public TimerTarget {
   void broadcast(SimTime now);
   void arm_broadcast(LocalTime target);
 
+  // Arena accessors (Algorithm 2's H register, wave label, armed timer).
+  LocalTime& stored_h() { return soa_->stored_h[i_]; }
+  Sigma& out_sigma() { return soa_->out_sigma[i_]; }
+  TimerHandle& broadcast_timer() { return soa_->broadcast_timer[i_]; }
+
   Simulator& sim_;
   Network& net_;
   NetNodeId self_;
@@ -79,9 +90,9 @@ class Layer0LineNode final : public PulseSink, public TimerTarget {
   Params params_;
   Recorder* recorder_;
 
-  LocalTime stored_h_ = kLocalInfinity;  // Algorithm 2's H
-  Sigma out_sigma_ = 0;
-  TimerHandle broadcast_timer_;  // a new reception supersedes (cancels) it
+  std::unique_ptr<Layer0Soa> owned_soa_;  // fallback only
+  Layer0Soa* soa_;
+  std::uint32_t i_;
   std::uint64_t forwarded_ = 0;
 };
 

@@ -7,10 +7,6 @@
 
 namespace gtrix {
 
-double Params::kappa() const noexcept {
-  return 2.0 * (u + (1.0 - 1.0 / theta) * (lambda - d));
-}
-
 double Params::thm11_bound(std::uint32_t diameter) const noexcept {
   return 4.0 * kappa() * (2.0 + std::log2(static_cast<double>(diameter)));
 }

@@ -20,8 +20,10 @@ struct Params {
   double theta = 1.0005;  ///< maximum hardware clock rate (min rate is 1)
   double lambda = 2000.0; ///< nominal layer-to-layer period Lambda
 
-  /// kappa per Eq. (1).
-  double kappa() const noexcept;
+  /// kappa per Eq. (1). Inline: the node hot path reads it per reception.
+  double kappa() const noexcept {
+    return 2.0 * (u + (1.0 - 1.0 / theta) * (lambda - d));
+  }
 
   /// Theorem 1.1 fault-free local skew bound: 4 kappa (2 + log2 D).
   double thm11_bound(std::uint32_t diameter) const noexcept;

@@ -54,6 +54,13 @@ class Recorder {
  public:
   Recorder() = default;
 
+  /// Pre-sizes the node tables (avoids repeated growth when a World
+  /// registers its whole grid up front).
+  void reserve(std::uint32_t nodes) {
+    metas_.reserve(nodes);
+    logs_.reserve(nodes);
+  }
+
   void register_node(RecNodeId node, NodeMeta meta);
   const NodeMeta& meta(RecNodeId node) const { return metas_.at(node); }
   std::uint32_t node_count() const noexcept { return static_cast<std::uint32_t>(metas_.size()); }

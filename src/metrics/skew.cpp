@@ -8,6 +8,46 @@
 
 namespace gtrix {
 
+namespace {
+
+/// Memoizes each node's steady window [from, to]: steady_from() and
+/// last_recorded() scan the node's whole pulse log, so computing them once
+/// per node (instead of once per (node, sigma) query) drops compute_skew
+/// from O(pairs x waves x pulses) to O(pairs x waves).
+class SteadyWindows {
+ public:
+  explicit SteadyWindows(const GridTrace& trace)
+      : trace_(trace), cached_(trace.cached_metrics) {
+    if (!cached_) return;  // pre-refactor path: scan per query instead
+    const std::uint32_t n = trace.grid->node_count();
+    from_.resize(n);
+    to_.resize(n);
+    for (GridNodeId g = 0; g < n; ++g) {
+      const RecNodeId id = trace.rec_id(g);
+      from_[g] = trace.recorder->steady_from(id, trace.node_warmup);
+      const Sigma last = trace.recorder->last_recorded(id);
+      to_[g] = last == Recorder::kInvalidSigma ? Recorder::kInvalidSigma
+                                               : last - trace.node_tail;
+    }
+  }
+
+  /// Same value as GridTrace::steady_pulse, from the cached window.
+  std::optional<SimTime> pulse(GridNodeId g, Sigma s) const {
+    if (!cached_) return trace_.steady_pulse(g, s);
+    if (from_[g] == Recorder::kInvalidSigma || s < from_[g]) return std::nullopt;
+    if (to_[g] == Recorder::kInvalidSigma || s > to_[g]) return std::nullopt;
+    return trace_.recorder->pulse_time(trace_.rec_id(g), s);
+  }
+
+ private:
+  const GridTrace& trace_;
+  bool cached_;
+  std::vector<Sigma> from_;
+  std::vector<Sigma> to_;
+};
+
+}  // namespace
+
 std::optional<SimTime> GridTrace::steady_pulse(GridNodeId g, Sigma s) const {
   const RecNodeId id = rec_id(g);
   const Sigma from = recorder->steady_from(id, node_warmup);
@@ -22,6 +62,8 @@ SkewReport compute_skew(const GridTrace& trace, Sigma lo, Sigma hi) {
   const Grid& grid = *trace.grid;
   const BaseGraph& base = grid.base();
   const auto edges = base.edges();
+
+  const SteadyWindows windows(trace);
 
   SkewReport report;
   report.sigma_lo = lo;
@@ -42,8 +84,8 @@ SkewReport compute_skew(const GridTrace& trace, Sigma lo, Sigma hi) {
           ++report.pairs_skipped;
           continue;
         }
-        const auto ta = trace.steady_pulse(ga, s);
-        const auto tb = trace.steady_pulse(gb, s);
+        const auto ta = windows.pulse(ga, s);
+        const auto tb = windows.pulse(gb, s);
         if (!ta || !tb) {
           ++report.pairs_skipped;
           continue;
@@ -57,7 +99,7 @@ SkewReport compute_skew(const GridTrace& trace, Sigma lo, Sigma hi) {
       for (BaseNodeId v = 0; v < base.node_count(); ++v) {
         const GridNodeId g = grid.id(v, layer);
         if (trace.is_faulty(g)) continue;
-        const auto t = trace.steady_pulse(g, s);
+        const auto t = windows.pulse(g, s);
         if (!t) continue;
         tmin = std::min(tmin, *t);
         tmax = std::max(tmax, *t);
@@ -79,8 +121,8 @@ SkewReport compute_skew(const GridTrace& trace, Sigma lo, Sigma hi) {
       for (GridNodeId gw : grid.successors(gv)) {
         if (trace.is_faulty(gw)) continue;
         for (Sigma s = lo; s <= hi; ++s) {
-          const auto tv = trace.steady_pulse(gv, s + 1);
-          const auto tw = trace.steady_pulse(gw, s);
+          const auto tv = windows.pulse(gv, s + 1);
+          const auto tw = windows.pulse(gw, s);
           if (!tv || !tw) {
             ++report.pairs_skipped;
             continue;
@@ -101,6 +143,7 @@ SkewReport compute_skew(const GridTrace& trace, Sigma lo, Sigma hi) {
 std::vector<double> intra_skew_by_sigma(const GridTrace& trace, std::uint32_t layer,
                                         Sigma lo, Sigma hi) {
   const Grid& grid = *trace.grid;
+  const SteadyWindows windows(trace);
   const auto edges = grid.base().edges();
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(hi - lo + 1));
@@ -110,8 +153,8 @@ std::vector<double> intra_skew_by_sigma(const GridTrace& trace, std::uint32_t la
       const GridNodeId ga = grid.id(a, layer);
       const GridNodeId gb = grid.id(b, layer);
       if (trace.is_faulty(ga) || trace.is_faulty(gb)) continue;
-      const auto ta = trace.steady_pulse(ga, s);
-      const auto tb = trace.steady_pulse(gb, s);
+      const auto ta = windows.pulse(ga, s);
+      const auto tb = windows.pulse(gb, s);
       if (!ta || !tb) continue;
       const double skew = std::abs(*ta - *tb);
       if (std::isnan(worst) || skew > worst) worst = skew;

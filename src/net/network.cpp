@@ -1,5 +1,8 @@
 #include "net/network.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include "support/check.hpp"
 
 namespace gtrix {
@@ -9,6 +12,7 @@ NetNodeId Network::add_node(PulseSink* sink) {
   sinks_.push_back(sink);
   out_.emplace_back();
   in_.emplace_back();
+  uniform_out_delay_.push_back(std::numeric_limits<double>::quiet_NaN());
   return id;
 }
 
@@ -21,12 +25,27 @@ EdgeId Network::add_edge(NetNodeId from, NetNodeId to, double delay) {
   edges_.push_back(Edge{from, to, delay});
   out_[from].push_back(id);
   in_[to].push_back(id);
+  if (out_[from].size() == 1) {
+    uniform_out_delay_[from] = delay;
+  } else if (uniform_out_delay_[from] != delay) {
+    uniform_out_delay_[from] = std::numeric_limits<double>::quiet_NaN();
+  }
   return id;
 }
 
 void Network::set_edge_delay(EdgeId e, double delay) {
   GTRIX_CHECK_MSG(delay > 0.0, "edge delay must be positive");
   edges_.at(e).delay = delay;
+  // Re-derive the sender's uniformity from scratch (rare, config-time call).
+  const NetNodeId from = edges_[e].from;
+  double uniform = edges_[out_[from].front()].delay;
+  for (EdgeId out_edge : out_[from]) {
+    if (edges_[out_edge].delay != uniform) {
+      uniform = std::numeric_limits<double>::quiet_NaN();
+      break;
+    }
+  }
+  uniform_out_delay_[from] = uniform;
 }
 
 bool Network::find_edge(NetNodeId from, NetNodeId to, EdgeId& out) const {
@@ -56,7 +75,16 @@ void Network::send_after(EdgeId e, const Pulse& pulse, double extra) {
 }
 
 void Network::broadcast(NetNodeId from, const Pulse& pulse) {
-  for (EdgeId e : out_.at(from)) send(e, pulse);
+  const std::vector<EdgeId>& outs = out_.at(from);
+  const double uniform = uniform_out_delay_[from];
+  if (batching_ && !modulation_ && outs.size() > 1 && !std::isnan(uniform)) {
+    // All out-edges share one delay: a single queue event fans the pulse out
+    // at fire time. Order-equivalent to the per-edge path (see the header).
+    sent_ += outs.size();
+    sim_.after(uniform, this, kBatchDeliver, EventPayload{.a = from, .i = pulse.stamp});
+    return;
+  }
+  for (EdgeId e : outs) send(e, pulse);
 }
 
 void Network::inject(NetNodeId from, NetNodeId to, const Pulse& pulse, SimTime t) {
@@ -75,9 +103,22 @@ void Network::on_timer(const Event& event) {
   const EventPayload& p = event.payload;
   switch (event.kind) {
     case kDeliver: {
+      ++delivery_events_;
       ++delivered_;
       PulseSink* sink = sinks_[p.c];
       if (sink != nullptr) sink->on_pulse(p.a, p.b, Pulse{p.i}, event.time);
+      return;
+    }
+    case kBatchDeliver: {
+      ++delivery_events_;
+      // Deliver in out-edge order -- exactly the order the per-edge events
+      // would fire in (their sequence numbers were consecutive).
+      for (EdgeId e : out_[p.a]) {
+        const Edge& edge = edges_[e];
+        ++delivered_;
+        PulseSink* sink = sinks_[edge.to];
+        if (sink != nullptr) sink->on_pulse(edge.from, e, Pulse{p.i}, event.time);
+      }
       return;
     }
     case kDeferredSend:

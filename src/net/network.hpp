@@ -87,12 +87,31 @@ class Network final : public TimerTarget {
 
   /// Optional slow delay modulation: extra(e, send_time) is added to the
   /// static delay. The installer is responsible for keeping the total within
-  /// the model bounds.
+  /// the model bounds. Installing a modulation disables batched broadcast
+  /// delivery (delays become per-edge again).
   using DelayModulation = std::function<double(EdgeId, SimTime)>;
   void set_delay_modulation(DelayModulation fn) { modulation_ = std::move(fn); }
 
+  /// Batched broadcast delivery (on by default): when every out-edge of the
+  /// sender carries the same delay and no modulation is installed, one
+  /// broadcast schedules ONE queue event that fans out to all sinks at fire
+  /// time, instead of one event per edge. Within a broadcast the per-edge
+  /// events would occupy consecutive sequence numbers anyway (the send loop
+  /// is atomic), so collapsing them preserves the global event order --
+  /// simulations are bit-identical with batching on or off; only the
+  /// events_executed / delivery_events counters differ. The reference mode
+  /// of bench_perf turns this off.
+  void set_broadcast_batching(bool enabled) noexcept { batching_ = enabled; }
+  bool broadcast_batching() const noexcept { return batching_; }
+
   std::uint64_t messages_sent() const noexcept { return sent_; }
   std::uint64_t messages_delivered() const noexcept { return delivered_; }
+
+  /// Queue events spent performing deliveries (one per message unbatched,
+  /// one per broadcast batched). executed_events - delivery_events +
+  /// messages_delivered is the engine-independent logical event count
+  /// bench_perf normalizes throughput with.
+  std::uint64_t delivery_events() const noexcept { return delivery_events_; }
 
   Simulator& simulator() noexcept { return sim_; }
 
@@ -101,9 +120,10 @@ class Network final : public TimerTarget {
 
  private:
   /// Event kinds this target schedules. Payload conventions:
-  ///   kDeliver:      a=from, b=edge, c=to, i=pulse stamp
-  ///   kDeferredSend: b=edge, i=pulse stamp
-  enum TimerKind : std::uint32_t { kDeliver = 1, kDeferredSend = 2 };
+  ///   kDeliver:       a=from, b=edge, c=to, i=pulse stamp
+  ///   kDeferredSend:  b=edge, i=pulse stamp
+  ///   kBatchDeliver:  a=from, i=pulse stamp (fans out over out_[from])
+  enum TimerKind : std::uint32_t { kDeliver = 1, kDeferredSend = 2, kBatchDeliver = 3 };
 
   struct Edge {
     NetNodeId from;
@@ -118,9 +138,15 @@ class Network final : public TimerTarget {
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> out_;
   std::vector<std::vector<EdgeId>> in_;
+  /// Per node: the shared delay of all its out-edges, or NaN once any two
+  /// out-edge delays differ. Maintained by add_edge / set_edge_delay; the
+  /// broadcast fast path keys off it.
+  std::vector<double> uniform_out_delay_;
   DelayModulation modulation_;
+  bool batching_ = true;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t delivery_events_ = 0;
 };
 
 }  // namespace gtrix

@@ -5,6 +5,7 @@
 #include "baseline/lw_grid.hpp"
 #include "baseline/trix_node.hpp"
 #include "core/gradient_node.hpp"
+#include "core/node_state.hpp"
 #include "support/check.hpp"
 
 namespace gtrix {
@@ -30,8 +31,9 @@ class GradientNodeModel final : public NodeModel {
     config.trim = ctx.trim;
     config.skew_bound_hint = ctx.params.thm11_bound(ctx.diameter);
     config.broadcast_offset = ctx.broadcast_offset;
-    node_ = std::make_unique<GradientTrixNode>(ctx.sim, ctx.net, ctx.self, std::move(ctx.clock),
-                                               std::move(ctx.preds), config, ctx.recorder);
+    node_ = std::make_unique<GradientTrixNode>(
+        ctx.sim, ctx.net, ctx.self, std::move(ctx.clock), std::move(ctx.preds), config,
+        ctx.recorder, ctx.arena != nullptr ? &ctx.arena->gradient : nullptr);
   }
 
   PulseSink& sink() override { return *node_; }
@@ -75,8 +77,9 @@ class GradientProvider final : public AlgorithmProvider {
 class TrixNaiveNodeModel final : public NodeModel {
  public:
   explicit TrixNaiveNodeModel(NodeContext ctx)
-      : node_(std::make_unique<TrixNaiveNode>(ctx.sim, ctx.net, ctx.self, std::move(ctx.clock),
-                                              std::move(ctx.preds), ctx.params, ctx.recorder)) {}
+      : node_(std::make_unique<TrixNaiveNode>(
+            ctx.sim, ctx.net, ctx.self, std::move(ctx.clock), std::move(ctx.preds),
+            ctx.params, ctx.recorder, ctx.arena != nullptr ? &ctx.arena->trix : nullptr)) {}
 
   PulseSink& sink() override { return *node_; }
 
@@ -102,9 +105,10 @@ class TrixNaiveProvider final : public AlgorithmProvider {
 class LynchWelchNodeModel final : public NodeModel {
  public:
   explicit LynchWelchNodeModel(NodeContext ctx)
-      : node_(std::make_unique<LynchWelchGridNode>(ctx.sim, ctx.net, ctx.self,
-                                                   std::move(ctx.clock), std::move(ctx.preds),
-                                                   ctx.params, ctx.trim, ctx.recorder)) {}
+      : node_(std::make_unique<LynchWelchGridNode>(
+            ctx.sim, ctx.net, ctx.self, std::move(ctx.clock), std::move(ctx.preds),
+            ctx.params, ctx.trim, ctx.recorder,
+            ctx.arena != nullptr ? &ctx.arena->lw : nullptr)) {}
 
   PulseSink& sink() override { return *node_; }
 

@@ -27,6 +27,7 @@
 namespace gtrix {
 
 class GradientTrixNode;
+struct NodeArena;
 
 /// Legacy closed enumeration of algorithms, kept as a thin adapter for
 /// ExperimentConfig source compatibility. New algorithms (e.g. the
@@ -47,6 +48,11 @@ struct ExperimentCounters {
   std::uint64_t duplicate_drops = 0;
   std::uint64_t events_executed = 0;
   std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  /// Queue events spent on deliveries (see Network::delivery_events).
+  /// events_executed - delivery_events + messages_delivered is the
+  /// engine-independent logical event count bench_perf reports.
+  std::uint64_t delivery_events = 0;
 };
 
 /// What an algorithm can be asked to do. The scenario layer checks these
@@ -80,6 +86,10 @@ struct NodeContext {
   bool jump_condition = true;
   double broadcast_offset = 0.0;     ///< static fault shift (0 when correct)
   Recorder* recorder = nullptr;
+  /// Struct-of-arrays store for the node's hot state (core/node_state.hpp),
+  /// owned by World. Null is valid: the node falls back to a private
+  /// single-entry arena, so providers can ignore the field entirely.
+  NodeArena* arena = nullptr;
 };
 
 /// One constructed algorithm node; owns the underlying object.

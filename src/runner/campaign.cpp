@@ -37,6 +37,7 @@ Json counters_to_json(const ExperimentCounters& counters) {
   j.set("duplicate_drops", counters.duplicate_drops);
   j.set("events_executed", counters.events_executed);
   j.set("messages_sent", counters.messages_sent);
+  j.set("messages_delivered", counters.messages_delivered);
   return j;
 }
 
@@ -59,10 +60,11 @@ Json percentiles_to_json(std::vector<double> values) {
 
 }  // namespace
 
-ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& corrupt) {
-  if (!corrupt.enabled) return run_experiment(config);
+ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& corrupt,
+                          EngineOptions engine) {
+  if (!corrupt.enabled) return run_experiment(config, engine);
 
-  World world(config);
+  World world(config, engine);
   // Seed derivation matches the historical stabilization harnesses.
   Rng rng(config.seed ^ 0xFEED);
   world.run_until(corrupt.wave * config.params.lambda);
@@ -171,6 +173,7 @@ Json campaign_summary(const CampaignResult& result) {
     totals.duplicate_drops += cell.result.counters.duplicate_drops;
     totals.events_executed += cell.result.counters.events_executed;
     totals.messages_sent += cell.result.counters.messages_sent;
+    totals.messages_delivered += cell.result.counters.messages_delivered;
   }
 
   Json j = Json::object();

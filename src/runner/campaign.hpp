@@ -40,8 +40,11 @@ struct CampaignResult {
 
 /// Runs one cell, honoring an optional mid-run corruption plan (the
 /// Theorem 1.6 workload: run to wave * lambda, scramble `fraction` of all
-/// nodes, run out, realign labels, then measure).
-ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& corrupt);
+/// nodes, run out, realign labels, then measure). `engine` selects the
+/// simulation engine (bench_perf runs the reference engine through here;
+/// results are bit-identical for every engine).
+ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& corrupt,
+                          EngineOptions engine = {});
 
 /// Expands and runs the whole scenario matrix in parallel.
 CampaignResult run_campaign(const Scenario& scenario, const CampaignOptions& options = {});

@@ -54,16 +54,19 @@ BaseGraph World::make_base(const ExperimentConfig& config,
   return topology_registry().create(components.topology)->build(ctx);
 }
 
-World::World(ExperimentConfig config)
+World::World(ExperimentConfig config, EngineOptions engine)
     : config_(std::move(config)),
+      engine_(engine),
       components_(resolve_components(config_)),
       clock_provider_(clock_model_registry().create(components_.clock)),
       delay_provider_(delay_registry().create(components_.delay)),
       algorithm_provider_(algorithm_registry().create(components_.algorithm)),
       algorithm_caps_(algorithm_provider_->caps()),
       grid_(make_base(config_, components_), config_.layers),
-      sim_(),
-      net_(sim_) {
+      sim_(engine.scheduler, engine.single_locate_loop),
+      net_(sim_),
+      arena_(std::make_unique<NodeArena>()) {
+  net_.set_broadcast_batching(engine.batched_broadcast);
   GTRIX_CHECK_MSG(config_.layers >= 2, "need at least layer 0 and one algorithm layer");
   GTRIX_CHECK_MSG(config_.pulses >= 1, "need at least one pulse");
   GTRIX_CHECK_MSG(config_.params.u >= 0.0 && config_.params.u < config_.params.d,
@@ -111,6 +114,7 @@ void World::build_network(Rng& delay_rng) {
     ctx.u = config_.params.u;
     return delay_provider_->sample(ctx, delay_rng);
   };
+  recorder_.reserve(grid_.node_count() + 1);  // +1 possible line source
   // Grid nodes get network ids equal to their grid ids.
   for (GridNodeId g = 0; g < grid_.node_count(); ++g) {
     const NetNodeId id = net_.add_node(nullptr);
@@ -235,7 +239,9 @@ void World::build_layer0(Rng& clock_rng, Rng& layer0_rng) {
       continue;
     }
     auto node = std::make_unique<Layer0LineNode>(sim_, net_, g, make_clock(clock_rng, col, 0),
-                                                 line_pred, config_.params, &recorder_);
+                                                 line_pred, config_.params, &recorder_,
+                                                 engine_.soa_arena ? &arena_->layer0
+                                                                   : nullptr);
     layer0_by_grid_[g] = node.get();
     net_.set_sink(g, node.get());
     sinks_[g] = std::move(node);
@@ -295,7 +301,7 @@ void World::build_algorithm_nodes(Rng& clock_rng, Rng& fault_rng) {
     auto model = algorithm_provider_->make_node(NodeContext{
         sim_, net_, g, std::move(clock), std::move(preds), config_.params, diameter,
         config_.trim, config_.self_stabilizing, config_.jump_condition, broadcast_offset,
-        &recorder_});
+        &recorder_, engine_.soa_arena ? arena_.get() : nullptr});
     if (spec != nullptr) install_fault(g, *spec, *model, fault_rng);
     model_by_grid_[g] = model.get();
     gradient_by_grid_[g] = model->gradient();
@@ -390,6 +396,7 @@ GridTrace World::trace() const {
   for (GridNodeId g = 0; g < grid_.node_count(); ++g) t.node_ids[g] = g;
   t.node_warmup = config_.warmup;
   t.node_tail = 1;
+  t.cached_metrics = engine_.cached_metrics;
   return t;
 }
 
@@ -423,14 +430,16 @@ ExperimentCounters World::counters() const {
   for (const auto& model : models_) model->add_counters(total);
   total.events_executed = sim_.executed_events();
   total.messages_sent = net_.messages_sent();
+  total.messages_delivered = net_.messages_delivered();
+  total.delivery_events = net_.delivery_events();
   return total;
 }
 
 GradientTrixNode* World::gradient_node(GridNodeId g) { return gradient_by_grid_.at(g); }
 Layer0LineNode* World::layer0_node(GridNodeId g) { return layer0_by_grid_.at(g); }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
-  World world(config);
+ExperimentResult run_experiment(const ExperimentConfig& config, EngineOptions engine) {
+  World world(config, engine);
   world.run_to_completion();
   ExperimentResult result;
   result.skew = world.skew();

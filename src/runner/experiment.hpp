@@ -20,6 +20,7 @@
 #include "clock/hardware_clock.hpp"
 #include "core/gradient_node.hpp"
 #include "core/layer0.hpp"
+#include "core/node_state.hpp"
 #include "core/params.hpp"
 #include "fault/behaviors.hpp"
 #include "fault/fault.hpp"
@@ -97,12 +98,50 @@ struct ResolvedComponents {
 
 ResolvedComponents resolve_components(const ExperimentConfig& config);
 
+/// Engine selection, orthogonal to the experiment config. Every gate is
+/// behaviour-preserving (all combinations produce bit-identical
+/// simulations -- tests/test_perf.cpp proves each gate in isolation); the
+/// defaults are the fast path, and bench_perf runs reference() against
+/// them to measure the speedup and prove the identity. Deliberately NOT
+/// part of ExperimentConfig: configs describe the system under test,
+/// engine options only how fast it is simulated, so they stay out of
+/// config equality, serialization and the scenario format.
+struct EngineOptions {
+  SchedulerKind scheduler = SchedulerKind::kCalendar;
+  /// One queue event per uniform-delay broadcast instead of one per edge.
+  bool batched_broadcast = true;
+  /// Node hot state in the World-owned struct-of-arrays arena; off = each
+  /// node keeps a private single-entry arena (the pre-refactor
+  /// object-per-node memory layout).
+  bool soa_arena = true;
+  /// Memoized per-node steady windows in skew computation; off = the
+  /// pre-refactor O(pulse-log) scan per (node, wave) query.
+  bool cached_metrics = true;
+  /// Single find-minimum per event in the simulator loop; off = the
+  /// pre-refactor next_time() + run_next() pair.
+  bool single_locate_loop = true;
+
+  /// The pre-refactor hot path, reproduced choice by choice: binary heap,
+  /// per-edge broadcasts, object-per-node state, uncached metrics, paired
+  /// locate+pop loop. bench_perf measures the defaults against this and
+  /// asserts bit-identical skew results.
+  static EngineOptions reference() {
+    EngineOptions e;
+    e.scheduler = SchedulerKind::kBinaryHeap;
+    e.batched_broadcast = false;
+    e.soa_arena = false;
+    e.cached_metrics = false;
+    e.single_locate_loop = false;
+    return e;
+  }
+};
+
 /// A fully wired simulated system. Most callers use run_experiment(); the
 /// class is exposed for experiments needing custom control (e.g. corrupting
 /// node state mid-run for Theorem 1.6).
 class World {
  public:
-  explicit World(ExperimentConfig config);
+  explicit World(ExperimentConfig config, EngineOptions engine = {});
   ~World();
 
   World(const World&) = delete;
@@ -166,6 +205,7 @@ class World {
   void install_fault(GridNodeId g, const FaultSpec& spec, NodeModel& model, Rng& fault_rng);
 
   ExperimentConfig config_;
+  EngineOptions engine_;
   ResolvedComponents components_;
   std::shared_ptr<const ClockModelProvider> clock_provider_;
   std::shared_ptr<const DelayProvider> delay_provider_;
@@ -175,6 +215,9 @@ class World {
   Simulator sim_;
   Network net_;
   Recorder recorder_;
+  /// Struct-of-arrays hot state for every node this World wires; must
+  /// outlive the node objects below, which hold indices into it.
+  std::unique_ptr<NodeArena> arena_;
 
   NetNodeId source_id_ = 0;  // line mode only
   std::vector<std::unique_ptr<PulseSink>> sinks_;
@@ -198,6 +241,6 @@ struct ExperimentResult {
 };
 
 /// Builds, runs and summarizes in one call.
-ExperimentResult run_experiment(const ExperimentConfig& config);
+ExperimentResult run_experiment(const ExperimentConfig& config, EngineOptions engine = {});
 
 }  // namespace gtrix

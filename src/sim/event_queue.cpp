@@ -1,8 +1,27 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
 #include "support/check.hpp"
 
 namespace gtrix {
+
+namespace {
+
+constexpr std::size_t kMinBuckets = 8;
+constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+EventQueue::EventQueue(SchedulerKind kind) : kind_(kind) {
+  if (kind_ == SchedulerKind::kCalendar) {
+    buckets_.resize(kMinBuckets);
+    bucket_mask_ = buckets_.size() - 1;
+  }
+}
 
 std::uint32_t EventQueue::acquire_slot() {
   if (free_head_ != kInvalidEventSlot) {
@@ -19,7 +38,7 @@ void EventQueue::release_slot(std::uint32_t index) {
   Slot& slot = slots_[index];
   slot.live = false;
   slot.target = nullptr;
-  ++slot.gen;  // invalidates every outstanding handle and heap entry
+  ++slot.gen;  // invalidates every outstanding handle and queue entry
   slot.next_free = free_head_;
   free_head_ = index;
 }
@@ -34,7 +53,11 @@ TimerHandle EventQueue::schedule(SimTime t, TimerTarget* target, std::uint32_t k
   slot.time = t;
   slot.kind = kind;
   slot.live = true;
-  heap_.push(HeapEntry{t, next_seq_++, index, slot.gen});
+  if (kind_ == SchedulerKind::kBinaryHeap) {
+    heap_.push(QueueEntry{t, next_seq_++, 0, index, slot.gen});
+  } else {
+    calendar_insert(QueueEntry{t, next_seq_++, 0, index, slot.gen});
+  }
   ++scheduled_;
   ++live_;
   return TimerHandle{index, slot.gen};
@@ -42,10 +65,20 @@ TimerHandle EventQueue::schedule(SimTime t, TimerTarget* target, std::uint32_t k
 
 bool EventQueue::cancel(TimerHandle handle) {
   if (!pending(handle)) return false;
+  if (kind_ == SchedulerKind::kCalendar) {
+    // The bucket entry stays until a scan meets it; account it as dead so
+    // the purge policy keeps the calendar free of cancelled bulk.
+    ++dead_;
+    if (peek_.valid) {
+      const QueueEntry& cached = buckets_[peek_.bucket][peek_.index];
+      if (cached.slot == handle.slot && cached.gen == handle.gen) peek_.valid = false;
+    }
+  }
   release_slot(handle.slot);
   --live_;
-  // The heap entry stays until it reaches the top; skim() detects the
-  // generation mismatch and drops it. Slot storage is already reusable.
+  if (kind_ == SchedulerKind::kCalendar && dead_ > 64 && dead_ * 2 > entry_count_) {
+    calendar_rebuild(kMinBuckets);
+  }
   return true;
 }
 
@@ -55,38 +88,221 @@ bool EventQueue::pending(TimerHandle handle) const noexcept {
   return slot.live && slot.gen == handle.gen;
 }
 
-void EventQueue::skim() const {
+SimTime EventQueue::next_time() const {
+  GTRIX_CHECK_MSG(live_ > 0, "next_time on empty queue");
+  if (kind_ == SchedulerKind::kBinaryHeap) {
+    heap_skim();
+    return heap_.top().time;
+  }
+  GTRIX_CHECK(calendar_find_min());
+  return buckets_[peek_.bucket][peek_.index].time;
+}
+
+bool EventQueue::run_next() {
+  SimTime fired;
+  return run_next_due(kTimeInfinity, fired);
+}
+
+bool EventQueue::run_next_due(SimTime deadline, SimTime& fired) {
+  if (live_ == 0) return false;
+  std::uint32_t slot_index;
+  if (kind_ == SchedulerKind::kBinaryHeap) {
+    heap_skim();
+    if (heap_.top().time > deadline) return false;
+    slot_index = heap_.top().slot;
+    heap_.pop();
+  } else {
+    GTRIX_CHECK(calendar_find_min());
+    const QueueEntry& top = buckets_[peek_.bucket][peek_.index];
+    if (top.time > deadline) return false;
+    slot_index = top.slot;
+    calendar_pop_peeked();
+  }
+  Slot& slot = slots_[slot_index];
+  const Event event{slot.time, slot.kind, slot.payload};
+  TimerTarget* target = slot.target;
+  // Recycle before dispatch: the handler may reschedule into this very slot,
+  // and the fired handle is stale from the handler's point of view.
+  release_slot(slot_index);
+  --live_;
+  ++executed_;
+  fired = event.time;
+  target->on_timer(event);
+  return true;
+}
+
+// --- binary-heap engine ------------------------------------------------------
+
+void EventQueue::heap_skim() const {
   while (!heap_.empty() && stale(heap_.top())) {
     heap_.pop();
   }
 }
 
-bool EventQueue::empty() const noexcept {
-  skim();
-  return heap_.empty();
+// --- calendar engine ---------------------------------------------------------
+//
+// Invariants (kCalendar):
+//  * an entry with time t lives in bucket epoch_of(t) mod nbuckets;
+//  * every bucket is sorted DESCENDING by (time, seq), so the bucket's
+//    earliest entry sits at the back and a pop is an O(1) pop_back;
+//  * no live entry has an epoch below cur_epoch_ (inserts behind the cursor
+//    pull it back), so the year scan starting at cur_epoch_ always meets
+//    the global (time, seq) minimum first;
+//  * equal times map to equal buckets, so FIFO among ties falls out of the
+//    (time, seq) sort order.
+
+long long EventQueue::epoch_of(SimTime t) const noexcept {
+  // Multiply by the precomputed inverse: cheaper than dividing, and any
+  // rounding difference vs t / width_ is harmless -- the mapping only has
+  // to be one deterministic monotone function used consistently.
+  return static_cast<long long>(std::floor(t * inv_width_));
 }
 
-SimTime EventQueue::next_time() const {
-  skim();
-  GTRIX_CHECK_MSG(!heap_.empty(), "next_time on empty queue");
-  return heap_.top().time;
+std::size_t EventQueue::bucket_of_epoch(long long epoch) const noexcept {
+  // Bucket count is a power of two; masking the two's-complement epoch
+  // equals the positive modulo for negatives as well.
+  return static_cast<std::size_t>(static_cast<unsigned long long>(epoch) & bucket_mask_);
 }
 
-bool EventQueue::run_next() {
-  skim();
-  if (heap_.empty()) return false;
-  const HeapEntry top = heap_.top();
-  heap_.pop();
-  Slot& slot = slots_[top.slot];
-  const Event event{slot.time, slot.kind, slot.payload};
-  TimerTarget* target = slot.target;
-  // Recycle before dispatch: the handler may reschedule into this very slot,
-  // and the fired handle is stale from the handler's point of view.
-  release_slot(top.slot);
-  --live_;
-  ++executed_;
-  target->on_timer(event);
+void EventQueue::calendar_insert(const QueueEntry& entry_in) {
+  if (calendar_live() > buckets_.size() * 2) {
+    calendar_rebuild(buckets_.size() * 2);
+  }
+  QueueEntry entry = entry_in;
+  entry.epoch = epoch_of(entry.time);  // rebuild above may have changed width
+  const long long epoch = entry.epoch;
+  const std::size_t b = bucket_of_epoch(epoch);
+  std::vector<QueueEntry>& bucket = buckets_[b];
+  // Keep the bucket sorted descending by (time, seq): first index whose
+  // entry fires before the new one is the insertion point. Buckets hold
+  // ~2 entries on average (the rebuild policy pins occupancy), so a linear
+  // scan beats binary search here.
+  std::size_t pos = 0;
+  while (pos < bucket.size() && !fires_before(bucket[pos], entry)) ++pos;
+  bucket.insert(bucket.begin() + static_cast<std::ptrdiff_t>(pos), entry);
+  ++entry_count_;
+  if (peek_.valid && peek_.bucket == b && pos <= peek_.index) ++peek_.index;
+  if (epoch < cur_epoch_) {
+    // Scheduled behind the scan cursor (a queue used directly before any
+    // pop, or after the cursor chased a sparse far-future tail). Pull the
+    // cursor back; by the cursor invariant no other live entry sits at an
+    // epoch this low, so the new entry is the minimum.
+    cur_epoch_ = epoch;
+    peek_ = PeekRef{b, pos, true};
+  } else if (peek_.valid &&
+             fires_before(entry, buckets_[peek_.bucket][peek_.index])) {
+    peek_ = PeekRef{b, pos, true};
+  }
+}
+
+bool EventQueue::calendar_find_min() const {
+  if (peek_.valid) return true;
+  if (live_ == 0) return false;
+  for (std::size_t lap = 0; lap < buckets_.size(); ++lap) {
+    const long long epoch = cur_epoch_ + static_cast<long long>(lap);
+    std::vector<QueueEntry>& bucket = buckets_[bucket_of_epoch(epoch)];
+    // Skim the stale tail; what remains at the back is the bucket's
+    // earliest live entry (sorted descending).
+    while (!bucket.empty() && stale(bucket.back())) {
+      bucket.pop_back();
+      --entry_count_;
+      --dead_;
+    }
+    if (!bucket.empty() && bucket.back().epoch == epoch) {
+      cur_epoch_ = epoch;
+      peek_ = PeekRef{bucket_of_epoch(epoch), bucket.size() - 1, true};
+      return true;
+    }
+  }
+  // A full lap found nothing inside its year window: the population is
+  // sparse relative to the calendar span. Fall back to a direct global
+  // minimum scan and re-anchor the cursor there.
+  return calendar_global_min();
+}
+
+bool EventQueue::calendar_global_min() const {
+  std::size_t best_bucket = kNoIndex;
+  std::size_t best_index = kNoIndex;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    std::vector<QueueEntry>& bucket = buckets_[b];
+    // Back-most live entry is the bucket's earliest; stale entries deeper
+    // in are left for the purge rebuild.
+    for (std::size_t i = bucket.size(); i-- > 0;) {
+      if (stale(bucket[i])) continue;
+      if (best_bucket == kNoIndex ||
+          fires_before(bucket[i], buckets_[best_bucket][best_index])) {
+        best_bucket = b;
+        best_index = i;
+      }
+      break;
+    }
+  }
+  if (best_bucket == kNoIndex) return false;
+  cur_epoch_ = buckets_[best_bucket][best_index].epoch;
+  peek_ = PeekRef{best_bucket, best_index, true};
   return true;
+}
+
+void EventQueue::calendar_pop_peeked() {
+  std::vector<QueueEntry>& bucket = buckets_[peek_.bucket];
+  // Order-preserving removal; the peeked entry is at or near the back.
+  bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(peek_.index));
+  --entry_count_;
+  peek_.valid = false;
+  if (buckets_.size() > kMinBuckets && calendar_live() * 8 < buckets_.size()) {
+    calendar_rebuild(kMinBuckets);
+  }
+}
+
+void EventQueue::calendar_rebuild(std::size_t min_buckets) {
+  // Collect the live population and fit the calendar to it: bucket count ~
+  // the next power of two above the population (about one entry per bucket)
+  // and width ~ twice the mean gap between pending event times, so one
+  // year spans the whole pending window. Bucket vectors are reused (only
+  // cleared), so a purge rebuild performs no per-bucket reallocation.
+  ++rebuilds_;
+  std::vector<QueueEntry>& entries = rebuild_scratch_;
+  entries.clear();
+  entries.reserve(calendar_live());
+  for (std::vector<QueueEntry>& bucket : buckets_) {
+    for (const QueueEntry& entry : bucket) {
+      if (!stale(entry)) entries.push_back(entry);
+    }
+    bucket.clear();
+  }
+  dead_ = 0;
+  entry_count_ = entries.size();
+  const std::size_t target = std::max(min_buckets, std::bit_ceil(entries.size()));
+  if (target != buckets_.size()) buckets_.resize(target);
+
+  double min_t = std::numeric_limits<double>::infinity();
+  double max_t = -std::numeric_limits<double>::infinity();
+  for (const QueueEntry& entry : entries) {
+    min_t = std::min(min_t, entry.time);
+    max_t = std::max(max_t, entry.time);
+  }
+  double width = 1.0;
+  if (entries.size() >= 2 && max_t > min_t) {
+    width = 2.0 * (max_t - min_t) / static_cast<double>(entries.size());
+    // Keep floor(t / width) well inside the integer range even for large
+    // absolute times with tightly clustered events.
+    width = std::max(width, (std::abs(max_t) + 1.0) * 1e-12);
+  }
+  width_ = width;
+  inv_width_ = 1.0 / width_;
+  bucket_mask_ = buckets_.size() - 1;
+
+  // Distributing in globally descending (time, seq) order leaves every
+  // bucket sorted descending.
+  std::sort(entries.begin(), entries.end(),
+            [](const QueueEntry& a, const QueueEntry& b) { return fires_before(b, a); });
+  for (QueueEntry& entry : entries) {
+    entry.epoch = epoch_of(entry.time);
+    buckets_[bucket_of_epoch(entry.epoch)].push_back(entry);
+  }
+  // Re-anchor the cursor at the earliest entry (or at zero when empty).
+  peek_.valid = false;
+  cur_epoch_ = entries.empty() ? 0 : epoch_of(min_t);
 }
 
 }  // namespace gtrix

@@ -1,24 +1,33 @@
-// Deterministic discrete-event priority queue with typed POD events.
+// Deterministic discrete-event scheduler with typed POD events.
 //
-// Design (see README.md, "Typed zero-allocation event engine"):
+// Design (see docs/performance.md, "Calendar-queue scheduler"):
 //  * An event is plain data -- {time, target, kind, payload} -- not a
 //    heap-allocated closure. Dispatch goes through the small TimerTarget
 //    interface: the engine calls target->on_timer(event) at fire time.
 //  * Event state lives in recycled slots. A freelist returns a slot the
 //    moment its event fires or is cancelled, so memory is O(pending events),
-//    not O(events ever executed). The heap itself uses lazy deletion
-//    (cancelled entries are skimmed off the top), which keeps cancel() O(1).
+//    not O(events ever executed). Cancellation is lazy (a cancelled entry is
+//    skimmed when a scan meets it), which keeps cancel() O(1).
 //  * Every slot carries a generation counter, bumped whenever the slot is
 //    freed. A TimerHandle is {slot, generation}; a handle whose generation
 //    no longer matches is stale, so cancelling an already-fired, already-
-//    cancelled, or recycled event is a safe no-op. This subsumes the ad-hoc
-//    generation counters algorithm nodes previously kept by hand.
+//    cancelled, or recycled event is a safe no-op.
 //  * Events are ordered by (time, sequence number); the sequence number is
 //    assigned at schedule time, so two events scheduled for the same instant
 //    fire in scheduling order. Entire simulations are bit-reproducible.
-//  * Steady-state scheduling performs no per-event heap allocation: the slot
-//    vector, freelist and binary heap all reuse storage (growth is amortized
-//    and bounded by the peak number of simultaneously pending events).
+//
+// Two interchangeable scheduler structures sit behind the one interface:
+//  * SchedulerKind::kCalendar (default) -- a calendar queue (Brown 1988):
+//    an array of time buckets of width ~ the mean gap between pending
+//    events. The simulation's bounded-delay event horizon (every event is
+//    scheduled at most ~Lambda + d past the cursor) keeps the calendar a
+//    single "year" wide in steady state, so schedule and pop are O(1)
+//    bucket operations instead of O(log n) heap sifts on pointer-cold
+//    array levels.
+//  * SchedulerKind::kBinaryHeap -- the pre-calendar binary-heap engine,
+//    kept as the bit-identity reference for bench_perf and the
+//    differential tests. Both structures pop the global (time, seq)
+//    minimum, so they execute identical event sequences.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +39,11 @@
 namespace gtrix {
 
 inline constexpr std::uint32_t kInvalidEventSlot = 0xffffffffU;
+
+/// Which internal priority structure an EventQueue / Simulator uses. The
+/// two kinds execute bit-identical event sequences; kCalendar is the fast
+/// default, kBinaryHeap the reference engine bench_perf compares against.
+enum class SchedulerKind : std::uint8_t { kCalendar, kBinaryHeap };
 
 /// POD payload carried by every event, interpreted by the target according
 /// to the event kind. The fields are deliberately generic so one layout
@@ -79,7 +93,7 @@ struct TimerHandle {
 
 class EventQueue {
  public:
-  EventQueue() = default;
+  explicit EventQueue(SchedulerKind kind = SchedulerKind::kCalendar);
 
   /// Schedules an event for `target` at absolute time `t`. Returns a handle
   /// usable with cancel() / pending() until the event fires.
@@ -93,7 +107,7 @@ class EventQueue {
   /// True while the referenced event is scheduled and not yet fired.
   bool pending(TimerHandle handle) const noexcept;
 
-  bool empty() const noexcept;
+  bool empty() const noexcept { return live_ == 0; }
 
   /// Time of the next (non-cancelled) event; undefined if empty().
   SimTime next_time() const;
@@ -103,6 +117,15 @@ class EventQueue {
   /// immediately reschedule without growing the slot table.
   bool run_next();
 
+  /// run_next() gated on the event being due: pops and dispatches only if
+  /// the next event's time is <= deadline. `fired` is set to the event time
+  /// BEFORE dispatch, so a driver passing its clock cursor exposes the
+  /// correct now() to the handler. One minimum-location per event, instead
+  /// of the next_time() + run_next() pair (the simulator's main loop).
+  bool run_next_due(SimTime deadline, SimTime& fired);
+
+  SchedulerKind scheduler_kind() const noexcept { return kind_; }
+
   std::uint64_t executed_count() const noexcept { return executed_; }
   std::uint64_t scheduled_count() const noexcept { return scheduled_; }
   std::size_t pending_count() const noexcept { return live_; }
@@ -110,6 +133,12 @@ class EventQueue {
   /// High-water mark of simultaneously pending events: the slot table never
   /// exceeds the peak pending count (churn tests assert this stays flat).
   std::size_t slot_capacity() const noexcept { return slots_.size(); }
+
+  /// Calendar internals exposed read-only for tests: bucket count, current
+  /// bucket width, rebuild count. Meaningless under kBinaryHeap.
+  std::size_t calendar_buckets() const noexcept { return buckets_.size(); }
+  double calendar_width() const noexcept { return width_; }
+  std::uint64_t calendar_rebuilds() const noexcept { return rebuilds_; }
 
  private:
   struct Slot {
@@ -122,36 +151,89 @@ class EventQueue {
     bool live = false;
   };
 
-  struct HeapEntry {
+  struct QueueEntry {
     SimTime time;
     std::uint64_t seq;  ///< schedule order; breaks same-time ties FIFO
+    long long epoch;    ///< calendar only: epoch_of(time), cached at insert
     std::uint32_t slot;
     std::uint32_t gen;
-    // Heap is a max-heap by default; invert the comparison.
-    bool operator<(const HeapEntry& other) const noexcept {
+    // priority_queue is a max-heap by default; invert the comparison.
+    bool operator<(const QueueEntry& other) const noexcept {
       if (time != other.time) return time > other.time;
       return seq > other.seq;
     }
   };
 
-  bool stale(const HeapEntry& entry) const noexcept {
+  /// Lexicographic (time, seq) order -- the one total event order both
+  /// scheduler kinds realize.
+  static bool fires_before(const QueueEntry& a, const QueueEntry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  bool stale(const QueueEntry& entry) const noexcept {
     const Slot& s = slots_[entry.slot];
     return !s.live || s.gen != entry.gen;
   }
 
-  /// Drops cancelled (stale) entries from the top of the heap.
-  void skim() const;
-
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t index);
 
-  mutable std::priority_queue<HeapEntry> heap_;
+  // --- binary-heap engine ---------------------------------------------------
+  /// Drops cancelled (stale) entries from the top of the heap.
+  void heap_skim() const;
+
+  // --- calendar engine ------------------------------------------------------
+  /// Epoch = which width_-sized time window a timestamp falls in. Exact
+  /// integer bookkeeping (no accumulated float boundaries): an entry lives
+  /// in bucket epoch mod nbuckets and belongs to the cursor's window iff
+  /// its epoch equals the scan epoch.
+  long long epoch_of(SimTime t) const noexcept;
+  std::size_t bucket_of_epoch(long long epoch) const noexcept;
+  void calendar_insert(const QueueEntry& entry);
+  /// Locates the (time, seq)-minimum live entry, caching it in peek_.
+  /// Returns false when no live entry exists.
+  bool calendar_find_min() const;
+  /// Full scan fallback for sparse calendars: min over every bucket.
+  bool calendar_global_min() const;
+  void calendar_pop_peeked();
+  /// Rebuilds the calendar with a bucket count / width fitted to the
+  /// current live population. Also drops all stale entries.
+  void calendar_rebuild(std::size_t min_buckets);
+  std::size_t calendar_live() const noexcept { return entry_count_ - dead_; }
+
+  SchedulerKind kind_;
+
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kInvalidEventSlot;
   std::uint64_t next_seq_ = 0;
   std::uint64_t scheduled_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;
+
+  // kBinaryHeap state. mutable: next_time()/empty() skim lazily.
+  mutable std::priority_queue<QueueEntry> heap_;
+
+  // kCalendar state. mutable for the same reason: locating the minimum from
+  // const peeks skims stale entries and advances the cursor.
+  mutable std::vector<std::vector<QueueEntry>> buckets_;
+  double width_ = 1.0;
+  double inv_width_ = 1.0;        ///< 1 / width_; epochs use the multiply form
+  std::size_t bucket_mask_ = 0;   ///< buckets_.size() - 1 (power of two)
+  mutable std::size_t entry_count_ = 0;  ///< bucket entries incl. stale
+  mutable std::size_t dead_ = 0;         ///< stale entries not yet skimmed
+  /// Scan cursor: no live entry has an epoch below this (inserts behind the
+  /// cursor pull it back), so the year scan meets the global minimum first.
+  mutable long long cur_epoch_ = 0;
+
+  struct PeekRef {
+    std::size_t bucket = 0;
+    std::size_t index = 0;
+    bool valid = false;
+  };
+  mutable PeekRef peek_;
+  std::uint64_t rebuilds_ = 0;
+  std::vector<QueueEntry> rebuild_scratch_;  ///< reused across rebuilds
 };
 
 }  // namespace gtrix

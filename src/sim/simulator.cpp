@@ -18,10 +18,20 @@ TimerHandle Simulator::after(SimTime delay, TimerTarget* target, std::uint32_t k
 
 std::uint64_t Simulator::run_until(SimTime deadline) {
   std::uint64_t executed = 0;
-  while (!queue_.empty() && queue_.next_time() <= deadline) {
-    now_ = queue_.next_time();
-    queue_.run_next();
-    ++executed;
+  if (single_locate_) {
+    // run_next_due writes now_ before dispatching, so handlers observe the
+    // event's time as now() -- and the loop locates each minimum only once.
+    while (queue_.run_next_due(deadline, now_)) {
+      ++executed;
+    }
+  } else {
+    // Pre-refactor driver loop (EngineOptions::reference()): a separate
+    // minimum location per next_time() and per run_next().
+    while (!queue_.empty() && queue_.next_time() <= deadline) {
+      now_ = queue_.next_time();
+      queue_.run_next();
+      ++executed;
+    }
   }
   // Advance the cursor so subsequent scheduling is relative to the deadline.
   if (deadline > now_) now_ = deadline;
@@ -30,11 +40,19 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
 
 std::uint64_t Simulator::run_all(std::uint64_t max_events) {
   std::uint64_t executed = 0;
-  while (!queue_.empty()) {
-    GTRIX_CHECK_MSG(executed < max_events, "event budget exhausted");
-    now_ = queue_.next_time();
-    queue_.run_next();
-    ++executed;
+  if (single_locate_) {
+    while (!queue_.empty()) {
+      GTRIX_CHECK_MSG(executed < max_events, "event budget exhausted");
+      queue_.run_next_due(kTimeInfinity, now_);
+      ++executed;
+    }
+  } else {
+    while (!queue_.empty()) {
+      GTRIX_CHECK_MSG(executed < max_events, "event budget exhausted");
+      now_ = queue_.next_time();
+      queue_.run_next();
+      ++executed;
+    }
   }
   return executed;
 }

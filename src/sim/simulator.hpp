@@ -16,10 +16,19 @@ namespace gtrix {
 
 class Simulator {
  public:
-  Simulator() = default;
+  /// `kind` selects the scheduler structure (calendar queue by default;
+  /// the binary-heap reference engine for differential runs -- both execute
+  /// bit-identical event sequences, see sim/event_queue.hpp).
+  /// `single_locate_loop` keeps the one-find-minimum-per-event driver loop;
+  /// false reproduces the pre-refactor next_time() + run_next() pair.
+  explicit Simulator(SchedulerKind kind = SchedulerKind::kCalendar,
+                     bool single_locate_loop = true)
+      : queue_(kind), single_locate_(single_locate_loop) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  SchedulerKind scheduler_kind() const noexcept { return queue_.scheduler_kind(); }
 
   SimTime now() const noexcept { return now_; }
 
@@ -57,6 +66,7 @@ class Simulator {
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;
+  bool single_locate_ = true;
 };
 
 }  // namespace gtrix

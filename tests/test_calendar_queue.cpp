@@ -1,0 +1,226 @@
+// Calendar-queue scheduler tests: the kCalendar engine's own semantics
+// (churn, FIFO tie-breaks, handle generations -- mirroring the binary-heap
+// suite in test_event_queue.cpp), its resize/rebuild behaviour, and a
+// randomized differential check that kCalendar and kBinaryHeap execute
+// identical event sequences under heavy schedule/cancel churn.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace gtrix {
+namespace {
+
+struct EventLog final : TimerTarget {
+  std::vector<Event> events;
+
+  void on_timer(const Event& event) override { events.push_back(event); }
+
+  std::vector<std::int64_t> tags() const {
+    std::vector<std::int64_t> out;
+    for (const Event& e : events) out.push_back(e.payload.i);
+    return out;
+  }
+};
+
+TEST(CalendarQueue, DefaultEngineIsCalendar) {
+  EventQueue q;
+  EXPECT_EQ(q.scheduler_kind(), SchedulerKind::kCalendar);
+}
+
+TEST(CalendarQueue, RunsInTimeOrder) {
+  EventQueue q(SchedulerKind::kCalendar);
+  EventLog log;
+  q.schedule(3.0, &log, 0, EventPayload{.i = 3});
+  q.schedule(1.0, &log, 0, EventPayload{.i = 1});
+  q.schedule(2.0, &log, 0, EventPayload{.i = 2});
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(log.tags(), (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(CalendarQueue, TiesBreakInSchedulingOrder) {
+  EventQueue q(SchedulerKind::kCalendar);
+  EventLog log;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, &log, 0, EventPayload{.i = i});
+  }
+  while (q.run_next()) {
+  }
+  ASSERT_EQ(log.events.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(log.events[static_cast<std::size_t>(i)].payload.i, i);
+  }
+}
+
+TEST(CalendarQueue, SameTimestampFifoSurvivesCancellationChurn) {
+  EventQueue q(SchedulerKind::kCalendar);
+  EventLog log;
+  std::vector<TimerHandle> doomed;
+  for (int i = 0; i < 20; ++i) {
+    const TimerHandle h = q.schedule(5.0, &log, 0, EventPayload{.i = i});
+    if (i % 2 == 1) doomed.push_back(h);
+  }
+  for (TimerHandle h : doomed) EXPECT_TRUE(q.cancel(h));
+  while (q.run_next()) {
+  }
+  std::vector<std::int64_t> expected;
+  for (int i = 0; i < 20; i += 2) expected.push_back(i);
+  EXPECT_EQ(log.tags(), expected);
+}
+
+TEST(CalendarQueue, HandleGenerationsSurviveSlotRecycling) {
+  EventQueue q(SchedulerKind::kCalendar);
+  EventLog log;
+  const TimerHandle old_handle = q.schedule(1.0, &log, 0, EventPayload{.i = 1});
+  q.run_next();
+  const TimerHandle new_handle = q.schedule(2.0, &log, 0, EventPayload{.i = 2});
+  EXPECT_EQ(new_handle.slot, old_handle.slot);  // recycled
+  EXPECT_NE(new_handle.gen, old_handle.gen);
+  EXPECT_FALSE(q.cancel(old_handle));
+  EXPECT_TRUE(q.pending(new_handle));
+  q.run_next();
+  EXPECT_EQ(log.tags(), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(CalendarQueue, SchedulingBehindTheCursorStillFiresInOrder) {
+  // Popping advances the scan cursor; an event scheduled at an earlier
+  // time afterwards must pull the cursor back instead of waiting for a
+  // calendar-year wraparound.
+  EventQueue q(SchedulerKind::kCalendar);
+  EventLog log;
+  q.schedule(100.0, &log, 0, EventPayload{.i = 100});
+  q.schedule(5000.0, &log, 0, EventPayload{.i = 5000});
+  EXPECT_TRUE(q.run_next());  // pops t=100, cursor now past t=100
+  q.schedule(7.0, &log, 0, EventPayload{.i = 7});
+  q.schedule(300.0, &log, 0, EventPayload{.i = 300});
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(log.tags(), (std::vector<std::int64_t>{100, 7, 300, 5000}));
+}
+
+TEST(CalendarQueue, SparseFarFutureEventsAreFound) {
+  // Events many calendar years apart exercise the global-minimum fallback.
+  EventQueue q(SchedulerKind::kCalendar);
+  EventLog log;
+  q.schedule(1.0, &log, 0, EventPayload{.i = 1});
+  q.schedule(1e9, &log, 0, EventPayload{.i = 2});
+  q.schedule(1e15, &log, 0, EventPayload{.i = 3});
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(log.tags(), (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(CalendarQueue, SlotTableStaysFlatUnderScheduleCancelChurn) {
+  EventQueue q(SchedulerKind::kCalendar);
+  EventLog log;
+  constexpr int kLive = 8;
+  std::vector<TimerHandle> live;
+  for (int i = 0; i < kLive; ++i) {
+    live.push_back(q.schedule(1e9 + i, &log, 0));
+  }
+  const std::size_t baseline_capacity = q.slot_capacity();
+  for (int round = 0; round < 10000; ++round) {
+    EXPECT_TRUE(q.cancel(live[static_cast<std::size_t>(round % kLive)]));
+    live[static_cast<std::size_t>(round % kLive)] = q.schedule(1e9 + round, &log, 0);
+    EXPECT_EQ(q.pending_count(), static_cast<std::size_t>(kLive));
+  }
+  EXPECT_EQ(q.slot_capacity(), baseline_capacity);
+  // The cancelled bulk must be purged, not accumulated: a rebuild pass
+  // keeps the calendar O(pending), and the bucket count tracks the tiny
+  // live population instead of the 10008 events ever scheduled.
+  EXPECT_GT(q.calendar_rebuilds(), 0u);
+  EXPECT_LE(q.calendar_buckets(), 64u);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(q.scheduled_count(), static_cast<std::uint64_t>(kLive + 10000));
+  EXPECT_EQ(q.executed_count(), static_cast<std::uint64_t>(kLive));  // rest were cancelled
+}
+
+TEST(CalendarQueue, ResizeGrowsAndShrinksWithThePendingPopulation) {
+  EventQueue q(SchedulerKind::kCalendar);
+  EventLog log;
+  Rng rng(7);
+  std::vector<TimerHandle> handles;
+  for (int i = 0; i < 4096; ++i) {
+    handles.push_back(q.schedule(rng.uniform(0.0, 1e6), &log, 0));
+  }
+  const std::size_t grown = q.calendar_buckets();
+  EXPECT_GE(grown, 2048u);  // ~1 entry per bucket once grown
+  while (q.run_next()) {
+  }
+  EXPECT_LT(q.calendar_buckets(), grown);  // shrank as the queue drained
+}
+
+/// Differential fuzz: a random interleaving of schedule / cancel / pop must
+/// dispatch the identical event sequence on both engines.
+TEST(CalendarQueue, MatchesBinaryHeapOnRandomChurn) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 1234ULL}) {
+    EventQueue cal(SchedulerKind::kCalendar);
+    EventQueue heap(SchedulerKind::kBinaryHeap);
+    EventLog cal_log;
+    EventLog heap_log;
+    Rng cal_rng(seed);
+    Rng heap_rng(seed);
+
+    const auto drive = [](EventQueue& q, EventLog& log, Rng& rng) {
+      std::vector<TimerHandle> handles;
+      double now = 0.0;
+      std::int64_t tag = 0;
+      for (int op = 0; op < 20000; ++op) {
+        const double dice = rng.uniform(0.0, 1.0);
+        if (dice < 0.45) {
+          // Mostly near-future events, some far future, frequent exact ties.
+          double t = now + (rng.bernoulli(0.2) ? rng.uniform(0.0, 1e5)
+                                               : rng.uniform(0.0, 50.0));
+          if (rng.bernoulli(0.25)) t = std::floor(t);  // force time collisions
+          handles.push_back(q.schedule(t, &log, 0, EventPayload{.i = tag++}));
+        } else if (dice < 0.65 && !handles.empty()) {
+          q.cancel(handles[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(handles.size()) - 1))]);
+        } else if (!q.empty()) {
+          now = q.next_time();
+          q.run_next();
+        }
+      }
+      while (q.run_next()) {
+      }
+    };
+
+    drive(cal, cal_log, cal_rng);
+    drive(heap, heap_log, heap_rng);
+    ASSERT_EQ(cal_log.events.size(), heap_log.events.size());
+    for (std::size_t i = 0; i < cal_log.events.size(); ++i) {
+      EXPECT_EQ(cal_log.events[i].time, heap_log.events[i].time) << "at " << i;
+      EXPECT_EQ(cal_log.events[i].payload.i, heap_log.events[i].payload.i) << "at " << i;
+    }
+  }
+}
+
+/// run_next_due respects the deadline and reports fire times (the single-
+/// locate simulator loop depends on both).
+TEST(CalendarQueue, RunNextDueStopsAtDeadline) {
+  for (const SchedulerKind kind : {SchedulerKind::kCalendar, SchedulerKind::kBinaryHeap}) {
+    EventQueue q(kind);
+    EventLog log;
+    q.schedule(1.0, &log, 0, EventPayload{.i = 1});
+    q.schedule(2.0, &log, 0, EventPayload{.i = 2});
+    q.schedule(3.0, &log, 0, EventPayload{.i = 3});
+    SimTime fired = -1.0;
+    EXPECT_TRUE(q.run_next_due(2.0, fired));
+    EXPECT_DOUBLE_EQ(fired, 1.0);
+    EXPECT_TRUE(q.run_next_due(2.0, fired));
+    EXPECT_DOUBLE_EQ(fired, 2.0);
+    EXPECT_FALSE(q.run_next_due(2.0, fired));  // t=3 is past the deadline
+    EXPECT_EQ(q.pending_count(), 1u);
+    EXPECT_TRUE(q.run_next_due(5.0, fired));
+    EXPECT_DOUBLE_EQ(fired, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace gtrix

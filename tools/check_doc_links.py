@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links in the docs resolve to real files.
+
+Scans README.md and docs/*.md for inline links `[text](target)`, skips
+external URLs (scheme://, mailto:) and pure in-page anchors (#...), and
+verifies every remaining target exists relative to the linking file (an
+optional #fragment is stripped first; fragments themselves are not checked).
+Exits non-zero listing every broken link. Stdlib only; runs in CI after the
+build so docs can't drift from the tree.
+"""
+import glob
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_file(path: str) -> list[str]:
+    errors = []
+    text = open(path, encoding="utf-8").read()
+    base = os.path.dirname(path)
+    for target in LINK.findall(text):
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        if target.startswith("#"):
+            continue
+        resolved = os.path.normpath(os.path.join(base, target.split("#", 1)[0]))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link '{target}' (resolved to {resolved})")
+    return errors
+
+
+def main() -> int:
+    files = ["README.md"] + sorted(glob.glob("docs/*.md"))
+    missing = [f for f in files if not os.path.exists(f)]
+    errors = [f"missing expected file: {f}" for f in missing]
+    for f in files:
+        if f not in missing:
+            errors.extend(check_file(f))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files) - len(missing)} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
