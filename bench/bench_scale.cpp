@@ -1,0 +1,319 @@
+// bench_scale: the mega-grid memory/throughput trajectory.
+//
+// Runs a scale scenario's cell once per recording mode, each in a forked
+// child process so peak RSS is attributable to that mode alone (a process
+// high-water mark never goes down, so in-process sequencing would charge
+// the first mode's peak to every later one). Reports peak RSS, wall time
+// and events/sec per mode, asserts the streaming run stays under a
+// committed RSS budget, and -- when both streaming and full run -- asserts
+// the two modes' skew extrema are BIT-identical (the streaming accumulators
+// are a different evaluation order of the same arithmetic, not an
+// approximation; see docs/scaling.md).
+//
+//   bench_scale                              # scale-grid, streaming + full
+//   bench_scale --scenario=scale-torus --modes=streaming
+//   bench_scale --quick --assert-rss-mb=256  # CI smoke: reduced shape
+//   bench_scale --out=BENCH_scale-grid.json
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "registry/recording.hpp"
+#include "runner/experiment.hpp"
+#include "scenario/registry.hpp"
+#include "support/flags.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace gtrix {
+namespace {
+
+/// Committed streaming-mode peak-RSS budgets, asserted by default at full
+/// scale (docs/scaling.md explains the headroom: measured peaks are ~500 MB
+/// for scale-grid and ~1.6 GB for scale-torus; full-trace recording of
+/// scale-grid measures ~1.1 GB, clearly over its budget).
+long default_budget_mb(const std::string& scenario) {
+  if (scenario == "scale-grid") return 640;
+  if (scenario == "scale-torus") return 2048;
+  return 0;  // no default budget for other scenarios
+}
+
+struct ModeResult {
+  std::string mode;
+  double wall_seconds = 0.0;
+  double peak_rss_mb = 0.0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t messages_delivered = 0;
+  double events_per_sec = 0.0;
+  SkewReport skew;
+  std::uint64_t window_overflows = 0;
+  std::uint64_t out_of_order = 0;
+  std::uint64_t stream_bytes = 0;
+};
+
+double self_peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+/// Runs one cell under `mode` in THIS process and serializes the result.
+Json run_mode(const ExperimentConfig& base_config, const std::string& mode) {
+  ExperimentConfig config = base_config;
+  config.recording_spec = recording_registry().canonicalize(ComponentSpec::of(mode));
+
+  const auto started = std::chrono::steady_clock::now();
+  World world(config);
+  world.run_to_completion();
+  const SkewReport skew = world.skew();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  const ExperimentCounters counters = world.counters();
+
+  Json j = Json::object();
+  j.set("mode", mode);
+  j.set("wall_seconds", wall);
+  j.set("peak_rss_mb", self_peak_rss_mb());
+  j.set("events_executed", counters.events_executed);
+  j.set("messages_delivered", counters.messages_delivered);
+  j.set("events_per_sec",
+        wall > 0.0 ? static_cast<double>(counters.events_executed) / wall : 0.0);
+  Json s = Json::object();
+  s.set("max_intra", skew.max_intra);
+  s.set("max_inter", skew.max_inter);
+  s.set("local", skew.local_skew);
+  s.set("global", skew.global_skew);
+  s.set("pairs_checked", skew.pairs_checked);
+  s.set("dev_mean", skew.deviations.mean);
+  s.set("dev_p99", skew.deviations.p99);
+  j.set("skew", std::move(s));
+  if (world.streaming() != nullptr) {
+    j.set("window_overflows", world.streaming()->window_overflows());
+    j.set("out_of_order", world.streaming()->out_of_order());
+    j.set("stream_bytes", world.streaming()->memory_bytes());
+  }
+  return j;
+}
+
+/// Forks a child to run one mode; returns its result JSON. Process-level
+/// isolation is what makes per-mode peak RSS meaningful.
+Json run_mode_forked(const ExperimentConfig& config, const std::string& mode,
+                     const std::string& scratch_dir) {
+  const std::string path = scratch_dir + "/bench_scale_" + mode + "_" +
+                           std::to_string(::getpid()) + ".json";
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("fork failed");
+  if (pid == 0) {
+    int code = 0;
+    try {
+      const Json result = run_mode(config, mode);
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << result.dump();
+      if (!out.flush()) code = 3;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_scale[%s]: %s\n", mode.c_str(), e.what());
+      code = 2;
+    }
+    std::_Exit(code);  // no destructors/atexit: the parent owns shared state
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    throw std::runtime_error("mode '" + mode + "' child failed");
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  return Json::parse(buffer.str());
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream stream(s);
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int run(int argc, char** argv) {
+  Usage usage(argv[0] != nullptr ? argv[0] : "bench_scale",
+              "Mega-grid scale benchmark: peak RSS and events/sec per recording mode.");
+  usage.flag("--scenario=NAME", "scale scenario to run (default scale-grid)");
+  usage.flag("--modes=LIST", "comma-separated recording modes (default streaming,full)");
+  usage.flag("--quick", "reduced 96x96 shape for the CI smoke");
+  usage.flag("--assert-rss-mb=N",
+             "fail if the streaming run's peak RSS exceeds N MB (default: the "
+             "committed per-scenario budget at full scale; off under --quick "
+             "unless given explicitly)");
+  usage.flag("--no-fork", "run in-process (single mode only; debugging)");
+  usage.flag("--out=FILE", "write the JSON report to FILE");
+  usage.flag("--help", "show this help");
+
+  // The parser normalizes "--no-fork" to boolean "fork" = false.
+  const Flags flags(argc, argv, {"quick", "fork", "help"});
+  for (const std::string& name : flags.names()) {
+    // "--no-fork" documents itself under that spelling but parses as the
+    // boolean "fork"; accept the parsed name alongside the documented ones.
+    if (name == "fork") continue;
+    const auto known = usage.flag_names();
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::fprintf(stderr, "error: unknown flag --%s (see --help)\n", name.c_str());
+      return 2;
+    }
+  }
+  if (flags.get_bool("help", false)) {
+    std::fputs(usage.str().c_str(), stdout);
+    return 0;
+  }
+
+  const std::string scenario_name = flags.get_string("scenario", "scale-grid");
+  const bool quick = flags.get_bool("quick", false);
+  const bool no_fork = !flags.get_bool("fork", true);
+  const std::vector<std::string> modes =
+      split_csv(flags.get_string("modes", quick ? "streaming" : "streaming,full"));
+  if (modes.empty()) {
+    std::fputs("error: --modes must name at least one recording mode\n", stderr);
+    return 2;
+  }
+  if (no_fork && modes.size() > 1) {
+    // Peak RSS is a process-lifetime high-water mark: a second in-process
+    // mode would inherit the first's peak and corrupt both gates.
+    std::fputs("error: --no-fork measures RSS in-process and supports exactly one mode "
+               "(pass --modes=<one>)\n",
+               stderr);
+    return 2;
+  }
+
+  const Scenario scenario = builtin_scenario(scenario_name);
+  std::vector<ScenarioCell> cells = scenario.cells();
+  ExperimentConfig config = cells.at(0).config;
+  if (quick) {
+    // Same pipeline, CI-sized shape: the smoke asserts the RSS ceiling and
+    // the streaming-vs-full identity without the multi-second mega run.
+    config.columns = 96;
+    config.layers = 96;
+    config.pulses = 10;
+  }
+
+  long budget_mb = flags.get_int("assert-rss-mb", quick ? 0 : default_budget_mb(scenario_name));
+
+  Json report = Json::object();
+  report.set("bench", std::string("bench_scale"));
+  report.set("scenario", scenario_name);
+  report.set("quick", quick);
+  Json shape = Json::object();
+  shape.set("columns", config.columns);
+  shape.set("layers", config.layers);
+  shape.set("pulses", config.pulses);
+  report.set("shape", std::move(shape));
+  if (budget_mb > 0) report.set("rss_budget_mb", static_cast<std::int64_t>(budget_mb));
+
+  Table table({"mode", "peak RSS MB", "wall s", "events/s", "local skew", "global skew"});
+  std::vector<Json> results;
+  for (const std::string& mode : modes) {
+    const Json result = no_fork ? run_mode(config, mode) : run_mode_forked(config, mode, "/tmp");
+    table.row()
+        .add(mode)
+        .add(result.at("peak_rss_mb").as_double(), 1)
+        .add(result.at("wall_seconds").as_double(), 2)
+        .add(result.at("events_per_sec").as_double(), 0)
+        .add(result.at("skew").at("local").as_double(), 3)
+        .add(result.at("skew").at("global").as_double(), 3);
+    results.push_back(result);
+  }
+  const Json* streaming_result = nullptr;
+  const Json* full_result = nullptr;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (modes[i] == "streaming") streaming_result = &results[i];
+    if (modes[i] == "full") full_result = &results[i];
+  }
+  Json mode_results = Json::array();
+  for (const Json& result : results) mode_results.push_back(result);
+  report.set("modes", std::move(mode_results));
+  std::printf("%s", table.render().c_str());
+
+  int failures = 0;
+  if (streaming_result != nullptr) {
+    const std::uint64_t overflows = streaming_result->contains("window_overflows")
+                                        ? streaming_result->at("window_overflows").as_u64()
+                                        : 0;
+    if (overflows != 0) {
+      std::fprintf(stderr, "FAIL: streaming wave ring overflowed %llu times (extrema may "
+                           "under-report; raise recording.window)\n",
+                   static_cast<unsigned long long>(overflows));
+      ++failures;
+    }
+    if (budget_mb > 0 && streaming_result->at("peak_rss_mb").as_double() >
+                             static_cast<double>(budget_mb)) {
+      std::fprintf(stderr, "FAIL: streaming peak RSS %.1f MB exceeds the %ld MB budget\n",
+                   streaming_result->at("peak_rss_mb").as_double(), budget_mb);
+      ++failures;
+    }
+  }
+  bool identical = true;
+  if (streaming_result != nullptr && full_result != nullptr) {
+    // Bit-identity of the extrema: dump() is shortest-round-trip, so equal
+    // strings mean equal doubles.
+    for (const char* key : {"max_intra", "max_inter", "local", "global", "pairs_checked"}) {
+      if (streaming_result->at("skew").at(key).dump() != full_result->at("skew").at(key).dump()) {
+        std::fprintf(stderr, "FAIL: skew '%s' differs between streaming and full recording\n",
+                     key);
+        identical = false;
+        ++failures;
+      }
+    }
+  }
+  if (streaming_result != nullptr && full_result != nullptr) {
+    report.set("skew_identical", identical);
+    const double full_rss = full_result->at("peak_rss_mb").as_double();
+    const double stream_rss = streaming_result->at("peak_rss_mb").as_double();
+    if (stream_rss > 0.0) report.set("full_over_streaming_rss", full_rss / stream_rss);
+    // Relative gate, meaningful on any hardware and under sanitizers (both
+    // modes inflate together): if streaming's footprint creeps toward
+    // full's, it has started retaining per-wave state it must not.
+    if (stream_rss > 0.9 * full_rss) {
+      std::fprintf(stderr,
+                   "FAIL: streaming peak RSS %.1f MB is not materially below full-trace "
+                   "recording's %.1f MB -- streaming mode is retaining trace state\n",
+                   stream_rss, full_rss);
+      ++failures;
+    }
+  }
+  report.set("within_budget", failures == 0);
+
+  const std::string out_path = flags.get_string("out", "");
+  if (!out_path.empty() && out_path != "true") {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    out << report.dump(2) << "\n";
+    if (!out.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gtrix
+
+int main(int argc, char** argv) {
+  try {
+    return gtrix::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_scale: %s\n", e.what());
+    return 1;
+  }
+}

@@ -7,6 +7,13 @@ namespace gtrix {
 Grid::Grid(BaseGraph base, std::uint32_t layers) : base_(std::move(base)), layers_(layers) {
   GTRIX_CHECK_MSG(layers >= 1, "grid needs at least one layer");
   const std::uint32_t bn = base_.node_count();
+  // The node-id space is uint32 with one sentinel reserved (the line-mode
+  // clock source gets id node_count). Check the 64-bit product BEFORE any
+  // per-node allocation, so an overflowing mega-grid shape fails with the
+  // offending dimensions instead of truncating into a small wrong grid.
+  (void)checked_u32_mul(layers, bn,
+                        "grid node count (" + std::to_string(layers) + " layers x " +
+                            std::to_string(bn) + " base nodes)");
   in_template_.resize(bn);
   for (BaseNodeId v = 0; v < bn; ++v) {
     auto& tmpl = in_template_[v];

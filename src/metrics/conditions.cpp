@@ -47,10 +47,14 @@ ConditionReport check_conditions(const GridTrace& trace, const Params& params,
     const auto preds = grid.predecessors(gv);
 
     const auto& records = rec.iterations(trace.rec_id(gv));
+    // Windowed recording retains only the tail of the record sequence; the
+    // dropped count restores each record's absolute index so the warmup
+    // filter is identical across recording modes.
+    const std::uint64_t dropped = rec.iterations_dropped(trace.rec_id(gv));
     for (std::size_t idx = 0; idx < records.size(); ++idx) {
       const IterationRecord& it = records[idx];
       // Skip the node's startup transient (per-node, like the skew metrics).
-      if (static_cast<Sigma>(idx) < trace.node_warmup) {
+      if (static_cast<Sigma>(idx + dropped) < trace.node_warmup) {
         ++report.iterations_skipped;
         continue;
       }

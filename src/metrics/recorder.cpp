@@ -2,11 +2,33 @@
 
 #include <cmath>
 
+#include "metrics/streaming.hpp"
 #include "support/check.hpp"
 
 namespace gtrix {
 
+std::string_view to_string(RecordingMode mode) {
+  switch (mode) {
+    case RecordingMode::kFull: return "full";
+    case RecordingMode::kWindowed: return "windowed";
+    case RecordingMode::kStreaming: return "streaming";
+  }
+  return "?";
+}
+
+void Recorder::configure(const RecordingOptions& options) {
+  GTRIX_CHECK_MSG(pulses_recorded_ == 0,
+                  "recording mode must be configured before the first pulse");
+  GTRIX_CHECK_MSG(options.window >= 2, "recording window must be >= 2 waves");
+  options_ = options;
+}
+
 void Recorder::register_node(RecNodeId node, NodeMeta meta) {
+  // node + 1 must not wrap: the table is indexed by the id, so the largest
+  // registrable id is 2^32 - 2 (the World layer additionally checks the
+  // layers x base-nodes product with the shape in the message).
+  GTRIX_CHECK_MSG(node < std::numeric_limits<std::uint32_t>::max(),
+                  "recorder node id overflows the uint32 id space");
   if (node >= metas_.size()) {
     metas_.resize(node + 1);
     logs_.resize(node + 1);
@@ -16,6 +38,15 @@ void Recorder::register_node(RecNodeId node, NodeMeta meta) {
 
 void Recorder::record_pulse(RecNodeId node, Sigma sigma, SimTime t) {
   GTRIX_CHECK_MSG(node < logs_.size(), "pulse from unregistered node");
+  if (stream_ != nullptr) stream_->on_pulse(node, sigma, t);
+  if (options_.mode == RecordingMode::kStreaming) {
+    // No per-wave storage: the streaming accumulators above are the whole
+    // metrics path. Global counters still track the run's envelope.
+    ++pulses_recorded_;
+    if (min_sigma_ == kInvalidSigma || sigma < min_sigma_) min_sigma_ = sigma;
+    if (max_sigma_ == kInvalidSigma || sigma > max_sigma_) max_sigma_ = sigma;
+    return;
+  }
   NodeLog& log = logs_[node];
   if (log.first_sigma == kInvalidSigma) {
     log.first_sigma = sigma;
@@ -35,11 +66,40 @@ void Recorder::record_pulse(RecNodeId node, Sigma sigma, SimTime t) {
   ++pulses_recorded_;
   if (min_sigma_ == kInvalidSigma || sigma < min_sigma_) min_sigma_ = sigma;
   if (max_sigma_ == kInvalidSigma || sigma > max_sigma_) max_sigma_ = sigma;
+  if (options_.mode == RecordingMode::kWindowed) evict_window(log);
+}
+
+void Recorder::evict_window(NodeLog& log) {
+  // Keep the last `window` wave slots per node. Eviction is from the front
+  // (one slot per recorded pulse in steady state, so the erase is O(window)
+  // on a dense 8-byte array -- windowed mode trades this small constant for
+  // the bounded footprint).
+  const auto window = static_cast<std::size_t>(options_.window);
+  if (log.times.size() > window) {
+    const auto drop = log.times.size() - window;
+    log.times.erase(log.times.begin(), log.times.begin() + static_cast<std::ptrdiff_t>(drop));
+    log.first_sigma += static_cast<Sigma>(drop);
+  }
+  std::size_t drop_iters = 0;
+  while (drop_iters < log.iterations.size() &&
+         log.iterations[drop_iters].sigma < log.first_sigma) {
+    ++drop_iters;
+  }
+  if (drop_iters > 0) {
+    log.iterations.erase(log.iterations.begin(),
+                         log.iterations.begin() + static_cast<std::ptrdiff_t>(drop_iters));
+    log.iterations_dropped += drop_iters;
+  }
 }
 
 void Recorder::record_iteration(RecNodeId node, const IterationRecord& record) {
   GTRIX_CHECK_MSG(node < logs_.size(), "iteration from unregistered node");
+  if (options_.mode == RecordingMode::kStreaming) return;
   logs_[node].iterations.push_back(record);
+}
+
+std::uint64_t Recorder::iterations_dropped(RecNodeId node) const {
+  return logs_.at(node).iterations_dropped;
 }
 
 std::optional<SimTime> Recorder::pulse_time(RecNodeId node, Sigma sigma) const {

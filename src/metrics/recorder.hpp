@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -20,6 +21,38 @@ namespace gtrix {
 
 using RecNodeId = std::uint32_t;
 using Sigma = std::int64_t;
+
+class StreamingSkew;
+
+/// How much of the execution trace the Recorder retains (docs/scaling.md).
+///
+///  * kFull      -- every pulse time and IterationRecord, forever. O(nodes x
+///                  waves) memory; required for post-hoc conditions checks
+///                  over the whole run and for label realignment (corrupt
+///                  scenarios). The historical behaviour and the default.
+///  * kWindowed  -- pulse times and IterationRecords of the last `window`
+///                  waves per node only; older entries are evicted as the
+///                  node progresses. O(nodes x window) memory. Conditions
+///                  can be checked over the retained window; skew comes from
+///                  the streaming accumulators.
+///  * kStreaming -- no per-wave storage at all: every pulse is fed straight
+///                  into the attached StreamingSkew accumulators. O(nodes)
+///                  memory. Skew extrema/means are bit-identical to full
+///                  recording; quantiles come from a log-binned sketch
+///                  with a guaranteed 1% relative error bound.
+enum class RecordingMode : std::uint8_t { kFull, kWindowed, kStreaming };
+
+std::string_view to_string(RecordingMode mode);
+
+struct RecordingOptions {
+  RecordingMode mode = RecordingMode::kFull;
+  /// Waves retained per node (windowed) and the streaming accumulators'
+  /// wave-ring capacity (windowed + streaming). Rounded up to a power of
+  /// two internally. Ignored in full mode.
+  std::int64_t window = 8;
+
+  bool operator==(const RecordingOptions&) const = default;
+};
 
 struct IterationRecord {
   Sigma sigma = 0;
@@ -54,6 +87,14 @@ class Recorder {
  public:
   Recorder() = default;
 
+  /// Selects the recording mode; must be called before any node records
+  /// (the trace would otherwise be part-full, part-windowed). Attaching a
+  /// StreamingSkew sink forwards every pulse to it regardless of mode.
+  void configure(const RecordingOptions& options);
+  const RecordingOptions& options() const noexcept { return options_; }
+  RecordingMode mode() const noexcept { return options_.mode; }
+  void set_stream(StreamingSkew* stream) noexcept { stream_ = stream; }
+
   /// Pre-sizes the node tables (avoids repeated growth when a World
   /// registers its whole grid up front).
   void reserve(std::uint32_t nodes) {
@@ -85,8 +126,13 @@ class Recorder {
   /// leave a recovered region with a consistent off-by-k label.
   void shift_node_sigma(RecNodeId node, Sigma delta);
 
-  /// All iteration records of a node, in recording order.
+  /// All *retained* iteration records of a node, in recording order. In
+  /// windowed mode this is the tail of the full sequence;
+  /// iterations_dropped() gives how many earlier records were evicted, so
+  /// `iterations_dropped(n) + i` is record i's absolute index (the warmup
+  /// filters in metrics/conditions key on the absolute index).
   const std::vector<IterationRecord>& iterations(RecNodeId node) const;
+  std::uint64_t iterations_dropped(RecNodeId node) const;
 
   /// Smallest / largest sigma recorded for any node (kInvalidSigma if none).
   Sigma min_sigma() const noexcept { return min_sigma_; }
@@ -101,8 +147,13 @@ class Recorder {
     Sigma first_sigma = kInvalidSigma;
     std::vector<SimTime> times;  ///< indexed sigma - first_sigma; NaN = missing
     std::vector<IterationRecord> iterations;
+    std::uint64_t iterations_dropped = 0;  ///< windowed-mode front evictions
   };
 
+  void evict_window(NodeLog& log);
+
+  RecordingOptions options_;
+  StreamingSkew* stream_ = nullptr;
   std::vector<NodeMeta> metas_;
   std::vector<NodeLog> logs_;
   Sigma min_sigma_ = kInvalidSigma;

@@ -71,6 +71,9 @@ SkewReport compute_skew(const GridTrace& trace, Sigma lo, Sigma hi) {
   report.intra_by_layer.assign(grid.layers(), 0.0);
   report.inter_by_layer.assign(grid.layers() > 0 ? grid.layers() - 1 : 0, 0.0);
   report.spread_by_layer.assign(grid.layers(), 0.0);
+  // Every checked pair deviation, for the exact quantile summary (streaming
+  // mode estimates the same distribution in O(1) memory instead).
+  std::vector<double> deviations;
 
   for (std::uint32_t layer = 0; layer < grid.layers(); ++layer) {
     double intra = 0.0;
@@ -91,7 +94,9 @@ SkewReport compute_skew(const GridTrace& trace, Sigma lo, Sigma hi) {
           continue;
         }
         ++report.pairs_checked;
-        intra = std::max(intra, std::abs(*ta - *tb));
+        const double dev = std::abs(*ta - *tb);
+        intra = std::max(intra, dev);
+        deviations.push_back(dev);
       }
       // Layer spread (global skew component).
       double tmin = std::numeric_limits<double>::infinity();
@@ -128,7 +133,9 @@ SkewReport compute_skew(const GridTrace& trace, Sigma lo, Sigma hi) {
             continue;
           }
           ++report.pairs_checked;
-          inter = std::max(inter, std::abs(*tv - *tw));
+          const double dev = std::abs(*tv - *tw);
+          inter = std::max(inter, dev);
+          deviations.push_back(dev);
         }
       }
     }
@@ -137,6 +144,34 @@ SkewReport compute_skew(const GridTrace& trace, Sigma lo, Sigma hi) {
   }
 
   report.local_skew = std::max(report.max_intra, report.max_inter);
+
+  report.deviations.count = deviations.size();
+  report.deviations.exact = true;
+  if (!deviations.empty()) {
+    // Exact type-7 quantiles via rank selection: three nth_element passes
+    // instead of a full sort (the sample vector is O(pairs_checked), so a
+    // sort's log factor is real time on big full-trace runs; streaming
+    // mode avoids the materialization entirely -- docs/scaling.md).
+    const auto exact_quantile = [&](double q) {
+      const double pos = q * static_cast<double>(deviations.size() - 1);
+      const auto lo = static_cast<std::size_t>(pos);
+      const double frac = pos - static_cast<double>(lo);
+      auto lo_it = deviations.begin() + static_cast<std::ptrdiff_t>(lo);
+      std::nth_element(deviations.begin(), lo_it, deviations.end());
+      const double lo_value = *lo_it;
+      if (frac == 0.0 || lo + 1 >= deviations.size()) return lo_value;
+      // The (lo+1)-th order statistic is the minimum of the partition
+      // right of lo_it after nth_element.
+      const double hi_value = *std::min_element(lo_it + 1, deviations.end());
+      return lo_value * (1.0 - frac) + hi_value * frac;
+    };
+    double sum = 0.0;
+    for (const double dev : deviations) sum += dev;
+    report.deviations.mean = sum / static_cast<double>(deviations.size());
+    report.deviations.p50 = exact_quantile(0.50);
+    report.deviations.p90 = exact_quantile(0.90);
+    report.deviations.p99 = exact_quantile(0.99);
+  }
   return report;
 }
 

@@ -39,6 +39,21 @@ struct GridTrace {
   std::optional<SimTime> steady_pulse(GridNodeId g, Sigma s) const;
 };
 
+/// Distribution summary of the per-pair deviations |t_a - t_b| behind the
+/// extrema above. Full-trace recording computes the quantiles exactly from
+/// the complete sample set (`exact` = true); streaming recording estimates
+/// them with a log-binned sketch in O(1) memory (`exact` = false, 1%
+/// relative error bound -- docs/scaling.md). Counts and the mean are exact
+/// in both modes.
+struct DeviationStats {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  bool exact = true;
+};
+
 struct SkewReport {
   std::vector<double> intra_by_layer;  ///< max_sigma L_l(sigma) per layer
   std::vector<double> inter_by_layer;  ///< max_sigma L_{l,l+1}(sigma)
@@ -51,6 +66,7 @@ struct SkewReport {
   Sigma sigma_hi = 0;
   std::uint64_t pairs_checked = 0;
   std::uint64_t pairs_skipped = 0;     ///< missing pulse or faulty endpoint
+  DeviationStats deviations;           ///< distribution of the checked pair deviations
 };
 
 /// Computes all skew measures over waves sigma in [lo, hi].

@@ -1,0 +1,136 @@
+// Online skew accumulation for memory-bounded recording modes.
+//
+// Full-trace recording stores every pulse time and computes skew post-hoc
+// (metrics/skew.cpp). At mega-grid scale (512x512 and beyond) that log no
+// longer fits in RAM, so the streaming and windowed recording modes feed
+// each pulse straight into this accumulator instead and never materialize
+// the trace. The accumulator reproduces compute_skew's results exactly for
+// everything that is an extremum or a count:
+//
+//  * Per-node steady filtering is replicated online: a node's first
+//    `warmup` recorded pulses are skipped (compute_skew's steady_from), and
+//    committing a pulse is deferred by one further pulse of the same node,
+//    which excludes exactly the node's last recorded wave (the node_tail=1
+//    filter). Pulses therefore enter the accumulators precisely when they
+//    would have passed GridTrace::steady_pulse.
+//  * A pair (intra edge at one wave, or inter-layer successor pair at
+//    adjacent waves) is scored when the LATER of its two endpoints commits
+//    and the earlier one is still present in the wave ring -- each pair
+//    exactly once, and |t_a - t_b| is computed from the same two doubles
+//    the post-hoc path would read, so per-layer maxima, the global extrema
+//    and pairs_checked are BIT-identical to full recording
+//    (tests/test_streaming_metrics.cpp proves this on every builtin
+//    scenario).
+//  * Layer spread (global skew) uses a running per-(layer, wave) min/max;
+//    the partial spreads observed along the way are always <= the final
+//    one, so the running max converges to the post-hoc value exactly.
+//
+// Memory is O(nodes x ring + layers x ring): each node keeps a small ring
+// of its most recent committed waves (default 8) for the neighbour
+// lookups. The ring only needs to cover how far two ADJACENT nodes' wave
+// counters can drift apart, which is bounded by the local skew (<< one
+// wave) -- not the run length and not the cross-grid spread. If a lookup
+// ever misses because its wave was already overwritten, window_overflows()
+// counts it (the differential suite asserts zero on every builtin; a
+// line-propagation layer 0 with a very deep column span is the one known
+// way to need a larger ring -- see docs/scaling.md).
+//
+// Deviation quantiles (p50/p90/p99 of all checked pair deviations) come
+// from a log-binned sketch (1% relative error for any distribution shape)
+// versus exact order statistics in full mode; the count and mean of the
+// deviation distribution remain exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/grid.hpp"
+#include "metrics/skew.hpp"
+#include "support/stats.hpp"
+
+namespace gtrix {
+
+class StreamingSkew {
+ public:
+  struct Config {
+    Sigma warmup = 3;           ///< per-node pulses skipped at the start
+    std::int64_t ring_waves = 8;  ///< per-node wave-ring capacity (rounded to power of 2)
+  };
+
+  /// `faulty[g]` marks grid node g as part of the fault set F; its pulses
+  /// are ignored, exactly as compute_skew skips pairs with a faulty
+  /// endpoint. The grid must outlive the accumulator.
+  StreamingSkew(const Grid& grid, std::vector<bool> faulty, Config config);
+
+  /// Feed one recorded pulse. Ids beyond the grid (the line-mode clock
+  /// source) are ignored. Pulses of one node must arrive in nondecreasing
+  /// sigma order (they do: a node's pulses are recorded at their emission
+  /// times); violations are counted, not scored.
+  void on_pulse(RecNodeId node, Sigma sigma, SimTime t);
+
+  /// Assembles the SkewReport. `lo`/`hi` label the report's measurement
+  /// window (the recorder's global sigma envelope); the accumulated values
+  /// already cover exactly the steady pulses inside it.
+  SkewReport report(Sigma lo, Sigma hi) const;
+
+  /// Lookups that missed because the partner's wave slot had already been
+  /// overwritten -- nonzero means the ring is too small for this scenario's
+  /// wave stagger and extrema may under-report. Asserted zero in tests.
+  std::uint64_t window_overflows() const noexcept { return window_overflows_; }
+  /// Pulses dropped for arriving with a non-increasing sigma.
+  std::uint64_t out_of_order() const noexcept { return out_of_order_; }
+  /// Approximate accumulator footprint, for bench_scale reporting.
+  std::uint64_t memory_bytes() const noexcept;
+
+ private:
+  struct WaveExtrema {
+    Sigma sigma = kNoSigma;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  static constexpr Sigma kNoSigma = std::numeric_limits<Sigma>::min();
+
+  void commit(RecNodeId g, Sigma sigma, SimTime t);
+  /// Committed time of `g` at `sigma` if still in the ring; NaN otherwise
+  /// (overwritten slots bump window_overflows_).
+  double lookup(RecNodeId g, Sigma sigma);
+  void score(double deviation);
+
+  const Grid& grid_;
+  std::vector<bool> faulty_;
+  Sigma warmup_;
+  std::size_t ring_;       ///< power-of-two capacity
+  std::size_t ring_mask_;
+
+  // Per-node state, structure-of-arrays. held_* is the one-pulse commit
+  // delay realizing the node_tail=1 filter; recorded_ counts arrivals for
+  // the warmup filter.
+  std::vector<Sigma> held_sigma_;
+  std::vector<SimTime> held_time_;
+  std::vector<std::int64_t> recorded_;
+  std::vector<bool> held_steady_;
+
+  // Wave rings: node-major [node * ring_ + (sigma & ring_mask_)].
+  std::vector<Sigma> ring_sigma_;
+  std::vector<SimTime> ring_time_;
+
+  // Per-layer accumulators.
+  std::vector<double> intra_by_layer_;
+  std::vector<double> inter_by_layer_;
+  std::vector<double> spread_by_layer_;
+  std::vector<WaveExtrema> layer_ring_;  ///< layer-major [layer * ring_ + slot]
+
+  std::uint64_t pairs_checked_ = 0;
+  std::uint64_t window_overflows_ = 0;
+  std::uint64_t out_of_order_ = 0;
+
+  Summary deviation_summary_;
+  /// Log-binned sketch: every reported percentile is within 1% of a true
+  /// order statistic, regardless of the deviation distribution's shape
+  /// (P-squared markers were evaluated and rejected -- multimodal
+  /// deviation mixtures wedge them; see docs/scaling.md).
+  LogQuantileSketch deviation_sketch_;
+};
+
+}  // namespace gtrix

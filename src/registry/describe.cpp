@@ -3,6 +3,7 @@
 #include "registry/algorithm.hpp"
 #include "registry/clock_model.hpp"
 #include "registry/delay.hpp"
+#include "registry/recording.hpp"
 #include "registry/topology.hpp"
 
 namespace gtrix {
@@ -26,6 +27,7 @@ std::vector<ComponentDesc> all_component_descs() {
   collect(clock_model_registry(), "clock_model", out);
   collect(delay_registry(), "delay_model", out);
   collect(algorithm_registry(), "algorithm", out);
+  collect(recording_registry(), "recording", out);
   return out;
 }
 

@@ -1,4 +1,4 @@
-// Uniform enumeration of all registered components across the four
+// Uniform enumeration of all registered components across the five
 // dimensions, for `gtrix_campaign --list` / `--describe` and for tests that
 // assert the self-describing property.
 #pragma once
@@ -19,7 +19,8 @@ struct ComponentDesc {
 };
 
 /// Every registered component, grouped by dimension in a fixed order
-/// (topology, clock, delay, algorithm), kinds in registration order.
+/// (topology, clock, delay, algorithm, recording), kinds in registration
+/// order.
 std::vector<ComponentDesc> all_component_descs();
 
 /// Compact one-line rendering of a schema: "reach (int, default 1)" --

@@ -1,0 +1,74 @@
+#include "registry/recording.hpp"
+
+#include <memory>
+
+namespace gtrix {
+
+namespace {
+
+class FixedRecording final : public RecordingProvider {
+ public:
+  explicit FixedRecording(RecordingOptions options) : options_(options) {}
+  RecordingOptions options() const override { return options_; }
+
+ private:
+  RecordingOptions options_;
+};
+
+std::int64_t checked_window(const ComponentSpec& spec) {
+  const std::int64_t window = spec.params.at("window").as_int();
+  if (window < 2 || window > 4096) {
+    throw JsonError("recording mode '" + spec.kind + "': window must be in [2, 4096], got " +
+                    std::to_string(window));
+  }
+  return window;
+}
+
+void register_builtins(ComponentRegistry<RecordingProvider>& reg) {
+  reg.add("full", "complete trace in RAM (post-hoc metrics, realignment); O(nodes x waves)",
+          {}, [](const ComponentSpec&) {
+            return std::make_shared<const FixedRecording>(RecordingOptions{});
+          });
+  reg.add("windowed",
+          "last `window` waves of records per node; streaming skew + windowed conditions",
+          {{"window", ParamType::kInt, Json(16),
+            "waves retained per node (also the streaming wave-ring capacity)"}},
+          [](const ComponentSpec& spec) {
+            RecordingOptions options;
+            options.mode = RecordingMode::kWindowed;
+            options.window = checked_window(spec);
+            return std::make_shared<const FixedRecording>(options);
+          });
+  reg.add("streaming",
+          "no trace: online skew accumulators only; O(nodes) memory, sketch quantiles",
+          {{"window", ParamType::kInt, Json(8),
+            "streaming wave-ring capacity (raise for line-propagation layer 0)"}},
+          [](const ComponentSpec& spec) {
+            RecordingOptions options;
+            options.mode = RecordingMode::kStreaming;
+            options.window = checked_window(spec);
+            return std::make_shared<const FixedRecording>(options);
+          });
+}
+
+}  // namespace
+
+ComponentRegistry<RecordingProvider>& recording_registry() {
+  static ComponentRegistry<RecordingProvider>* registry = [] {
+    auto* r = new ComponentRegistry<RecordingProvider>("recording mode");
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+ComponentSpec recording_spec_default() {
+  return recording_registry().canonicalize(ComponentSpec::of("full"));
+}
+
+RecordingOptions resolve_recording(const ComponentSpec& spec) {
+  if (spec.empty()) return RecordingOptions{};
+  return recording_registry().create(spec)->options();
+}
+
+}  // namespace gtrix

@@ -1,0 +1,38 @@
+// RecordingProvider: the fifth component dimension -- how much of the
+// execution trace the experiment retains (metrics/recorder.hpp).
+//
+// Unlike the other four dimensions this selects measurement infrastructure,
+// not system behaviour: every mode produces bit-identical skew extrema (the
+// streaming differential suite proves it), so scenarios switch modes to
+// trade trace detail for memory, never to change results. It still lives in
+// the registry machinery so scenario JSON gets the same schema-driven
+// "recording": "streaming" / {"kind": "windowed", "window": 16} syntax,
+// dotted sweep axes ("recording.window"), and --list/--describe
+// introspection as everything else.
+#pragma once
+
+#include <string_view>
+
+#include "metrics/recorder.hpp"
+#include "registry/registry.hpp"
+
+namespace gtrix {
+
+class RecordingProvider {
+ public:
+  virtual ~RecordingProvider() = default;
+  virtual RecordingOptions options() const = 0;
+};
+
+/// Global registry; built-ins (full, windowed, streaming) register on first
+/// access.
+ComponentRegistry<RecordingProvider>& recording_registry();
+
+/// Resolves a config's recording spec: an empty spec means full recording
+/// (the historical behaviour and the serialization default).
+RecordingOptions resolve_recording(const ComponentSpec& spec);
+
+/// The canonical spec an empty selection resolves to ("full").
+ComponentSpec recording_spec_default();
+
+}  // namespace gtrix

@@ -24,6 +24,17 @@ Json skew_to_json(const SkewReport& skew) {
   Json by_layer = Json::array();
   for (const double v : skew.intra_by_layer) by_layer.push_back(v);
   j.set("intra_by_layer", std::move(by_layer));
+  Json dev = Json::object();
+  dev.set("samples", skew.deviations.count);
+  // Same empty-set convention as the summary percentiles: null, never a
+  // fake 0.0 that reads as a genuine zero-skew measurement.
+  const bool has = skew.deviations.count > 0;
+  dev.set("mean", has ? Json(skew.deviations.mean) : Json());
+  dev.set("p50", has ? Json(skew.deviations.p50) : Json());
+  dev.set("p90", has ? Json(skew.deviations.p90) : Json());
+  dev.set("p99", has ? Json(skew.deviations.p99) : Json());
+  dev.set("exact", skew.deviations.exact);
+  j.set("deviations", std::move(dev));
   return j;
 }
 
@@ -45,12 +56,17 @@ Json percentiles_to_json(std::vector<double> values) {
   std::sort(values.begin(), values.end());
   double sum = 0.0;
   for (const double v : values) sum += v;
+  // An empty sample set used to report 0.0 everywhere, indistinguishable
+  // from a genuine zero-skew run. Emit the sample count plus JSON null for
+  // every percentile instead; consumers key off "samples".
   const auto q = [&](double p) {
-    return values.empty() ? 0.0 : quantile_sorted(values, p);
+    return values.empty() ? Json() : Json(quantile_sorted(values, p));
   };
   Json j = Json::object();
+  j.set("samples", static_cast<std::int64_t>(values.size()));
   j.set("min", q(0.0));
-  j.set("mean", values.empty() ? 0.0 : sum / static_cast<double>(values.size()));
+  j.set("mean", values.empty() ? Json()
+                               : Json(sum / static_cast<double>(values.size())));
   j.set("p50", q(0.50));
   j.set("p90", q(0.90));
   j.set("p95", q(0.95));
@@ -64,7 +80,12 @@ ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& cor
                           EngineOptions engine) {
   if (!corrupt.enabled) return run_experiment(config, engine);
 
-  World world(config, engine);
+  // Corrupt cells measure over a post-recovery sub-window after wave-label
+  // realignment; both need the full trace, so the memory-bounded recording
+  // modes fall back to full recording here (documented in docs/scaling.md).
+  ExperimentConfig cell_config = config;
+  cell_config.recording_spec = ComponentSpec{};
+  World world(cell_config, engine);
   // Seed derivation matches the historical stabilization harnesses.
   Rng rng(config.seed ^ 0xFEED);
   world.run_until(corrupt.wave * config.params.lambda);
@@ -101,6 +122,21 @@ CampaignResult run_campaign(const Scenario& scenario, const CampaignOptions& opt
   campaign.scenario = scenario.name();
 
   std::vector<ScenarioCell> cells = scenario.cells();
+  const ComponentSpec canonical_override =
+      options.recording_override.empty()
+          ? ComponentSpec{}
+          : recording_registry().canonicalize(options.recording_override);
+  for (ScenarioCell& cell : cells) {
+    if (cell.corrupt.enabled) {
+      // Corrupt cells run under full recording no matter what (run_cell's
+      // realignment fallback). Rewrite the stored config to match, so the
+      // emitted JSONL never claims a mode that did not run -- whether the
+      // mode came from the CLI override or from the scenario itself.
+      cell.config.recording_spec = ComponentSpec{};
+    } else if (!canonical_override.empty()) {
+      cell.config.recording_spec = canonical_override;
+    }
+  }
   std::vector<ExperimentConfig> configs;
   configs.reserve(cells.size());
   for (const ScenarioCell& cell : cells) configs.push_back(cell.config);

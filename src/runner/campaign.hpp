@@ -22,6 +22,13 @@ namespace gtrix {
 
 struct CampaignOptions {
   unsigned threads = 0;  ///< sweep workers; 0 = hardware concurrency
+  /// When non-empty, overrides every non-corrupt cell's trace-retention
+  /// mode (the gtrix_campaign --recording flag). Validated against the
+  /// recording registry. The emitted JSONL configs always describe what
+  /// actually ran: overridden cells carry the override, and corrupt cells
+  /// -- which run under full recording regardless (see run_cell) -- are
+  /// rewritten to full in the output, whatever the scenario declared.
+  ComponentSpec recording_override;
 };
 
 struct CampaignCell {

@@ -18,6 +18,8 @@ ResolvedComponents resolve_components(const ExperimentConfig& c) {
                            : c.delay_spec);
   r.algorithm = algorithm_registry().canonicalize(
       c.algorithm_spec.empty() ? algorithm_spec_from_legacy(c.algorithm) : c.algorithm_spec);
+  r.recording = recording_registry().canonicalize(
+      c.recording_spec.empty() ? ComponentSpec::of("full") : c.recording_spec);
   return r;
 }
 
@@ -43,7 +45,8 @@ bool ExperimentConfig::operator==(const ExperimentConfig& other) const {
            clock_model == other.clock_model && delay_spec == other.delay_spec &&
            delay_kind == other.delay_kind &&
            delay_split_column == other.delay_split_column &&
-           algorithm_spec == other.algorithm_spec && algorithm == other.algorithm;
+           algorithm_spec == other.algorithm_spec && algorithm == other.algorithm &&
+           recording_spec == other.recording_spec;
   }
 }
 
@@ -71,6 +74,8 @@ World::World(ExperimentConfig config, EngineOptions engine)
   GTRIX_CHECK_MSG(config_.pulses >= 1, "need at least one pulse");
   GTRIX_CHECK_MSG(config_.params.u >= 0.0 && config_.params.u < config_.params.d,
                   "require 0 <= u < d");
+  // Node-count overflow is checked in the Grid constructor (before any
+  // allocation) and, with path context, in the scenario layer.
 
   for (const PlacedFault& f : config_.faults) {
     fault_map_[grid_.id(f.base, f.layer)] = f.spec;
@@ -81,6 +86,20 @@ World::World(ExperimentConfig config, EngineOptions engine)
                       "algorithm '" + components_.algorithm.kind + "' does not tolerate '" +
                           std::string(to_string(f.spec.kind)) + "' faults");
     }
+  }
+
+  // Trace retention: resolve the mode and, for the memory-bounded modes,
+  // stand up the online skew accumulators before any node can record.
+  recording_ = resolve_recording(components_.recording);
+  recorder_.configure(recording_);
+  if (recording_.mode != RecordingMode::kFull) {
+    std::vector<bool> faulty(grid_.node_count(), false);
+    for (const auto& [g, spec] : fault_map_) faulty[g] = true;
+    StreamingSkew::Config stream_config;
+    stream_config.warmup = config_.warmup;
+    stream_config.ring_waves = recording_.window;
+    streaming_ = std::make_unique<StreamingSkew>(grid_, std::move(faulty), stream_config);
+    recorder_.set_stream(streaming_.get());
   }
 
   Rng master(config_.seed);
@@ -402,15 +421,27 @@ GridTrace World::trace() const {
 
 SkewReport World::skew() const {
   const auto [lo, hi] = default_window(recorder_, config_.warmup);
+  if (recording_.mode != RecordingMode::kFull) {
+    // The accumulators cover exactly the steady pulses of the whole run,
+    // which is what the default window measures post-hoc.
+    return streaming_->report(lo, hi);
+  }
   return skew_window(lo, hi);
 }
 
 SkewReport World::skew_window(Sigma lo, Sigma hi) const {
+  GTRIX_CHECK_MSG(recording_.mode == RecordingMode::kFull,
+                  "arbitrary-window skew needs full recording ('" +
+                      std::string(to_string(recording_.mode)) +
+                      "' keeps no per-wave trace); use skew() or record in full mode");
   const GridTrace t = trace();
   return compute_skew(t, lo, hi);
 }
 
 RealignStats World::realign_labels() {
+  GTRIX_CHECK_MSG(recording_.mode == RecordingMode::kFull,
+                  "wave-label realignment needs the full trace; corrupt scenarios must "
+                  "record in full mode (run_cell does this automatically)");
   const GridTrace t = trace();
   return realign_wave_labels(recorder_, t, config_.params.lambda);
 }
@@ -421,6 +452,9 @@ ConditionReport World::conditions(std::uint32_t s_max) const {
 }
 
 ConditionReport World::conditions_window(std::uint32_t s_max, Sigma lo, Sigma hi) const {
+  GTRIX_CHECK_MSG(recording_.mode != RecordingMode::kStreaming,
+                  "conditions checks need iteration records; streaming mode keeps none "
+                  "(use windowed recording to check the last K waves)");
   const GridTrace t = trace();
   return check_conditions(t, config_.params, s_max, lo, hi);
 }

@@ -28,11 +28,13 @@
 #include "metrics/conditions.hpp"
 #include "metrics/realign.hpp"
 #include "metrics/skew.hpp"
+#include "metrics/streaming.hpp"
 #include "net/network.hpp"
 #include "registry/algorithm.hpp"
 #include "registry/clock_model.hpp"
 #include "registry/component.hpp"
 #include "registry/delay.hpp"
+#include "registry/recording.hpp"
 #include "registry/topology.hpp"
 #include "sim/simulator.hpp"
 #include "support/rng.hpp"
@@ -78,6 +80,10 @@ struct ExperimentConfig {
   bool jump_condition = true;
   std::uint64_t seed = 1;
   Sigma warmup = 4;  ///< waves skipped at the start of the measurement window
+  /// Trace-retention mode (registry/recording.hpp); empty means full
+  /// recording. Streaming/windowed bound the metrics memory for mega-grid
+  /// scenarios -- skew extrema stay bit-identical to full recording.
+  ComponentSpec recording_spec;
 
   /// Semantic equality: the four component dimensions compare by their
   /// resolved canonical specs, so a config authored via the legacy enums
@@ -85,13 +91,15 @@ struct ExperimentConfig {
   bool operator==(const ExperimentConfig& other) const;
 };
 
-/// The four component selections with the legacy enum fields folded in,
+/// The component selections with the legacy enum fields folded in,
 /// canonicalized against the registries (unknown kinds throw JsonError).
+/// `recording` resolves an empty spec to canonical "full".
 struct ResolvedComponents {
   ComponentSpec topology;
   ComponentSpec clock;
   ComponentSpec delay;
   ComponentSpec algorithm;
+  ComponentSpec recording;
 
   bool operator==(const ResolvedComponents&) const = default;
 };
@@ -167,15 +175,28 @@ class World {
 
   GridTrace trace() const;
 
-  /// Skew over the default measurement window (warmup from config).
+  /// The resolved trace-retention mode and, in streaming/windowed modes,
+  /// the online accumulator (null under full recording).
+  const RecordingOptions& recording() const noexcept { return recording_; }
+  const StreamingSkew* streaming() const noexcept { return streaming_.get(); }
+
+  /// Skew over the default measurement window (warmup from config). Under
+  /// streaming/windowed recording this reads the online accumulators --
+  /// extrema and counts are bit-identical to full recording.
   SkewReport skew() const;
+  /// Arbitrary-window skew; full recording only (the accumulators cover
+  /// exactly the whole-run window).
   SkewReport skew_window(Sigma lo, Sigma hi) const;
 
-  /// Condition checks over the default window.
+  /// Condition checks over the default window. Full mode checks the whole
+  /// run; windowed mode checks the retained last-K-waves window; streaming
+  /// mode keeps no iteration records and reports a hard error.
   ConditionReport conditions(std::uint32_t s_max) const;
 
   /// Post-run wave-label realignment (see metrics/realign.hpp); call after
   /// run_to_completion() in transient-fault experiments, before measuring.
+  /// Requires full recording (the campaign layer runs corrupt cells under
+  /// full recording for exactly this reason).
   RealignStats realign_labels();
   ConditionReport conditions_window(std::uint32_t s_max, Sigma lo, Sigma hi) const;
 
@@ -215,6 +236,9 @@ class World {
   Simulator sim_;
   Network net_;
   Recorder recorder_;
+  RecordingOptions recording_;
+  /// Online skew accumulators (streaming/windowed modes only).
+  std::unique_ptr<StreamingSkew> streaming_;
   /// Struct-of-arrays hot state for every node this World wires; must
   /// outlive the node objects below, which hold indices into it.
   std::unique_ptr<NodeArena> arena_;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <utility>
 
 #include "graph/base_graph.hpp"
+#include "support/check.hpp"
 #include "support/rng.hpp"
 
 namespace gtrix {
@@ -143,6 +145,7 @@ struct ConfigDraft {
   bool dotted_clock = false;
   bool dotted_delay = false;
   bool dotted_algorithm = false;
+  bool dotted_recording = false;
   bool params_explicit = false;  ///< an explicit d/u/theta/lambda was given
   std::optional<ParamsDerive> derive;
   std::optional<Layer0Pattern> layer0_pattern;
@@ -364,6 +367,9 @@ void ensure_algorithm_spec(ExperimentConfig& c) {
     c.algorithm_spec = algorithm_registry().canonicalize(algorithm_spec_from_legacy(c.algorithm));
   }
 }
+void ensure_recording_spec(ExperimentConfig& c) {
+  if (c.recording_spec.empty()) c.recording_spec = recording_spec_default();
+}
 
 /// Applies one config field (or a dotted sweep-axis path) to the draft.
 void apply_config_key(ConfigDraft& draft, const std::string& key, const Json& value,
@@ -425,6 +431,10 @@ void apply_config_key(ConfigDraft& draft, const std::string& key, const Json& va
       ensure_algorithm_spec(draft.config);
       at_path(path, [&] { algorithm_registry().set_param(draft.config.algorithm_spec, rest, value); });
       draft.dotted_algorithm = true;
+    } else if (head == "recording") {
+      ensure_recording_spec(draft.config);
+      at_path(path, [&] { recording_registry().set_param(draft.config.recording_spec, rest, value); });
+      draft.dotted_recording = true;
     } else {
       fail(path, "unknown key '" + key + "'");
     }
@@ -574,6 +584,9 @@ void apply_config_key(ConfigDraft& draft, const std::string& key, const Json& va
       apply_clustered_key(gen, k, v, path + "." + k);
     }
     draft.clustered_faults = gen;
+  } else if (key == "recording") {
+    check_not_after_dotted(draft.dotted_recording);
+    c.recording_spec = component_from_json(recording_registry(), value, path);
   } else if (key == "pulses") {
     c.pulses = read_int(value, path);
     if (c.pulses < 1) fail(path, "need at least one pulse");
@@ -725,23 +738,36 @@ ExperimentConfig resolve_draft(ConfigDraft draft, const std::string& context) {
   // later inside a worker thread.
   const ResolvedComponents components = at_path(context, [&] { return resolve_components(c); });
   // Sweeps revisit a handful of topology shapes over and over; memoize the
-  // successfully built ones so expansion does not pay an all-pairs BFS per
-  // cell (the set stays tiny: one string per distinct shape ever seen).
-  static thread_local std::set<std::string> valid_shapes;
+  // successfully built ones (keyed shape -> base node count) so expansion
+  // does not pay an all-pairs BFS per cell (the map stays tiny: one entry
+  // per distinct shape ever seen).
+  static thread_local std::map<std::string, std::uint32_t> valid_shapes;
   const std::string shape = component_to_json(topology_registry(), components.topology).dump() +
                             "@" + std::to_string(c.columns);
-  if (!valid_shapes.contains(shape)) {
+  auto shape_it = valid_shapes.find(shape);
+  if (shape_it == valid_shapes.end()) {
     try {
       TopologyContext tctx;
       tctx.columns = c.columns;
-      (void)topology_registry().create(components.topology)->build(tctx);
+      const BaseGraph built = topology_registry().create(components.topology)->build(tctx);
+      shape_it = valid_shapes.emplace(shape, built.node_count()).first;
     } catch (const std::exception& e) {
       throw JsonError(context + ": invalid topology: " + e.what());
     }
-    valid_shapes.insert(shape);
+  }
+  // The grid id space is uint32 (one sentinel reserved); a layers x base
+  // product past that must fail here with cell context, not wrap inside a
+  // worker thread (Grid re-checks as the last line of defense).
+  try {
+    (void)checked_u32_mul(c.layers, shape_it->second,
+                          "grid node count (" + std::to_string(c.layers) + " layers x " +
+                              std::to_string(shape_it->second) + " base nodes)");
+  } catch (const std::overflow_error& e) {
+    throw JsonError(context + ": " + e.what());
   }
   at_path(context, [&] { clock_model_registry().create(components.clock); });
   at_path(context, [&] { delay_registry().create(components.delay); });
+  at_path(context, [&] { (void)resolve_recording(components.recording); });
   const auto algorithm = at_path(context, [&] {
     return algorithm_registry().create(components.algorithm);
   });
@@ -850,6 +876,11 @@ Json to_json(const ExperimentConfig& c) {
   }
   j.set("delay_model", component_to_json(delay_registry(), components.delay));
   j.set("clock_model", component_to_json(clock_model_registry(), components.clock));
+  // Full recording is the default and is omitted, keeping every historical
+  // config byte-identical through a serialize/parse round trip.
+  if (components.recording != recording_spec_default()) {
+    j.set("recording", component_to_json(recording_registry(), components.recording));
+  }
   if (!c.faults.empty()) {
     Json faults = Json::array();
     for (const PlacedFault& fault : c.faults) faults.push_back(to_json(fault));

@@ -22,9 +22,15 @@
 //   "base_graph": {"kind": "cycle", "reach": 2}    // explicit parameters
 //   "clock_model": {"kind": "drift-walk", "step": 0.25}
 //
+// The trace-retention mode uses the same syntax under the "recording" key
+// ("full" | "windowed" | "streaming"; see docs/scaling.md):
+//
+//   "recording": "streaming"
+//   "recording": {"kind": "windowed", "window": 16}
+//
 // Sweep axes reach component parameters through dotted paths
-// ("base_graph.rows", "clock_model.step"). Legacy spellings
-// ("cycle_reach", "delay_split_column") keep working as adapters.
+// ("base_graph.rows", "clock_model.step", "recording.window"). Legacy
+// spellings ("cycle_reach", "delay_split_column") keep working as adapters.
 //
 // "config" holds the base ExperimentConfig plus *generators* -- fields that
 // cannot be resolved until the concrete cell is known (grid-dependent fault

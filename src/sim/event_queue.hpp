@@ -188,6 +188,23 @@ class EventQueue {
   /// integer bookkeeping (no accumulated float boundaries): an entry lives
   /// in bucket epoch mod nbuckets and belongs to the cursor's window iff
   /// its epoch equals the scan epoch.
+  ///
+  /// EPOCH FRESHNESS INVARIANT: a QueueEntry's cached epoch is only
+  /// meaningful under the width_ in force when it was bucketed, so
+  ///  (a) calendar_insert stamps entry.epoch AFTER its possible
+  ///      grow-rebuild, never before (a rebuild refits width_, and an epoch
+  ///      computed under the old width would bucket the entry into a year
+  ///      the scan never visits or visits too early), and
+  ///  (b) calendar_rebuild re-stamps every surviving entry's epoch under
+  ///      the new width as it redistributes them.
+  /// Together with the cursor rule -- an insert with epoch < cur_epoch_
+  /// pulls the cursor back to it -- this keeps behind-cursor inserts
+  /// immediately after a lazy-cancel purge rebuild correct: the insert is
+  /// bucketed and cursored under the post-purge width, so the year scan
+  /// meets it first. tests/test_calendar_queue.cpp pins this with a
+  /// directed purge -> behind-cursor-insert regression and a purge/resize
+  /// differential fuzz against the binary heap at the >= 64k-pending
+  /// scale-grid population.
   long long epoch_of(SimTime t) const noexcept;
   std::size_t bucket_of_epoch(long long epoch) const noexcept;
   void calendar_insert(const QueueEntry& entry);

@@ -3,6 +3,8 @@
 // speed, and the checks below are all O(1)).
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -12,6 +14,31 @@ namespace gtrix {
                                       const std::string& message) {
   throw std::logic_error(std::string("check failed: ") + expr + " at " + file + ":" +
                          std::to_string(line) + (message.empty() ? "" : ": " + message));
+}
+
+/// Checked narrowing to uint32 with an explicit ceiling. Mega-grid shapes
+/// (layers x base nodes) are computed in 64 bits and must pass through here
+/// before they become a RecNodeId / GridNodeId / vector size, so a config
+/// that would silently wrap past 2^32 fails with the *value* in the message
+/// instead of truncating into a small, wrong, allocatable count.
+inline std::uint32_t checked_u32(std::uint64_t value, const std::string& what,
+                                 std::uint64_t ceiling =
+                                     std::numeric_limits<std::uint32_t>::max()) {
+  if (value > ceiling) {
+    throw std::overflow_error(what + " = " + std::to_string(value) +
+                              " exceeds the supported maximum of " + std::to_string(ceiling));
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+/// Checked uint32 product (e.g. layers * base nodes). `ceiling` defaults to
+/// 2^32 - 2 so that count + 1 sentinel slots (the line-mode clock source)
+/// still fit a uint32.
+inline std::uint32_t checked_u32_mul(std::uint32_t a, std::uint32_t b, const std::string& what,
+                                     std::uint64_t ceiling =
+                                         std::numeric_limits<std::uint32_t>::max() - 1) {
+  return checked_u32(static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b), what,
+                     ceiling);
 }
 
 }  // namespace gtrix

@@ -55,6 +55,167 @@ double Summary::max() const noexcept {
   return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
 }
 
+P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 0.0, 1.0)) {
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q_ / 2.0;
+  increments_[2] = q_;
+  increments_[3] = (1.0 + q_) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (n_ < 5) {
+    // Bootstrap: collect the first five observations sorted; the estimate
+    // is exact order statistics until the markers take over.
+    heights_[n_] = x;
+    ++n_;
+    std::sort(heights_, heights_ + n_);
+    if (n_ == 5) {
+      for (int i = 0; i < 5; ++i) positions_[i] = static_cast<double>(i + 1);
+    }
+    return;
+  }
+
+  // Locate the cell k the new observation falls into, extending extremes.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++n_;
+
+  // Adjust the three interior markers toward their desired positions via
+  // the piecewise-parabolic (P^2) height update, falling back to linear
+  // interpolation when the parabolic step would leave the height ordered
+  // inconsistently with its neighbours.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double step_up = positions_[i + 1] - positions_[i];
+    const double step_dn = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && step_up > 1.0) || (d <= -1.0 && step_dn < -1.0)) {
+      const double sign = d >= 1.0 ? 1.0 : -1.0;
+      const double np = positions_[i];
+      const double parabolic =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((np - positions_[i - 1] + sign) * (heights_[i + 1] - heights_[i]) /
+                   (positions_[i + 1] - np) +
+               (positions_[i + 1] - np - sign) * (heights_[i] - heights_[i - 1]) /
+                   (np - positions_[i - 1]));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const int j = i + static_cast<int>(sign);
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (n_ < 5) {
+    // Exact type-7 quantile over the sorted bootstrap buffer.
+    const double pos = q_ * static_cast<double>(n_ - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, n_ - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return heights_[lo] * (1.0 - frac) + heights_[hi] * frac;
+  }
+  return heights_[2];
+}
+
+LogQuantileSketch::LogQuantileSketch(double relative_error) {
+  const double e = std::clamp(relative_error, 1e-4, 0.5);
+  gamma_ = (1.0 + e) / (1.0 - e);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+  // Bin indices for the value range [1e-9, 1e12]: everything a simulated
+  // time difference can plausibly be. Values below count as zero; values
+  // above saturate into the top bin (counted separately for visibility).
+  min_index_ = static_cast<std::int32_t>(std::floor(std::log(1e-9) * inv_log_gamma_));
+  const auto max_index = static_cast<std::int32_t>(std::ceil(std::log(1e12) * inv_log_gamma_));
+  counts_.assign(static_cast<std::size_t>(max_index - min_index_ + 1), 0);
+}
+
+void LogQuantileSketch::add(double x) noexcept {
+  ++total_;
+  if (!(x >= 1e-9)) {  // negatives/NaN defensively count as zero too
+    ++zero_;
+    return;
+  }
+  const auto index = static_cast<std::int32_t>(std::ceil(std::log(x) * inv_log_gamma_));
+  if (index < min_index_) {
+    ++zero_;
+    return;
+  }
+  const auto offset = static_cast<std::size_t>(index - min_index_);
+  if (offset >= counts_.size()) {
+    ++overflow_high_;
+    ++counts_.back();
+    return;
+  }
+  ++counts_[offset];
+}
+
+double LogQuantileSketch::quantile(double q) const noexcept {
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  // Type-7 semantics: interpolate between the order statistics bracketing
+  // position q*(n-1). Each statistic is read from its bin's geometric
+  // midpoint (within relative_error of the true value), so the result
+  // matches an exact type-7 quantile to ~relative_error even when adjacent
+  // tail statistics sit far apart.
+  const double pos = q * static_cast<double>(total_ - 1);
+  const auto rank_lo = static_cast<std::uint64_t>(pos);
+  const double frac = pos - static_cast<double>(rank_lo);
+  const std::uint64_t rank_hi = rank_lo + (frac > 0.0 ? 1 : 0);
+
+  const auto value_of_bin = [this](std::size_t i) {
+    const double upper = std::exp(
+        static_cast<double>(static_cast<std::int32_t>(i) + min_index_) / inv_log_gamma_);
+    return upper * 2.0 / (1.0 + gamma_);
+  };
+  double lo_value = 0.0;
+  bool lo_found = false;
+  std::uint64_t cumulative = zero_;
+  if (rank_lo < cumulative) {
+    lo_value = 0.0;
+    lo_found = true;
+    if (rank_hi < cumulative) return 0.0;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (!lo_found && rank_lo < cumulative) {
+      lo_value = value_of_bin(i);
+      lo_found = true;
+    }
+    if (lo_found && rank_hi < cumulative) {
+      const double hi_value = counts_[i] > 0 && rank_hi < cumulative ? value_of_bin(i) : lo_value;
+      return lo_value + frac * (hi_value - lo_value);
+    }
+  }
+  return lo_found ? lo_value : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::uint64_t LogQuantileSketch::memory_bytes() const noexcept {
+  return counts_.size() * sizeof(std::uint64_t) + sizeof(*this);
+}
+
 double quantile_sorted(std::span<const double> sorted, double q) {
   if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);

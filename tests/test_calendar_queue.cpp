@@ -201,6 +201,136 @@ TEST(CalendarQueue, MatchesBinaryHeapOnRandomChurn) {
   }
 }
 
+/// Directed regression for the behind-cursor-after-purge interaction at the
+/// scale-grid population regime: a lazy-cancel purge rebuild refits the
+/// bucket width and re-anchors the scan cursor, and an insert landing
+/// BEHIND the re-anchored cursor must (a) recompute its epoch under the new
+/// width -- calendar_insert stamps entry.epoch after any rebuild, never
+/// before -- and (b) pull the cursor back so it fires first. A stale cached
+/// epoch would either bury the event in a wrong-year bucket (skipped by the
+/// year scan) or fire it out of order; both would break the differential
+/// identity below.
+TEST(CalendarQueue, BehindCursorInsertAfterPurgeRebuildAt64k) {
+  for (const std::uint64_t seed : {7ULL, 99ULL}) {
+    EventQueue cal(SchedulerKind::kCalendar);
+    EventQueue heap(SchedulerKind::kBinaryHeap);
+    EventLog cal_log;
+    EventLog heap_log;
+
+    const auto drive = [seed](EventQueue& q, EventLog& log) {
+      Rng rng(seed);
+      std::int64_t tag = 0;
+      // Phase 1: >= 64k pending events in a dense window (forces several
+      // grow rebuilds; the fitted year spans [1000, 2000)).
+      std::vector<TimerHandle> handles;
+      handles.reserve(70000);
+      for (int i = 0; i < 70000; ++i) {
+        handles.push_back(q.schedule(1000.0 + rng.uniform(0.0, 1000.0), &log, 0,
+                                     EventPayload{.i = tag++}));
+      }
+      // Phase 2: advance the cursor into the year.
+      double now = 0.0;
+      for (int i = 0; i < 2000; ++i) {
+        now = q.next_time();
+        q.run_next();
+      }
+      // Phase 3: cancel ~70% of what's pending -- crosses the dead > live
+      // purge threshold repeatedly, so at least one lazy-cancel purge
+      // rebuild refits width and cursor while the population is large.
+      for (std::size_t i = 0; i < handles.size(); ++i) {
+        if (rng.bernoulli(0.7)) q.cancel(handles[i]);
+      }
+      // Phase 4: immediately insert behind the cursor (before `now`), at
+      // the cursor's own time (tie with pending events), and far ahead
+      // (next year), interleaved with pops and further purge-triggering
+      // cancels, then drain.
+      std::vector<TimerHandle> extra;
+      for (int round = 0; round < 200; ++round) {
+        extra.push_back(q.schedule(now * rng.uniform(0.0, 0.99), &log, 0,
+                                   EventPayload{.i = tag++}));
+        extra.push_back(q.schedule(now, &log, 0, EventPayload{.i = tag++}));
+        extra.push_back(
+            q.schedule(now + rng.uniform(1000.0, 5000.0), &log, 0, EventPayload{.i = tag++}));
+        if (round % 3 == 0 && !q.empty()) {
+          now = q.next_time();
+          q.run_next();
+        }
+        if (round % 5 == 0 && extra.size() >= 2) {
+          q.cancel(extra[extra.size() - 2]);
+        }
+      }
+      while (q.run_next()) {
+      }
+    };
+
+    drive(cal, cal_log);
+    drive(heap, heap_log);
+    EXPECT_GT(cal.calendar_rebuilds(), 0u);
+    ASSERT_EQ(cal_log.events.size(), heap_log.events.size());
+    for (std::size_t i = 0; i < cal_log.events.size(); ++i) {
+      ASSERT_EQ(cal_log.events[i].time, heap_log.events[i].time) << "at " << i;
+      ASSERT_EQ(cal_log.events[i].payload.i, heap_log.events[i].payload.i) << "at " << i;
+    }
+  }
+}
+
+/// The randomized differential above at the mega-grid population: ramp to
+/// >= 64k pending, then churn schedule / cancel-bulk / pop so purge and
+/// fit-to-population rebuilds interleave with behind-cursor scheduling.
+TEST(CalendarQueue, MatchesBinaryHeapUnderPurgeResizeChurnAt64k) {
+  for (const std::uint64_t seed : {5ULL, 2024ULL}) {
+    EventQueue cal(SchedulerKind::kCalendar);
+    EventQueue heap(SchedulerKind::kBinaryHeap);
+    EventLog cal_log;
+    EventLog heap_log;
+
+    const auto drive = [seed](EventQueue& q, EventLog& log) {
+      Rng rng(seed);
+      std::vector<TimerHandle> handles;
+      double now = 0.0;
+      std::int64_t tag = 0;
+      // Ramp: 65k+ pending.
+      for (int i = 0; i < 66000; ++i) {
+        handles.push_back(
+            q.schedule(rng.uniform(0.0, 3000.0), &log, 0, EventPayload{.i = tag++}));
+      }
+      for (int op = 0; op < 30000; ++op) {
+        const double dice = rng.uniform(0.0, 1.0);
+        if (dice < 0.35) {
+          double t = now + (rng.bernoulli(0.1) ? rng.uniform(0.0, 1e5)
+                                               : rng.uniform(0.0, 100.0));
+          if (rng.bernoulli(0.3)) t = std::floor(t);
+          handles.push_back(q.schedule(t, &log, 0, EventPayload{.i = tag++}));
+        } else if (dice < 0.40 && !handles.empty()) {
+          // Bulk cancel: 512 at a time drives dead_ across the purge
+          // threshold mid-churn instead of one-at-a-time nibbling.
+          for (int k = 0; k < 512; ++k) {
+            q.cancel(handles[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(handles.size()) - 1))]);
+          }
+        } else if (dice < 0.62 && !handles.empty()) {
+          q.cancel(handles[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(handles.size()) - 1))]);
+        } else if (!q.empty()) {
+          now = q.next_time();
+          q.run_next();
+        }
+      }
+      while (q.run_next()) {
+      }
+    };
+
+    drive(cal, cal_log);
+    drive(heap, heap_log);
+    EXPECT_GT(cal.calendar_rebuilds(), 0u);
+    ASSERT_EQ(cal_log.events.size(), heap_log.events.size());
+    for (std::size_t i = 0; i < cal_log.events.size(); ++i) {
+      ASSERT_EQ(cal_log.events[i].time, heap_log.events[i].time) << "at " << i;
+      ASSERT_EQ(cal_log.events[i].payload.i, heap_log.events[i].payload.i) << "at " << i;
+    }
+  }
+}
+
 /// run_next_due respects the deadline and reports fire times (the single-
 /// locate simulator loop depends on both).
 TEST(CalendarQueue, RunNextDueStopsAtDeadline) {

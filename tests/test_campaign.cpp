@@ -20,7 +20,7 @@ Scenario tiny_scenario() {
 }
 
 TEST(Campaign, RunsAllCellsInOrder) {
-  const CampaignResult result = run_campaign(tiny_scenario(), {.threads = 2});
+  const CampaignResult result = run_campaign(tiny_scenario(), {.threads = 2, .recording_override = {}});
   EXPECT_EQ(result.scenario, "tiny");
   ASSERT_EQ(result.cells.size(), 6u);
   EXPECT_EQ(result.cells[0].label, "columns=4,seed=1");
@@ -34,14 +34,14 @@ TEST(Campaign, RunsAllCellsInOrder) {
 }
 
 TEST(Campaign, JsonlIsByteIdenticalAcrossThreadCounts) {
-  const std::string one = campaign_jsonl(run_campaign(tiny_scenario(), {.threads = 1}));
-  const std::string four = campaign_jsonl(run_campaign(tiny_scenario(), {.threads = 4}));
+  const std::string one = campaign_jsonl(run_campaign(tiny_scenario(), {.threads = 1, .recording_override = {}}));
+  const std::string four = campaign_jsonl(run_campaign(tiny_scenario(), {.threads = 4, .recording_override = {}}));
   EXPECT_EQ(one, four);
   EXPECT_FALSE(one.empty());
 }
 
 TEST(Campaign, JsonlLinesParseAndRoundTripConfigs) {
-  const CampaignResult result = run_campaign(tiny_scenario(), {.threads = 2});
+  const CampaignResult result = run_campaign(tiny_scenario(), {.threads = 2, .recording_override = {}});
   std::istringstream lines(campaign_jsonl(result));
   std::string line;
   std::size_t count = 0;
@@ -59,7 +59,7 @@ TEST(Campaign, JsonlLinesParseAndRoundTripConfigs) {
 }
 
 TEST(Campaign, SummaryAggregates) {
-  const CampaignResult result = run_campaign(tiny_scenario(), {.threads = 2});
+  const CampaignResult result = run_campaign(tiny_scenario(), {.threads = 2, .recording_override = {}});
   const Json summary = campaign_summary(result);
   EXPECT_EQ(summary.at("scenario").as_string(), "tiny");
   EXPECT_EQ(summary.at("cells").as_int(), 6);
@@ -69,6 +69,26 @@ TEST(Campaign, SummaryAggregates) {
   EXPECT_LE(local.at("p95").as_double(), local.at("max").as_double());
   EXPECT_GT(summary.at("counters").at("events_executed").as_int(), 0);
   EXPECT_EQ(summary.at("cells_within_thm11_bound").as_int(), 6);
+  EXPECT_EQ(local.at("samples").as_int(), 6);
+}
+
+TEST(Campaign, EmptySampleSetsReportNullPercentilesNotZero) {
+  // A summary over zero cells must be distinguishable from a genuine
+  // zero-skew run: "samples": 0 plus null percentile fields, never 0.0.
+  CampaignResult empty;
+  empty.scenario = "empty";
+  const Json summary = campaign_summary(empty);
+  const Json& local = summary.at("local_skew");
+  EXPECT_EQ(local.at("samples").as_int(), 0);
+  EXPECT_TRUE(local.at("min").is_null());
+  EXPECT_TRUE(local.at("mean").is_null());
+  EXPECT_TRUE(local.at("p50").is_null());
+  EXPECT_TRUE(local.at("p95").is_null());
+  EXPECT_TRUE(local.at("max").is_null());
+  EXPECT_TRUE(summary.at("global_skew").at("p90").is_null());
+  // The document still parses back (null round-trips).
+  const Json back = Json::parse(summary.dump(2));
+  EXPECT_TRUE(back.at("local_skew").at("p50").is_null());
 }
 
 TEST(Campaign, CorruptionCellRecoversWithinBound) {
@@ -77,7 +97,7 @@ TEST(Campaign, CorruptionCellRecoversWithinBound) {
     "config": {"columns": 6, "layers": 5, "pulses": 30, "self_stabilizing": true},
     "corrupt": {"wave": 8, "fraction": 1.0}
   })"));
-  const CampaignResult result = run_campaign(scenario, {.threads = 1});
+  const CampaignResult result = run_campaign(scenario, {.threads = 1, .recording_override = {}});
   ASSERT_EQ(result.cells.size(), 1u);
   const CampaignCell& cell = result.cells[0];
   EXPECT_TRUE(cell.corrupt.enabled);
@@ -86,7 +106,7 @@ TEST(Campaign, CorruptionCellRecoversWithinBound) {
   EXPECT_GT(cell.result.skew.pairs_checked, 0u);
   EXPECT_LE(cell.result.skew.max_intra, cell.result.thm11_bound);
   // Corruption runs deterministically too.
-  const CampaignResult again = run_campaign(scenario, {.threads = 4});
+  const CampaignResult again = run_campaign(scenario, {.threads = 4, .recording_override = {}});
   EXPECT_EQ(campaign_jsonl(result), campaign_jsonl(again));
 }
 
@@ -98,13 +118,13 @@ TEST(Campaign, CorruptionWithoutRecoveryWindowIsRejected) {
     "config": {"columns": 6, "layers": 12, "pulses": 16, "self_stabilizing": true},
     "corrupt": {"wave": 10, "fraction": 1.0}
   })"));
-  EXPECT_THROW((void)run_campaign(scenario, {.threads = 1}), std::runtime_error);
+  EXPECT_THROW((void)run_campaign(scenario, {.threads = 1, .recording_override = {}}), std::runtime_error);
 }
 
 TEST(Campaign, BuiltinQuickstartDeterministicEndToEnd) {
   const Scenario scenario = builtin_scenario("quickstart-grid");
-  const std::string one = campaign_jsonl(run_campaign(scenario, {.threads = 1}));
-  const std::string many = campaign_jsonl(run_campaign(scenario, {.threads = 0}));
+  const std::string one = campaign_jsonl(run_campaign(scenario, {.threads = 1, .recording_override = {}}));
+  const std::string many = campaign_jsonl(run_campaign(scenario, {.threads = 0, .recording_override = {}}));
   EXPECT_EQ(one, many);
   // 8 lines, one per cell.
   EXPECT_EQ(static_cast<int>(std::count(one.begin(), one.end(), '\n')), 8);

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
+
+#include "support/check.hpp"
 
 namespace gtrix {
 namespace {
@@ -101,6 +104,33 @@ TEST(Grid, NeighborPredCount) {
   for (BaseNodeId v = 0; v < g.base().node_count(); ++v) {
     EXPECT_EQ(g.neighbor_pred_count(g.id(v, 1)), g.base().degree(v));
   }
+}
+
+TEST(CheckedCast, U32MulBoundary) {
+  constexpr std::uint64_t kCeiling = std::numeric_limits<std::uint32_t>::max() - 1;
+  // Exactly at the ceiling passes; one past it throws with the value named.
+  EXPECT_EQ(checked_u32(kCeiling, "count", kCeiling),
+            std::numeric_limits<std::uint32_t>::max() - 1);
+  EXPECT_THROW((void)checked_u32(kCeiling + 1, "count", kCeiling), std::overflow_error);
+  // 2^31 x 2 == 2^32 overflows the id space (ceiling 2^32 - 2).
+  EXPECT_THROW((void)checked_u32_mul(0x80000000u, 2u, "count"), std::overflow_error);
+  EXPECT_EQ(checked_u32_mul(0x7FFFFFFFu, 2u, "count"), 0xFFFFFFFEu);
+  try {
+    (void)checked_u32_mul(3, 0x60000000u, "grid node count (3 layers x big base)");
+    FAIL() << "expected overflow";
+  } catch (const std::overflow_error& e) {
+    EXPECT_NE(std::string(e.what()).find("grid node count"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("4831838208"), std::string::npos);
+  }
+}
+
+TEST(Grid, NodeCountOverflowIsRejectedBeforeAllocation) {
+  // 514 base nodes (512-column line) x 8,356,000 layers = 4,294,984,000 >
+  // 2^32 - 2: must throw from the up-front check, not truncate or try to
+  // allocate four billion adjacency vectors.
+  BaseGraph base = BaseGraph::line_replicated(512);
+  ASSERT_EQ(base.node_count(), 514u);
+  EXPECT_THROW((void)Grid(std::move(base), 8356000u), std::overflow_error);
 }
 
 TEST(Grid, LabelsIncludeLayer) {

@@ -73,8 +73,8 @@ TEST(Perf, SweepOverNewEngineIsThreadCountInvariant) {
   // count. This is the satellite guarantee that parallel sweeps remain
   // deterministic on the calendar-queue engine.
   const Scenario scenario = builtin_scenario("quickstart-grid");
-  const CampaignResult one = run_campaign(scenario, CampaignOptions{.threads = 1});
-  const CampaignResult four = run_campaign(scenario, CampaignOptions{.threads = 4});
+  const CampaignResult one = run_campaign(scenario, CampaignOptions{.threads = 1, .recording_override = {}});
+  const CampaignResult four = run_campaign(scenario, CampaignOptions{.threads = 4, .recording_override = {}});
   EXPECT_EQ(campaign_jsonl(one), campaign_jsonl(four));
 }
 

@@ -125,5 +125,73 @@ TEST(Recorder, UnregisteredNodeThrows) {
   EXPECT_THROW(rec.record_iteration(3, r), std::logic_error);
 }
 
+// --- memory-bounded recording modes ------------------------------------------
+
+TEST(Recorder, WindowedModeEvictsBeyondTheWindow) {
+  Recorder rec;
+  RecordingOptions options;
+  options.mode = RecordingMode::kWindowed;
+  options.window = 4;
+  rec.configure(options);
+  rec.register_node(0, {});
+  for (Sigma s = 0; s < 10; ++s) {
+    rec.record_pulse(0, s, static_cast<double>(s) * 10.0);
+    IterationRecord it;
+    it.sigma = s;
+    rec.record_iteration(0, it);
+  }
+  // Waves 6..9 retained, 0..5 evicted.
+  EXPECT_FALSE(rec.pulse_time(0, 5).has_value());
+  EXPECT_EQ(rec.pulse_time(0, 6), std::optional<SimTime>(60.0));
+  EXPECT_EQ(rec.pulse_time(0, 9), std::optional<SimTime>(90.0));
+  ASSERT_EQ(rec.iterations(0).size(), 4u);
+  EXPECT_EQ(rec.iterations(0).front().sigma, 6);
+  EXPECT_EQ(rec.iterations_dropped(0), 6u);
+  // Global envelope still spans the whole run.
+  EXPECT_EQ(rec.min_sigma(), 0);
+  EXPECT_EQ(rec.max_sigma(), 9);
+  EXPECT_EQ(rec.pulse_count(), 10u);
+}
+
+TEST(Recorder, StreamingModeKeepsNoPerWaveState) {
+  Recorder rec;
+  RecordingOptions options;
+  options.mode = RecordingMode::kStreaming;
+  rec.configure(options);
+  rec.register_node(0, {});
+  rec.record_pulse(0, 3, 30.0);
+  IterationRecord it;
+  it.sigma = 3;
+  rec.record_iteration(0, it);
+  EXPECT_FALSE(rec.pulse_time(0, 3).has_value());
+  EXPECT_TRUE(rec.iterations(0).empty());
+  // ...but the run envelope and counts survive for default_window().
+  EXPECT_EQ(rec.min_sigma(), 3);
+  EXPECT_EQ(rec.max_sigma(), 3);
+  EXPECT_EQ(rec.pulse_count(), 1u);
+}
+
+TEST(Recorder, ConfigureAfterRecordingThrows) {
+  Recorder rec;
+  rec.register_node(0, {});
+  rec.record_pulse(0, 0, 0.0);
+  RecordingOptions options;
+  options.mode = RecordingMode::kStreaming;
+  EXPECT_THROW(rec.configure(options), std::logic_error);
+}
+
+TEST(Recorder, RegisterNodeIdOverflowThrows) {
+  Recorder rec;
+  // The largest id would make the table size wrap past uint32.
+  EXPECT_THROW(rec.register_node(std::numeric_limits<std::uint32_t>::max(), {}),
+               std::logic_error);
+}
+
+TEST(Recorder, RecordingModeNames) {
+  EXPECT_EQ(to_string(RecordingMode::kFull), "full");
+  EXPECT_EQ(to_string(RecordingMode::kWindowed), "windowed");
+  EXPECT_EQ(to_string(RecordingMode::kStreaming), "streaming");
+}
+
 }  // namespace
 }  // namespace gtrix

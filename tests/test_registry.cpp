@@ -554,8 +554,8 @@ TEST(RegistryScenario, DottedComponentAxisValidatesAtLoadTime) {
 
 TEST(RegistryScenario, TorusSmokeCampaignIsThreadCountInvariant) {
   const Scenario scenario = builtin_scenario("torus-smoke");
-  const std::string one = campaign_jsonl(run_campaign(scenario, {.threads = 1}));
-  const std::string four = campaign_jsonl(run_campaign(scenario, {.threads = 4}));
+  const std::string one = campaign_jsonl(run_campaign(scenario, {.threads = 1, .recording_override = {}}));
+  const std::string four = campaign_jsonl(run_campaign(scenario, {.threads = 4, .recording_override = {}}));
   EXPECT_EQ(one, four);
   // Every emitted config round-trips through the component syntax.
   std::size_t start = 0, lines = 0;

@@ -1,0 +1,300 @@
+// Streaming-vs-full differential suite: the correctness anchor of the
+// memory-bounded recording modes.
+//
+// The contract (metrics/streaming.hpp, docs/scaling.md):
+//  * skew EXTREMA, per-layer vectors and pairs_checked are BIT-identical
+//    between streaming/windowed and full recording, on every builtin
+//    scenario -- the accumulators are a different evaluation order of the
+//    same arithmetic, not an approximation;
+//  * deviation quantiles are P-squared estimates within a documented
+//    tolerance of the exact (full-mode) order statistics; the deviation
+//    COUNT stays exact;
+//  * windowed mode's retained last-K-waves window supports conditions
+//    checks with results identical to full recording over the same window;
+//  * campaign output under streaming recording is byte-identical across
+//    thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "runner/campaign.hpp"
+#include "scenario/registry.hpp"
+
+namespace gtrix {
+namespace {
+
+/// Builtins with cells small enough for the differential double-run. The
+/// scale scenarios are excluded on runtime grounds only: bench_scale runs
+/// the same identity check on them (smoke_bench_scale in CI).
+const char* const kDifferentialScenarios[] = {
+    "quickstart-grid",     "table1-comparison", "thm11-logd",
+    "thm12-worstcase-faults", "thm13-random-faults", "fig5-jump-ablation",
+    "thm16-stabilization", "torus-smoke",
+};
+
+CampaignResult run_with_recording(const Scenario& scenario, const std::string& mode) {
+  CampaignOptions options;
+  options.threads = 2;
+  if (!mode.empty()) options.recording_override = ComponentSpec::of(mode);
+  return run_campaign(scenario, options);
+}
+
+void expect_identical_extrema(const SkewReport& full, const SkewReport& other,
+                              const std::string& where) {
+  SCOPED_TRACE(where);
+  // Bit-identity: EXPECT_EQ on doubles, not EXPECT_NEAR.
+  EXPECT_EQ(full.max_intra, other.max_intra);
+  EXPECT_EQ(full.max_inter, other.max_inter);
+  EXPECT_EQ(full.local_skew, other.local_skew);
+  EXPECT_EQ(full.global_skew, other.global_skew);
+  EXPECT_EQ(full.intra_by_layer, other.intra_by_layer);
+  EXPECT_EQ(full.inter_by_layer, other.inter_by_layer);
+  EXPECT_EQ(full.spread_by_layer, other.spread_by_layer);
+  EXPECT_EQ(full.sigma_lo, other.sigma_lo);
+  EXPECT_EQ(full.sigma_hi, other.sigma_hi);
+  EXPECT_EQ(full.pairs_checked, other.pairs_checked);
+  EXPECT_EQ(full.deviations.count, other.deviations.count);
+}
+
+/// Documented quantile-estimator tolerance (docs/scaling.md): the
+/// log-binned sketch guarantees each reported percentile is within 1% of a
+/// true order statistic at that rank, for ANY distribution shape. The
+/// assertion allows 3% relative plus a small absolute floor for the rank
+/// interpolation the exact (type-7) quantile performs between adjacent
+/// order statistics.
+void expect_quantiles_within_tolerance(const DeviationStats& exact,
+                                       const DeviationStats& estimate,
+                                       const std::string& where) {
+  SCOPED_TRACE(where);
+  ASSERT_TRUE(exact.exact);
+  if (exact.count == 0) return;
+  const auto tolerance = [](double reference) { return 0.03 * std::abs(reference) + 0.05; };
+  EXPECT_NEAR(estimate.p50, exact.p50, tolerance(exact.p50));
+  EXPECT_NEAR(estimate.p90, exact.p90, tolerance(exact.p90));
+  EXPECT_NEAR(estimate.p99, exact.p99, tolerance(exact.p99));
+  // The mean is exact arithmetic in a different accumulation order
+  // (Welford vs sorted sum); only float associativity separates them.
+  EXPECT_NEAR(estimate.mean, exact.mean,
+              1e-9 * std::max(1.0, std::abs(exact.mean)));
+}
+
+TEST(StreamingMetrics, BitIdenticalExtremaOnEveryBuiltinScenario) {
+  for (const char* name : kDifferentialScenarios) {
+    SCOPED_TRACE(name);
+    const Scenario scenario = builtin_scenario(name);
+    const CampaignResult full = run_with_recording(scenario, "");
+    const CampaignResult streaming = run_with_recording(scenario, "streaming");
+    ASSERT_EQ(full.cells.size(), streaming.cells.size());
+    for (std::size_t i = 0; i < full.cells.size(); ++i) {
+      const std::string where = std::string(name) + " cell " + full.cells[i].label;
+      expect_identical_extrema(full.cells[i].result.skew, streaming.cells[i].result.skew,
+                               where);
+      expect_quantiles_within_tolerance(full.cells[i].result.skew.deviations,
+                                        streaming.cells[i].result.skew.deviations, where);
+      // Full recording reports exact quantiles; streaming estimates --
+      // except corrupt cells, which fall back to full recording.
+      EXPECT_TRUE(full.cells[i].result.skew.deviations.exact);
+      if (!full.cells[i].corrupt.enabled) {
+        EXPECT_FALSE(streaming.cells[i].result.skew.deviations.exact) << where;
+      }
+    }
+  }
+}
+
+TEST(StreamingMetrics, WindowedModeMatchesFullExtremaToo) {
+  for (const char* name : {"quickstart-grid", "torus-smoke"}) {
+    SCOPED_TRACE(name);
+    const Scenario scenario = builtin_scenario(name);
+    const CampaignResult full = run_with_recording(scenario, "");
+    const CampaignResult windowed = run_with_recording(scenario, "windowed");
+    ASSERT_EQ(full.cells.size(), windowed.cells.size());
+    for (std::size_t i = 0; i < full.cells.size(); ++i) {
+      expect_identical_extrema(full.cells[i].result.skew, windowed.cells[i].result.skew,
+                               std::string(name) + " cell " + full.cells[i].label);
+    }
+  }
+}
+
+ExperimentConfig small_config() {
+  ExperimentConfig config;
+  config.columns = 6;
+  config.layers = 6;
+  config.pulses = 14;
+  config.seed = 9;
+  return config;
+}
+
+TEST(StreamingMetrics, StreamingDiagnosticsAreCleanOnDirectRuns) {
+  ExperimentConfig config = small_config();
+  config.recording_spec = ComponentSpec::of("streaming");
+  World world(config);
+  world.run_to_completion();
+  ASSERT_NE(world.streaming(), nullptr);
+  EXPECT_EQ(world.streaming()->window_overflows(), 0u);
+  EXPECT_EQ(world.streaming()->out_of_order(), 0u);
+  EXPECT_GT(world.streaming()->memory_bytes(), 0u);
+  EXPECT_GT(world.skew().pairs_checked, 0u);
+}
+
+TEST(StreamingMetrics, WindowedConditionsMatchFullOnTheRetainedWindow) {
+  ExperimentConfig full_config = small_config();
+  World full_world(full_config);
+  full_world.run_to_completion();
+
+  ExperimentConfig windowed_config = small_config();
+  windowed_config.recording_spec = ComponentSpec::of("windowed");
+  recording_registry().set_param(windowed_config.recording_spec, "window", Json(10));
+  World windowed_world(windowed_config);
+  windowed_world.run_to_completion();
+
+  // The last few waves sit inside every node's retained window (K = 10,
+  // cross-layer stagger is one wave per layer edge).
+  const auto [lo, hi] = default_window(full_world.recorder(), full_config.warmup);
+  (void)lo;
+  const Sigma window_lo = hi - 3;
+  const ConditionReport full = full_world.conditions_window(2, window_lo, hi);
+  const ConditionReport windowed = windowed_world.conditions_window(2, window_lo, hi);
+  EXPECT_GT(full.sc_checked, 0u);
+  EXPECT_EQ(full.sc_checked, windowed.sc_checked);
+  EXPECT_EQ(full.fc_checked, windowed.fc_checked);
+  EXPECT_EQ(full.jc_checked, windowed.jc_checked);
+  EXPECT_EQ(full.lemma_d2_checked, windowed.lemma_d2_checked);
+  EXPECT_EQ(full.lemma_d3_checked, windowed.lemma_d3_checked);
+  EXPECT_EQ(full.sc_violations, windowed.sc_violations);
+  EXPECT_EQ(full.fc_violations, windowed.fc_violations);
+  EXPECT_EQ(full.jc_violations, windowed.jc_violations);
+  EXPECT_EQ(full.lemma_d2_violations, windowed.lemma_d2_violations);
+  EXPECT_EQ(full.lemma_d3_violations, windowed.lemma_d3_violations);
+  EXPECT_EQ(full.median_violations, windowed.median_violations);
+}
+
+TEST(StreamingMetrics, StreamingModeRejectsTraceOnlyQueries) {
+  ExperimentConfig config = small_config();
+  config.recording_spec = ComponentSpec::of("streaming");
+  World world(config);
+  world.run_to_completion();
+  EXPECT_NO_THROW((void)world.skew());
+  EXPECT_THROW((void)world.conditions(2), std::logic_error);
+  EXPECT_THROW((void)world.skew_window(0, 5), std::logic_error);
+  EXPECT_THROW((void)world.realign_labels(), std::logic_error);
+}
+
+TEST(StreamingMetrics, WindowedModeStillChecksConditionsButNotArbitraryWindows) {
+  ExperimentConfig config = small_config();
+  config.recording_spec = ComponentSpec::of("windowed");
+  World world(config);
+  world.run_to_completion();
+  EXPECT_NO_THROW((void)world.conditions(1));
+  EXPECT_THROW((void)world.skew_window(0, 5), std::logic_error);
+}
+
+TEST(StreamingMetrics, CampaignBytesIdenticalAcrossThreadCountsUnderStreaming) {
+  const Scenario scenario = builtin_scenario("quickstart-grid");
+  CampaignOptions one;
+  one.threads = 1;
+  one.recording_override = ComponentSpec::of("streaming");
+  CampaignOptions four;
+  four.threads = 4;
+  four.recording_override = ComponentSpec::of("streaming");
+  const std::string a = campaign_jsonl(run_campaign(scenario, one));
+  const std::string b = campaign_jsonl(run_campaign(scenario, four));
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The emitted configs carry the override, so the bytes say what ran.
+  EXPECT_NE(a.find("\"recording\":\"streaming\""), std::string::npos);
+}
+
+TEST(StreamingMetrics, CorruptCellsFallBackToFullRecording) {
+  // thm16 cells have a corrupt plan; run_cell must force full recording
+  // (realignment needs the trace) and still produce exact quantiles.
+  const Scenario scenario = builtin_scenario("thm16-stabilization");
+  CampaignOptions options;
+  options.threads = 2;
+  options.recording_override = ComponentSpec::of("streaming");
+  const CampaignResult result = run_campaign(scenario, options);
+  for (const CampaignCell& cell : result.cells) {
+    ASSERT_TRUE(cell.corrupt.enabled);
+    EXPECT_TRUE(cell.result.skew.deviations.exact) << cell.label;
+  }
+  // The override must not be stamped into corrupt cells' configs: the
+  // emitted JSONL only ever claims a mode that actually ran.
+  EXPECT_EQ(campaign_jsonl(result).find("\"recording\":\"streaming\""), std::string::npos);
+
+  // Same holds when the SCENARIO itself declares streaming on corrupt
+  // cells: the runner rewrites the stored config to the full mode that ran.
+  const Scenario declared = Scenario::from_json(Json::parse(R"({
+    "name": "corrupt-streaming",
+    "config": {"columns": 5, "layers": 5, "pulses": 40, "self_stabilizing": true,
+               "recording": "streaming"},
+    "corrupt": {"wave": 8.0, "fraction": 1.0}
+  })"));
+  CampaignOptions plain;
+  plain.threads = 1;
+  const CampaignResult declared_result = run_campaign(declared, plain);
+  ASSERT_EQ(declared_result.cells.size(), 1u);
+  EXPECT_TRUE(declared_result.cells[0].result.skew.deviations.exact);
+  EXPECT_TRUE(declared_result.cells[0].config.recording_spec.empty());
+  EXPECT_EQ(campaign_jsonl(declared_result).find("\"recording\""), std::string::npos);
+}
+
+TEST(StreamingMetrics, RecordingSpecRoundTripsThroughScenarioJson) {
+  const Json doc = Json::parse(R"({
+    "name": "rt",
+    "config": {"columns": 4, "layers": 4, "pulses": 6,
+               "recording": {"kind": "windowed", "window": 12}}
+  })");
+  const Scenario scenario = Scenario::from_json(doc);
+  const auto cells = scenario.cells();
+  ASSERT_EQ(cells.size(), 1u);
+  const Json serialized = to_json(cells[0].config);
+  const ExperimentConfig back = config_from_json(serialized);
+  EXPECT_EQ(back, cells[0].config);
+  EXPECT_EQ(serialized.at("recording").at("kind").as_string(), "windowed");
+  EXPECT_EQ(serialized.at("recording").at("window").as_int(), 12);
+  EXPECT_EQ(resolve_recording(back.recording_spec).mode, RecordingMode::kWindowed);
+  EXPECT_EQ(resolve_recording(back.recording_spec).window, 12);
+}
+
+TEST(StreamingMetrics, DefaultFullRecordingStaysOutOfSerializedConfigs) {
+  ExperimentConfig config = small_config();
+  const Json j = to_json(config);
+  EXPECT_FALSE(j.contains("recording"));
+  config.recording_spec = ComponentSpec::of("streaming");
+  EXPECT_EQ(to_json(config).at("recording").as_string(), "streaming");
+}
+
+TEST(StreamingMetrics, RecordingErrorsArePathQualified) {
+  EXPECT_THROW(config_from_json(Json::parse(
+                   R"({"columns": 4, "recording": "nope"})")),
+               JsonError);
+  try {
+    (void)config_from_json(Json::parse(
+        R"({"columns": 4, "recording": {"kind": "streaming", "window": 1}})"));
+    FAIL() << "window=1 must be rejected";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("window"), std::string::npos);
+  }
+}
+
+TEST(StreamingMetrics, RecordingWindowIsSweepable) {
+  const Json doc = Json::parse(R"({
+    "name": "sweep-window",
+    "config": {"columns": 4, "layers": 4, "pulses": 8, "recording": "streaming"},
+    "sweep": {"recording.window": [8, 16]}
+  })");
+  const Scenario scenario = Scenario::from_json(doc);
+  const auto cells = scenario.cells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(resolve_recording(cells[0].config.recording_spec).window, 8);
+  EXPECT_EQ(resolve_recording(cells[1].config.recording_spec).window, 16);
+  // Both windows measure the same system: extrema must agree bit for bit.
+  const ExperimentResult a = run_experiment(cells[0].config);
+  const ExperimentResult b = run_experiment(cells[1].config);
+  EXPECT_EQ(a.skew.max_intra, b.skew.max_intra);
+  EXPECT_EQ(a.skew.global_skew, b.skew.global_skew);
+}
+
+}  // namespace
+}  // namespace gtrix

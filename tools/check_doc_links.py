@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
-"""Checks that relative markdown links in the docs resolve to real files.
+"""Checks that relative markdown links in the docs resolve, anchors included.
 
-Scans README.md and docs/*.md for inline links `[text](target)`, skips
-external URLs (scheme://, mailto:) and pure in-page anchors (#...), and
-verifies every remaining target exists relative to the linking file (an
-optional #fragment is stripped first; fragments themselves are not checked).
-Exits non-zero listing every broken link. Stdlib only; runs in CI after the
-build so docs can't drift from the tree.
+Scans README.md and docs/*.md for inline links `[text](target)` and verifies:
+  * external URLs (scheme://, mailto:) are skipped;
+  * every relative target exists on disk relative to the linking file;
+  * every `#fragment` -- in-page (`#section`) or cross-file
+    (`other.md#section`) -- matches a real heading in the target markdown
+    file, using GitHub's slug rules (lowercase, punctuation stripped, spaces
+    to hyphens, `-N` suffixes for duplicate headings). Renamed headings
+    therefore break CI instead of rotting silently.
+
+Exits non-zero listing every broken link or anchor. Stdlib only; runs in CI
+after the build so docs can't drift from the tree.
 """
 import glob
 import os
@@ -14,20 +19,72 @@ import re
 import sys
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE = re.compile(r"^(```|~~~)")
+# Markdown decoration stripped from heading text before slugging. Star
+# emphasis only: underscores inside identifiers (`bench_scale`) are kept by
+# GitHub's slugger, so stripping `_` here would produce false positives.
+INLINE_CODE = re.compile(r"`([^`]*)`")
+INLINE_LINK = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+EMPHASIS = re.compile(r"(\*\*|\*)")
 
 
-def check_file(path: str) -> list[str]:
+def github_slug(text: str) -> str:
+    text = INLINE_CODE.sub(r"\1", text)
+    text = INLINE_LINK.sub(r"\1", text)
+    text = EMPHASIS.sub("", text)
+    text = text.strip().lower()
+    # GitHub keeps word characters, spaces and hyphens; everything else drops.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: str) -> set[str]:
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in open(path, encoding="utf-8"):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path: str, slug_cache: dict[str, set[str]]) -> list[str]:
     errors = []
     text = open(path, encoding="utf-8").read()
     base = os.path.dirname(path)
+
+    def slugs_of(md_path: str) -> set[str]:
+        if md_path not in slug_cache:
+            slug_cache[md_path] = heading_slugs(md_path)
+        return slug_cache[md_path]
+
     for target in LINK.findall(text):
         if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # http:, https:, mailto:
             continue
-        if target.startswith("#"):
-            continue
-        resolved = os.path.normpath(os.path.join(base, target.split("#", 1)[0]))
-        if not os.path.exists(resolved):
-            errors.append(f"{path}: broken link '{target}' (resolved to {resolved})")
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{path}: broken link '{target}' (resolved to {resolved})")
+                continue
+        else:
+            resolved = path  # pure in-page anchor
+        if fragment and resolved.endswith(".md"):
+            if fragment.lower() not in slugs_of(resolved):
+                errors.append(
+                    f"{path}: broken anchor '{target}' "
+                    f"(no heading slugs to '#{fragment}' in {resolved})")
     return errors
 
 
@@ -35,9 +92,10 @@ def main() -> int:
     files = ["README.md"] + sorted(glob.glob("docs/*.md"))
     missing = [f for f in files if not os.path.exists(f)]
     errors = [f"missing expected file: {f}" for f in missing]
+    slug_cache: dict[str, set[str]] = {}
     for f in files:
         if f not in missing:
-            errors.extend(check_file(f))
+            errors.extend(check_file(f, slug_cache))
     for e in errors:
         print(e, file=sys.stderr)
     print(f"checked {len(files) - len(missing)} files, {len(errors)} broken links")

@@ -35,6 +35,10 @@ Usage make_usage(const std::string& program) {
   usage.flag("--export=DIR", "write built-in scenarios as JSON files and exit");
   usage.flag("--out=DIR", "output directory (default: campaign-out)");
   usage.flag("--threads=N", "sweep worker threads (default 0 = all cores)");
+  usage.flag("--recording=MODE",
+             "override every cell's trace retention: full, windowed or streaming "
+             "(see docs/scaling.md; corrupt cells always record full)");
+  usage.flag("--recording-window=K", "waves retained / ring capacity for the override mode");
   usage.flag("--dry-run", "expand and list cells without running");
   usage.flag("--quiet", "suppress the per-scenario result table");
   usage.flag("--help", "show this help");
@@ -176,6 +180,26 @@ int run(int argc, char** argv) {
   }
   CampaignOptions options;
   options.threads = static_cast<unsigned>(threads);
+  if (flags.has("recording")) {
+    const std::string mode = flags.get_string("recording", "");
+    if (mode.empty() || mode == "true") {
+      std::fputs("error: --recording requires a mode (--recording=streaming)\n", stderr);
+      return 2;
+    }
+    options.recording_override = ComponentSpec::of(mode);
+    if (flags.has("recording-window")) {
+      recording_registry().set_param(options.recording_override, "window",
+                                     Json(flags.get_int("recording-window", 0)));
+    }
+    // Validate eagerly so an unknown mode OR out-of-range window fails
+    // before any scenario runs (canonicalize checks names and types only;
+    // resolve_recording runs the factory's range checks).
+    options.recording_override = recording_registry().canonicalize(options.recording_override);
+    (void)resolve_recording(options.recording_override);
+  } else if (flags.has("recording-window")) {
+    std::fputs("error: --recording-window needs --recording=MODE\n", stderr);
+    return 2;
+  }
   const std::string out_dir = flags.get_string("out", "campaign-out");
   const bool dry_run = flags.get_bool("dry-run", false);
   const bool quiet = flags.get_bool("quiet", false);
@@ -213,11 +237,16 @@ int run(int argc, char** argv) {
     const Json summary = campaign_summary(result);
     write_file(summary_path, summary.dump(2) + "\n");
 
+    // Percentiles are null (not 0.0) for empty sample sets; render a dash.
+    const auto pct = [&](const char* key) -> std::string {
+      const Json& v = summary.at("local_skew").at(key);
+      return v.is_null() ? "-" : format_double(v.as_double(), 1);
+    };
     table.row()
         .add(result.scenario)
         .add(static_cast<std::uint64_t>(result.cells.size()))
-        .add(summary.at("local_skew").at("p95").as_double(), 1)
-        .add(summary.at("local_skew").at("max").as_double(), 1)
+        .add(pct("p95"))
+        .add(pct("max"))
         .add(std::to_string(summary.at("cells_within_thm11_bound").as_int()) + "/" +
              std::to_string(result.cells.size()))
         .add(result.wall_seconds, 2)
