@@ -86,6 +86,7 @@ struct NodeMeta {
 class Recorder {
  public:
   Recorder() = default;
+  virtual ~Recorder() = default;
 
   /// Selects the recording mode; must be called before any node records
   /// (the trace would otherwise be part-full, part-windowed). Attaching a
@@ -106,8 +107,11 @@ class Recorder {
   const NodeMeta& meta(RecNodeId node) const { return metas_.at(node); }
   std::uint32_t node_count() const noexcept { return static_cast<std::uint32_t>(metas_.size()); }
 
-  void record_pulse(RecNodeId node, Sigma sigma, SimTime t);
-  void record_iteration(RecNodeId node, const IterationRecord& record);
+  // Virtual so the sharded engine can hand nodes a per-shard buffering
+  // proxy (metrics/shard_recorder.hpp) under the same interface; everything
+  // else on Recorder is only called from serial harness code.
+  virtual void record_pulse(RecNodeId node, Sigma sigma, SimTime t);
+  virtual void record_iteration(RecNodeId node, const IterationRecord& record);
 
   /// Pulse time of `node` at wave `sigma`, if recorded.
   std::optional<SimTime> pulse_time(RecNodeId node, Sigma sigma) const;

@@ -1,0 +1,86 @@
+// Per-shard trace buffering for the sharded engine.
+//
+// Nodes record pulses and iterations through the Recorder interface, but the
+// real Recorder is single-threaded mutable state (global sigma extrema, the
+// streaming accumulators' floating-point sums). In a sharded run each node
+// therefore records into its shard's ShardRecorder -- a plain append-only
+// buffer, touched only by that shard's worker thread -- and the window
+// barrier's serial completion merges all buffers into the true Recorder in
+// (time, node) order via merge_shard_records().
+//
+// Why that order reproduces the serial engine byte-for-byte: every node
+// lives in exactly one shard, so a stable sort by (time, node) preserves
+// each node's own generation order, and two different nodes never record at
+// the same timestamp in practice (pulse times carry per-node layer-0 jitter
+// and clock-rate noise). The differential tests in tests/test_sharded.cpp
+// are the referee for that claim on every builtin scenario.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "metrics/recorder.hpp"
+#include "sim/simulator.hpp"
+
+namespace gtrix {
+
+class ShardRecorder final : public Recorder {
+ public:
+  /// `sim` is the owning shard's simulator; entries are stamped with its
+  /// now() at record time, which is the event time being executed.
+  explicit ShardRecorder(const Simulator* sim) : sim_(sim) {}
+
+  struct Entry {
+    SimTime when = 0.0;  ///< shard-local now() at record time: the merge key
+    RecNodeId node = 0;
+    bool is_pulse = false;
+    // Pulse payload (is_pulse).
+    Sigma sigma = 0;
+    SimTime t = 0.0;
+    // Iteration payload (!is_pulse).
+    IterationRecord iteration;
+  };
+
+  void record_pulse(RecNodeId node, Sigma sigma, SimTime t) override {
+    buffer_.push_back(Entry{sim_->now(), node, true, sigma, t, {}});
+  }
+
+  void record_iteration(RecNodeId node, const IterationRecord& record) override {
+    buffer_.push_back(Entry{sim_->now(), node, false, 0, 0.0, record});
+  }
+
+  std::vector<Entry>& buffer() noexcept { return buffer_; }
+
+  /// Puts the buffer into (when, node) order, stably (each node's own
+  /// generation order survives). Called by the OWNING WORKER at the end of
+  /// its window so the sort cost runs in parallel across shards; the serial
+  /// barrier completion then only has to merge already-sorted runs. Events
+  /// execute in time order, so the buffer is globally sorted by `when`
+  /// already; only maximal equal-`when` segments (batched deliveries) can
+  /// be out of node order, and those are short, so this is one linear scan
+  /// plus tiny per-segment sorts.
+  void sort_window() {
+    auto node_less = [](const Entry& a, const Entry& b) { return a.node < b.node; };
+    auto it = buffer_.begin();
+    while (it != buffer_.end()) {
+      auto end = it + 1;
+      while (end != buffer_.end() && end->when == it->when) ++end;
+      if (!std::is_sorted(it, end, node_less)) std::stable_sort(it, end, node_less);
+      it = end;
+    }
+  }
+
+ private:
+  const Simulator* sim_;
+  std::vector<Entry> buffer_;
+};
+
+/// Replays every shard buffer into `sink` in global (time, node) order and
+/// clears the buffers. Serial: the shard driver calls this from the window
+/// barrier's completion step. Requires each buffer to already be in
+/// (when, node) order (sort_window()); the merge itself is a copy-free
+/// k-way pick so the serial section stays as thin as possible.
+void merge_shard_records(Recorder& sink, std::span<ShardRecorder* const> shards);
+
+}  // namespace gtrix

@@ -9,6 +9,15 @@
 // Faulty nodes may send point-to-point on individual out-edges at arbitrary
 // times (§2: edge faults are mapped to node faults), so send() is per-edge;
 // broadcast() is the well-behaved path used by correct nodes.
+//
+// Sharded mode (configure_shards; docs/performance.md, "Sharded execution"):
+// nodes are partitioned across several Simulators, one per worker thread.
+// Sends between same-shard nodes stay ordinary queue events; sends that
+// cross shards become ShardEnvelopes parked in single-writer mailboxes and
+// are drained into the receiving shard's queue at the next window barrier,
+// sorted by the deterministic (arrival time, sender, edge) key so the merge
+// order is engine-invariant. shard_count() == 1 leaves every code path of
+// the serial engine untouched.
 #pragma once
 
 #include <cstdint>
@@ -88,9 +97,11 @@ class Network final : public TimerTarget {
   /// Optional slow delay modulation: extra(e, send_time) is added to the
   /// static delay. The installer is responsible for keeping the total within
   /// the model bounds. Installing a modulation disables batched broadcast
-  /// delivery (delays become per-edge again).
+  /// delivery (delays become per-edge again). Unavailable in sharded mode:
+  /// the conservative lookahead is the minimum STATIC cross-shard delay, and
+  /// a modulation could shrink a delay below it mid-run.
   using DelayModulation = std::function<double(EdgeId, SimTime)>;
-  void set_delay_modulation(DelayModulation fn) { modulation_ = std::move(fn); }
+  void set_delay_modulation(DelayModulation fn);
 
   /// Batched broadcast delivery (on by default): when every out-edge of the
   /// sender carries the same delay and no modulation is installed, one
@@ -104,16 +115,67 @@ class Network final : public TimerTarget {
   void set_broadcast_batching(bool enabled) noexcept { batching_ = enabled; }
   bool broadcast_batching() const noexcept { return batching_; }
 
-  std::uint64_t messages_sent() const noexcept { return sent_; }
-  std::uint64_t messages_delivered() const noexcept { return delivered_; }
+  // Counter accessors sum the per-shard cells (empty in serial mode); call
+  // them only outside a sharded run, i.e. with no worker threads live.
+  std::uint64_t messages_sent() const noexcept;
+  std::uint64_t messages_delivered() const noexcept;
 
   /// Queue events spent performing deliveries (one per message unbatched,
   /// one per broadcast batched). executed_events - delivery_events +
   /// messages_delivered is the engine-independent logical event count
   /// bench_perf normalizes throughput with.
-  std::uint64_t delivery_events() const noexcept { return delivery_events_; }
+  std::uint64_t delivery_events() const noexcept;
 
   Simulator& simulator() noexcept { return sim_; }
+
+  // --- sharded mode (runner/shard_driver.cpp is the only driver) ------------
+
+  /// A cross-shard message parked in a mailbox until the receiving shard's
+  /// next window. (arrival, from, edge) is the deterministic merge key.
+  struct ShardEnvelope {
+    SimTime arrival;
+    NetNodeId from;
+    EdgeId edge;
+    NetNodeId to;
+    std::int64_t stamp;
+  };
+
+  /// Enters sharded mode: `sims[s]` is shard s's event queue and
+  /// `node_shard[n]` the shard owning node n. sims[0] must be the Simulator
+  /// this Network was constructed with. Must be called after the topology is
+  /// final (add_node/add_edge refuse afterwards) and before any traffic.
+  /// Passing a single simulator keeps the serial engine byte-for-byte.
+  void configure_shards(std::vector<Simulator*> sims,
+                        std::vector<std::uint32_t> node_shard);
+
+  std::uint32_t shard_count() const noexcept { return shard_count_; }
+  std::uint32_t shard_of(NetNodeId node) const { return shard_count_ <= 1 ? 0 : node_shard_.at(node); }
+
+  /// Minimum static delay over edges whose endpoints live in different
+  /// shards -- the conservative lookahead L: a message sent at time t
+  /// cannot arrive in another shard before t + L. kTimeInfinity when no
+  /// edge crosses a shard boundary (shards are then fully independent).
+  SimTime cross_shard_lookahead() const noexcept { return lookahead_; }
+
+  /// Earliest arrival time over every parked envelope (published or not),
+  /// kTimeInfinity when all mailboxes are empty. Serial: called from the
+  /// barrier completion.
+  SimTime earliest_mailbox_time() const;
+
+  /// Moves every freshly written mailbox cell into the published buffer the
+  /// workers drain from. MUST run in the barrier completion (all workers
+  /// parked): it is the hand-off point between the senders -- who append to
+  /// mail_ cells throughout a window -- and the receivers, who drain the
+  /// published buffer concurrently with the next window's sends. Draining
+  /// mail_ directly would race those sends (lost or duplicated envelopes).
+  void publish_mailboxes();
+
+  /// Moves every PUBLISHED envelope addressed to shard `dst` into dst's
+  /// event queue, ordered by (arrival, from, edge). Called by shard dst's
+  /// own worker right after a window barrier; only publish_mailboxes()
+  /// (serial, in the barrier completion) writes the published cells, so the
+  /// read is race-free even while other shards are already sending.
+  void drain_mailbox(std::uint32_t dst);
 
   /// Typed-event dispatch (kDeliver message arrivals, kDeferredSend).
   void on_timer(const Event& event) override;
@@ -131,7 +193,23 @@ class Network final : public TimerTarget {
     double delay;
   };
 
+  /// Per-shard message counters on private cache lines: each cell is only
+  /// ever written by its own worker thread (sent by the sending shard,
+  /// delivered/delivery_events by the receiving one) and summed serially.
+  struct alignas(64) ShardCounters {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t delivery_events = 0;
+  };
+
   void deliver(NetNodeId from, EdgeId edge, NetNodeId to, const Pulse& pulse, SimTime at);
+  void send_sharded(EdgeId e, const Pulse& pulse);
+  void broadcast_sharded(NetNodeId from, const Pulse& pulse,
+                         const std::vector<EdgeId>& outs);
+  void recompute_lookahead();
+  Simulator& sim_of(NetNodeId node) {
+    return shard_count_ <= 1 ? sim_ : *shard_sims_[node_shard_[node]];
+  }
 
   Simulator& sim_;
   std::vector<PulseSink*> sinks_;  // non-owning
@@ -147,6 +225,22 @@ class Network final : public TimerTarget {
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t delivery_events_ = 0;
+
+  // Sharded-mode state; all empty / trivial while shard_count_ == 1.
+  std::uint32_t shard_count_ = 1;
+  std::vector<Simulator*> shard_sims_;        // non-owning, [0] == &sim_
+  std::vector<std::uint32_t> node_shard_;
+  SimTime lookahead_ = kTimeInfinity;
+  /// Mailbox matrix, cell [src * shard_count_ + dst]: written only by shard
+  /// src's worker during windows. The barrier completion moves full cells
+  /// into pending_ (publish_mailboxes), and shard dst's worker drains the
+  /// pending_ cells addressed to it at the next window start -- so senders
+  /// and receivers never touch the same vector concurrently, no locks
+  /// needed.
+  std::vector<std::vector<ShardEnvelope>> mail_;
+  std::vector<std::vector<ShardEnvelope>> pending_;        // published at barriers
+  std::vector<std::vector<ShardEnvelope>> drain_scratch_;  // per-dst reuse
+  std::vector<ShardCounters> shard_counters_;
 };
 
 }  // namespace gtrix

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "support/stats.hpp"
 
@@ -46,7 +47,14 @@ Json counters_to_json(const ExperimentCounters& counters) {
   j.set("watchdog_resets", counters.watchdog_resets);
   j.set("timeout_branches", counters.timeout_branches);
   j.set("duplicate_drops", counters.duplicate_drops);
-  j.set("events_executed", counters.events_executed);
+  // Logical events, not raw executed events: broadcast batching and the
+  // sharded engine's cross-shard fan-out splitting change how many queue
+  // events realize the same deliveries, so the raw count is engine-
+  // dependent. This normalized count is invariant across every
+  // EngineOptions combination, which keeps the JSONL byte-identical across
+  // (threads, shards) -- the CI determinism diffs rely on it.
+  j.set("logical_events", counters.events_executed - counters.delivery_events +
+                              counters.messages_delivered);
   j.set("messages_sent", counters.messages_sent);
   j.set("messages_delivered", counters.messages_delivered);
   return j;
@@ -145,9 +153,20 @@ CampaignResult run_campaign(const Scenario& scenario, const CampaignOptions& opt
   // parallel_for_index never spawns more workers than there is work.
   campaign.threads_used = static_cast<unsigned>(
       std::min<std::size_t>(runner.thread_count(), std::max<std::size_t>(1, cells.size())));
+  // Nested-parallelism budget: sweep workers x shard threads stays within
+  // hardware concurrency. Shard counts are behaviour-neutral (bit-identical
+  // results), so clamping only changes the thread layout, never the output.
+  const std::uint32_t requested_shards =
+      options.shards != 0 ? options.shards : scenario.engine_shards();
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  campaign.shards_used = std::max<std::uint32_t>(
+      1, std::min<std::uint32_t>(requested_shards,
+                                 hardware / std::max(1u, campaign.threads_used)));
+  EngineOptions engine;
+  engine.shards = campaign.shards_used;
   const std::vector<ExperimentResult> results = runner.run(
-      configs, [&cells](const ExperimentConfig& config, std::size_t i) {
-        return run_cell(config, cells[i].corrupt);
+      configs, [&cells, engine](const ExperimentConfig& config, std::size_t i) {
+        return run_cell(config, cells[i].corrupt, engine);
       });
 
   campaign.cells.reserve(cells.size());
@@ -208,6 +227,7 @@ Json campaign_summary(const CampaignResult& result) {
     totals.timeout_branches += cell.result.counters.timeout_branches;
     totals.duplicate_drops += cell.result.counters.duplicate_drops;
     totals.events_executed += cell.result.counters.events_executed;
+    totals.delivery_events += cell.result.counters.delivery_events;
     totals.messages_sent += cell.result.counters.messages_sent;
     totals.messages_delivered += cell.result.counters.messages_delivered;
   }
@@ -220,6 +240,7 @@ Json campaign_summary(const CampaignResult& result) {
   j.set("cells_within_thm11_bound", within_thm11);
   j.set("counters", counters_to_json(totals));
   j.set("threads", result.threads_used);
+  j.set("shards", result.shards_used);
   j.set("wall_seconds", result.wall_seconds);
   return j;
 }

@@ -22,6 +22,12 @@ namespace gtrix {
 
 struct CampaignOptions {
   unsigned threads = 0;  ///< sweep workers; 0 = hardware concurrency
+  /// Engine shards per cell (the gtrix_campaign --shards flag); 0 = the
+  /// scenario's own "engine": {"shards": N} default (1 when absent). The
+  /// effective count is budgeted so sweep workers x shard threads never
+  /// exceeds hardware concurrency -- shard counts are behaviour-neutral, so
+  /// the clamp never changes results, only the thread layout.
+  std::uint32_t shards = 0;
   /// When non-empty, overrides every non-corrupt cell's trace-retention
   /// mode (the gtrix_campaign --recording flag). Validated against the
   /// recording registry. The emitted JSONL configs always describe what
@@ -42,6 +48,7 @@ struct CampaignResult {
   std::string scenario;
   std::vector<CampaignCell> cells;  ///< in deterministic cell order
   unsigned threads_used = 0;
+  std::uint32_t shards_used = 1;  ///< engine shards per cell after budgeting
   double wall_seconds = 0.0;
 };
 

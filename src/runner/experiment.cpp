@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "runner/shard_driver.hpp"
 #include "support/check.hpp"
 
 namespace gtrix {
+
+std::vector<EngineGateDesc> engine_gate_descs() {
+  return {
+      {"scheduler", "calendar", "binary-heap",
+       "event queue structure; both kinds execute identical event sequences"},
+      {"batched_broadcast", "on", "off",
+       "one queue event per uniform-delay broadcast instead of one per edge"},
+      {"soa_arena", "on", "off",
+       "node hot state in a struct-of-arrays arena vs object-per-node"},
+      {"cached_metrics", "on", "off",
+       "memoized per-node steady windows in skew computation"},
+      {"single_locate_loop", "on", "off",
+       "one find-minimum per event in the simulator loop"},
+      {"shards", "1", "1",
+       "conservative-parallel shards per run (--shards; clamped to columns "
+       "and the thread budget); every count is bit-identical"},
+  };
+}
 
 ResolvedComponents resolve_components(const ExperimentConfig& c) {
   ResolvedComponents r;
@@ -113,9 +132,44 @@ World::World(ExperimentConfig config, EngineOptions engine)
   gradient_by_grid_.assign(grid_.node_count(), nullptr);
   layer0_by_grid_.assign(grid_.node_count(), nullptr);
 
+  init_shards();
   build_network(delay_rng);
+  if (shard_count_ > 1) net_.configure_shards(shard_sims_, node_shard_);
   build_layer0(clock_rng, layer0_rng);
   build_algorithm_nodes(clock_rng, fault_rng);
+}
+
+void World::init_shards() {
+  const std::uint32_t columns = grid_.base().column_count();
+  const std::uint32_t requested = std::max<std::uint32_t>(1, engine_.shards);
+  shard_count_ = std::min(requested, columns);
+  if (shard_count_ <= 1) return;  // serial engine: no sharded state at all
+
+  // Contiguous column ranges: shard boundaries are the only edges that
+  // cross shards, so the conservative lookahead is an ordinary link delay
+  // regardless of topology (line-replicated, torus, and future registry
+  // topologies all expose columns).
+  const bool line_mode = config_.layer0 == Layer0Mode::kLinePropagation;
+  node_shard_.assign(grid_.node_count() + (line_mode ? 1 : 0), 0);
+  for (GridNodeId g = 0; g < grid_.node_count(); ++g) {
+    const std::uint32_t col = grid_.base().column(grid_.base_of(g));
+    node_shard_[g] = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(col) * shard_count_ / columns);
+  }
+  // Line mode: the clock source (net id == grid node count) feeds column 0,
+  // so it lives in shard 0 -- node_shard_ already says so.
+
+  for (std::uint32_t s = 1; s < shard_count_; ++s) {
+    extra_sims_.push_back(
+        std::make_unique<Simulator>(engine_.scheduler, engine_.single_locate_loop));
+    extra_arenas_.push_back(std::make_unique<NodeArena>());
+  }
+  shard_sims_.push_back(&sim_);
+  for (const auto& sim : extra_sims_) shard_sims_.push_back(sim.get());
+  for (std::uint32_t s = 0; s < shard_count_; ++s) {
+    shard_recorders_.push_back(std::make_unique<ShardRecorder>(shard_sims_[s]));
+    shard_recorder_ptrs_.push_back(shard_recorders_.back().get());
+  }
 }
 
 World::~World() = default;
@@ -230,8 +284,8 @@ void World::build_layer0(Rng& clock_rng, Rng& layer0_rng) {
                         "kStaticOffset only");
         offset = std::max(0.0, offset + fault_it->second.offset);
       }
-      auto emitter = std::make_unique<IdealEmitter>(sim_, net_, g, offset, config_.params,
-                                                    config_.pulses, &recorder_);
+      auto emitter = std::make_unique<IdealEmitter>(sim_for(g), net_, g, offset, config_.params,
+                                                    config_.pulses, recorder_for(g));
       emitter->start();
       emitters_.push_back(std::move(emitter));
     }
@@ -239,8 +293,8 @@ void World::build_layer0(Rng& clock_rng, Rng& layer0_rng) {
   }
 
   // Line propagation (Algorithm 2).
-  source_ = std::make_unique<ClockSource>(sim_, net_, source_id_, config_.params,
-                                          config_.pulses, &recorder_);
+  source_ = std::make_unique<ClockSource>(sim_for(source_id_), net_, source_id_, config_.params,
+                                          config_.pulses, recorder_for(source_id_));
   source_->start();
   for (BaseNodeId v = 0; v < base.node_count(); ++v) {
     const GridNodeId g = grid_.id(v, 0);
@@ -257,9 +311,9 @@ void World::build_layer0(Rng& clock_rng, Rng& layer0_rng) {
       (void)clock_rng.next_u64();
       continue;
     }
-    auto node = std::make_unique<Layer0LineNode>(sim_, net_, g, make_clock(clock_rng, col, 0),
-                                                 line_pred, config_.params, &recorder_,
-                                                 engine_.soa_arena ? &arena_->layer0
+    auto node = std::make_unique<Layer0LineNode>(sim_for(g), net_, g, make_clock(clock_rng, col, 0),
+                                                 line_pred, config_.params, recorder_for(g),
+                                                 engine_.soa_arena ? &arena_for(g)->layer0
                                                                    : nullptr);
     layer0_by_grid_[g] = node.get();
     net_.set_sink(g, node.get());
@@ -292,8 +346,8 @@ void World::build_algorithm_nodes(Rng& clock_rng, Rng& fault_rng) {
     if (spec != nullptr && spec->kind == FaultKind::kFixedPeriod) {
       const double period = spec->period > 0.0 ? spec->period : config_.params.lambda;
       const double first_at = (static_cast<double>(layer) + 1.0) * config_.params.lambda;
-      auto rogue = std::make_unique<FixedPeriodRogue>(sim_, net_, g, period, first_at,
-                                                      config_.pulses, &recorder_);
+      auto rogue = std::make_unique<FixedPeriodRogue>(sim_for(g), net_, g, period, first_at,
+                                                      config_.pulses, recorder_for(g));
       rogue->start();
       rogues_.push_back(rogue.get());
       net_.set_sink(g, rogue.get());
@@ -318,9 +372,9 @@ void World::build_algorithm_nodes(Rng& clock_rng, Rng& fault_rng) {
     }
 
     auto model = algorithm_provider_->make_node(NodeContext{
-        sim_, net_, g, std::move(clock), std::move(preds), config_.params, diameter,
+        sim_for(g), net_, g, std::move(clock), std::move(preds), config_.params, diameter,
         config_.trim, config_.self_stabilizing, config_.jump_condition, broadcast_offset,
-        &recorder_, engine_.soa_arena ? arena_.get() : nullptr});
+        recorder_for(g), engine_.soa_arena ? arena_for(g) : nullptr});
     if (spec != nullptr) install_fault(g, *spec, *model, fault_rng);
     model_by_grid_[g] = model.get();
     gradient_by_grid_[g] = model->gradient();
@@ -391,7 +445,21 @@ void World::install_fault(GridNodeId g, const FaultSpec& spec, NodeModel& model,
   }
 }
 
-void World::run_to_completion() { sim_.run_all(); }
+void World::run_to_completion() {
+  if (shard_count_ <= 1) {
+    sim_.run_all();
+    return;
+  }
+  ShardDriver(shard_sims_, net_, recorder_, shard_recorder_ptrs_).run(kTimeInfinity);
+}
+
+void World::run_until(SimTime t) {
+  if (shard_count_ <= 1) {
+    sim_.run_until(t);
+    return;
+  }
+  ShardDriver(shard_sims_, net_, recorder_, shard_recorder_ptrs_).run(t);
+}
 
 void World::corrupt_fraction(double fraction, Rng& rng) {
   GTRIX_CHECK_MSG(algorithm_caps_.state_corruption,
@@ -463,6 +531,7 @@ ExperimentCounters World::counters() const {
   ExperimentCounters total;
   for (const auto& model : models_) model->add_counters(total);
   total.events_executed = sim_.executed_events();
+  for (const auto& sim : extra_sims_) total.events_executed += sim->executed_events();
   total.messages_sent = net_.messages_sent();
   total.messages_delivered = net_.messages_delivered();
   total.delivery_events = net_.delivery_events();

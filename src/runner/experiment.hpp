@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baseline/trix_node.hpp"
@@ -27,6 +28,7 @@
 #include "graph/grid.hpp"
 #include "metrics/conditions.hpp"
 #include "metrics/realign.hpp"
+#include "metrics/shard_recorder.hpp"
 #include "metrics/skew.hpp"
 #include "metrics/streaming.hpp"
 #include "net/network.hpp"
@@ -128,11 +130,18 @@ struct EngineOptions {
   /// Single find-minimum per event in the simulator loop; off = the
   /// pre-refactor next_time() + run_next() pair.
   bool single_locate_loop = true;
+  /// Conservative-parallel shards for a single run (docs/performance.md,
+  /// "Sharded execution"): the base graph is cut into contiguous column
+  /// ranges, each with its own event queue, NodeArena and worker thread,
+  /// synchronized at the minimum cross-shard link delay. Clamped to the
+  /// column count; 0 and 1 both select the serial engine, whose code paths
+  /// then run completely untouched.
+  std::uint32_t shards = 1;
 
   /// The pre-refactor hot path, reproduced choice by choice: binary heap,
   /// per-edge broadcasts, object-per-node state, uncached metrics, paired
-  /// locate+pop loop. bench_perf measures the defaults against this and
-  /// asserts bit-identical skew results.
+  /// locate+pop loop, serial (single-shard) execution. bench_perf measures
+  /// the defaults against this and asserts bit-identical skew results.
   static EngineOptions reference() {
     EngineOptions e;
     e.scheduler = SchedulerKind::kBinaryHeap;
@@ -140,9 +149,21 @@ struct EngineOptions {
     e.soa_arena = false;
     e.cached_metrics = false;
     e.single_locate_loop = false;
+    e.shards = 1;
     return e;
   }
 };
+
+/// One row per EngineOptions gate, for gtrix_campaign --list / --describe:
+/// runnable engine configurations are discoverable without reading headers.
+struct EngineGateDesc {
+  std::string name;         ///< gate name, e.g. "shards"
+  std::string fast_value;   ///< the default (fast-path) setting
+  std::string reference_value;  ///< the EngineOptions::reference() setting
+  std::string summary;
+};
+
+std::vector<EngineGateDesc> engine_gate_descs();
 
 /// A fully wired simulated system. Most callers use run_experiment(); the
 /// class is exposed for experiments needing custom control (e.g. corrupting
@@ -155,9 +176,18 @@ class World {
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
-  /// Runs the simulation until the event queue drains.
+  /// Runs the simulation until the event queue drains. With engine shards
+  /// > 1 this drives all shard queues through the conservative window loop
+  /// (runner/shard_driver.hpp); results are bit-identical either way.
   void run_to_completion();
-  void run_until(SimTime t) { sim_.run_until(t); }
+  void run_until(SimTime t);
+
+  /// Shards actually used (engine request clamped to the column count).
+  std::uint32_t shard_count() const noexcept { return shard_count_; }
+  /// Shard owning grid/net node `id` (always 0 on the serial engine).
+  std::uint32_t shard_of(NetNodeId id) const {
+    return shard_count_ <= 1 ? 0 : node_shard_.at(id);
+  }
 
   /// Randomly corrupts the state of (roughly) `fraction` of all algorithm
   /// nodes -- a system-wide transient fault (Theorem 1.6). Hard error when
@@ -220,10 +250,26 @@ class World {
                              const ResolvedComponents& components);
   HardwareClock make_clock(Rng& rng, std::uint32_t column, std::uint32_t layer) const;
   double clock_horizon() const;
+  void init_shards();
   void build_network(Rng& delay_rng);
   void build_layer0(Rng& clock_rng, Rng& layer0_rng);
   void build_algorithm_nodes(Rng& clock_rng, Rng& fault_rng);
   void install_fault(GridNodeId g, const FaultSpec& spec, NodeModel& model, Rng& fault_rng);
+
+  /// Per-node wiring lookups; on the serial engine they resolve to the
+  /// single sim_/arena_/recorder_ so shards=1 constructs the identical
+  /// object graph the pre-sharding engine did.
+  Simulator& sim_for(NetNodeId id) {
+    return shard_count_ <= 1 ? sim_ : *shard_sims_[node_shard_[id]];
+  }
+  NodeArena* arena_for(NetNodeId id) {
+    const std::uint32_t s = shard_count_ <= 1 ? 0 : node_shard_[id];
+    return s == 0 ? arena_.get() : extra_arenas_[s - 1].get();
+  }
+  Recorder* recorder_for(NetNodeId id) {
+    if (shard_count_ <= 1) return &recorder_;
+    return shard_recorders_[node_shard_[id]].get();
+  }
 
   ExperimentConfig config_;
   EngineOptions engine_;
@@ -240,8 +286,18 @@ class World {
   /// Online skew accumulators (streaming/windowed modes only).
   std::unique_ptr<StreamingSkew> streaming_;
   /// Struct-of-arrays hot state for every node this World wires; must
-  /// outlive the node objects below, which hold indices into it.
+  /// outlive the node objects below, which hold indices into it. Shard 0's
+  /// arena (and the only one on the serial engine).
   std::unique_ptr<NodeArena> arena_;
+
+  // Sharded engine state (empty while shard_count_ == 1); see init_shards.
+  std::uint32_t shard_count_ = 1;
+  std::vector<std::uint32_t> node_shard_;              ///< net node -> shard
+  std::vector<std::unique_ptr<Simulator>> extra_sims_;   ///< shards 1..S-1
+  std::vector<std::unique_ptr<NodeArena>> extra_arenas_; ///< shards 1..S-1
+  std::vector<Simulator*> shard_sims_;                 ///< [0] == &sim_
+  std::vector<std::unique_ptr<ShardRecorder>> shard_recorders_;
+  std::vector<ShardRecorder*> shard_recorder_ptrs_;
 
   NetNodeId source_id_ = 0;  // line mode only
   std::vector<std::unique_ptr<PulseSink>> sinks_;

@@ -1,0 +1,135 @@
+#include "runner/shard_driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+namespace {
+
+/// What the barrier completion decided the workers should do next.
+enum class WindowKind : std::uint8_t {
+  kRunBefore,  ///< run events strictly below `horizon`
+  kRunUntil,   ///< final window: run events <= `horizon` (the deadline)
+  kDrain,      ///< no cross-shard edges: run each shard to completion
+  kStop,
+};
+
+struct WindowPlan {
+  WindowKind kind = WindowKind::kStop;
+  SimTime horizon = 0.0;
+};
+
+}  // namespace
+
+void ShardDriver::run(SimTime deadline) {
+  const std::size_t shards = sims_.size();
+  GTRIX_CHECK_MSG(shards >= 2, "ShardDriver requires at least two shards");
+  const SimTime lookahead = net_.cross_shard_lookahead();
+  GTRIX_CHECK_MSG(lookahead > 0.0, "cross-shard lookahead must be positive");
+
+  WindowPlan plan;
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  // Serial section between windows: runs on exactly one thread while every
+  // worker waits at the barrier, so it may touch all shards' state.
+  auto completion = [&]() noexcept {
+    try {
+      if (failed.load(std::memory_order_acquire)) {
+        plan = WindowPlan{WindowKind::kStop, 0.0};
+        return;
+      }
+      merge_shard_records(recorder_, shard_recorders_);
+      // Hand the window's cross-shard sends over to the receivers: only here,
+      // with every worker parked at the barrier, is it safe to move them out
+      // of the send-side cells (workers drain the published buffer while the
+      // NEXT window's sends are already appending).
+      net_.publish_mailboxes();
+      SimTime gmin = net_.earliest_mailbox_time();
+      for (Simulator* sim : sims_) gmin = std::min(gmin, sim->next_event_time());
+      if (gmin > deadline || gmin == kTimeInfinity) {
+        plan = WindowPlan{WindowKind::kStop, 0.0};
+        return;
+      }
+      const SimTime horizon = gmin + lookahead;  // infinite if no cross edges
+      if (horizon == kTimeInfinity && deadline == kTimeInfinity) {
+        plan = WindowPlan{WindowKind::kDrain, 0.0};
+      } else if (horizon > deadline) {
+        // Final window, inclusive: anything sent in it arrives after the
+        // deadline (gmin + L > deadline) and stays parked.
+        plan = WindowPlan{WindowKind::kRunUntil, deadline};
+      } else {
+        plan = WindowPlan{WindowKind::kRunBefore, horizon};
+      }
+    } catch (...) {
+      // merge_shard_records can only throw via Recorder checks; surface the
+      // error instead of terminating (the completion must be noexcept).
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      failed.store(true, std::memory_order_release);
+      plan = WindowPlan{WindowKind::kStop, 0.0};
+    }
+  };
+
+  std::barrier barrier(static_cast<std::ptrdiff_t>(shards), completion);
+
+  auto worker = [&](std::size_t shard) {
+    Simulator& sim = *sims_[shard];
+    while (true) {
+      barrier.arrive_and_wait();
+      if (plan.kind == WindowKind::kStop) return;
+      try {
+        net_.drain_mailbox(static_cast<std::uint32_t>(shard));
+        switch (plan.kind) {
+          case WindowKind::kRunBefore:
+            sim.run_before(plan.horizon);
+            break;
+          case WindowKind::kRunUntil:
+            sim.run_until(plan.horizon);
+            break;
+          case WindowKind::kDrain:
+            sim.run_all();
+            break;
+          case WindowKind::kStop:
+            break;
+        }
+        // Sort this shard's trace buffer here, in parallel, so the serial
+        // completion only merges pre-sorted runs.
+        shard_recorders_[shard]->sort_window();
+      } catch (...) {
+        // Keep arriving at the barrier so the other workers don't deadlock;
+        // the completion sees `failed` and stops everyone.
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_release);
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(shards);
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      threads.emplace_back(worker, shard);
+    }
+  }  // jthreads join here
+
+  if (first_error) std::rethrow_exception(first_error);
+  if (deadline != kTimeInfinity) {
+    // run_until semantics: every shard's clock ends at the deadline even if
+    // its events ran dry earlier, so follow-up scheduling is relative to it.
+    for (Simulator* sim : sims_) sim->advance_to(deadline);
+  }
+}
+
+}  // namespace gtrix

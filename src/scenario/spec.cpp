@@ -921,6 +921,22 @@ Scenario Scenario::from_json(const Json& doc) {
         apply_corrupt_key(scenario.corrupt_, k, v, "$.corrupt." + k);
       }
       scenario.corrupt_.enabled = true;
+    } else if (key == "engine") {
+      // Engine defaults (performance only, never behaviour): currently just
+      // the shard count. See Scenario::engine_shards().
+      for (const auto& [k, v] : at_path("$.engine", [&]() -> const Json::Object& {
+             return value.as_object();
+           })) {
+        const std::string path = "$.engine." + k;
+        if (k == "shards") {
+          scenario.engine_shards_ = read_u32(v, path);
+          if (scenario.engine_shards_ < 1 || scenario.engine_shards_ > 4096) {
+            fail(path, "shards must be in [1, 4096]");
+          }
+        } else {
+          fail(path, "unknown key");
+        }
+      }
     } else if (key == "sweep") {
       sweep = &value;
     } else {

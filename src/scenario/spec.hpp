@@ -118,6 +118,14 @@ class Scenario {
   const Json& doc() const noexcept { return doc_; }
   const std::vector<SweepAxis>& axes() const noexcept { return axes_; }
 
+  /// Default engine shard count per cell (optional top-level "engine":
+  /// {"shards": N}; 1 when absent). A deliberate exception to the rule that
+  /// engine choices stay out of scenario configs: shard counts are
+  /// bit-identical by construction, so this is a performance default only
+  /// -- it never appears inside "config", cell labels or the JSONL, and
+  /// the gtrix_campaign --shards flag overrides it.
+  std::uint32_t engine_shards() const noexcept { return engine_shards_; }
+
   /// Number of cells the sweep expands to (product of axis lengths).
   std::size_t cell_count() const noexcept;
 
@@ -132,6 +140,7 @@ class Scenario {
   Json base_config_;  // "config" object (possibly empty object)
   CorruptPlan corrupt_;
   std::vector<SweepAxis> axes_;
+  std::uint32_t engine_shards_ = 1;
 };
 
 }  // namespace gtrix

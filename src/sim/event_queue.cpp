@@ -131,6 +131,32 @@ bool EventQueue::run_next_due(SimTime deadline, SimTime& fired) {
   return true;
 }
 
+bool EventQueue::run_next_strictly_before(SimTime horizon, SimTime& fired) {
+  if (live_ == 0) return false;
+  std::uint32_t slot_index;
+  if (kind_ == SchedulerKind::kBinaryHeap) {
+    heap_skim();
+    if (heap_.top().time >= horizon) return false;
+    slot_index = heap_.top().slot;
+    heap_.pop();
+  } else {
+    GTRIX_CHECK(calendar_find_min());
+    const QueueEntry& top = buckets_[peek_.bucket][peek_.index];
+    if (top.time >= horizon) return false;
+    slot_index = top.slot;
+    calendar_pop_peeked();
+  }
+  Slot& slot = slots_[slot_index];
+  const Event event{slot.time, slot.kind, slot.payload};
+  TimerTarget* target = slot.target;
+  release_slot(slot_index);
+  --live_;
+  ++executed_;
+  fired = event.time;
+  target->on_timer(event);
+  return true;
+}
+
 // --- binary-heap engine ------------------------------------------------------
 
 void EventQueue::heap_skim() const {
@@ -189,6 +215,13 @@ void EventQueue::calendar_insert(const QueueEntry& entry_in) {
     // epoch this low, so the new entry is the minimum.
     cur_epoch_ = epoch;
     peek_ = PeekRef{b, pos, true};
+#ifdef GTRIX_DEBUG_CHECKS
+    // The behind-cursor insert is exactly the spot the EPOCH FRESHNESS
+    // INVARIANT (header) protects: after a purge rebuild refit width_, a
+    // pre-rebuild epoch would bucket this entry into a year the scan never
+    // meets. Walk the whole calendar while the debug build has the chance.
+    calendar_verify_epochs();
+#endif
   } else if (peek_.valid &&
              fires_before(entry, buckets_[peek_.bucket][peek_.index])) {
     peek_ = PeekRef{b, pos, true};
@@ -209,6 +242,8 @@ bool EventQueue::calendar_find_min() const {
       --dead_;
     }
     if (!bucket.empty() && bucket.back().epoch == epoch) {
+      GTRIX_DEBUG_CHECK_MSG(bucket.back().epoch == epoch_of(bucket.back().time),
+                            "calendar entry epoch stamped under a stale width");
       cur_epoch_ = epoch;
       peek_ = PeekRef{bucket_of_epoch(epoch), bucket.size() - 1, true};
       return true;
@@ -245,6 +280,9 @@ bool EventQueue::calendar_global_min() const {
 
 void EventQueue::calendar_pop_peeked() {
   std::vector<QueueEntry>& bucket = buckets_[peek_.bucket];
+  GTRIX_DEBUG_CHECK_MSG(
+      bucket[peek_.index].epoch == epoch_of(bucket[peek_.index].time),
+      "popping a calendar entry whose epoch predates the current width");
   // Order-preserving removal; the peeked entry is at or near the back.
   bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(peek_.index));
   --entry_count_;
@@ -303,6 +341,25 @@ void EventQueue::calendar_rebuild(std::size_t min_buckets) {
   // Re-anchor the cursor at the earliest entry (or at zero when empty).
   peek_.valid = false;
   cur_epoch_ = entries.empty() ? 0 : epoch_of(min_t);
+#ifdef GTRIX_DEBUG_CHECKS
+  calendar_verify_epochs();
+#endif
+}
+
+void EventQueue::calendar_verify_epochs() const {
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::vector<QueueEntry>& bucket = buckets_[b];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const QueueEntry& entry = bucket[i];
+      if (stale(entry)) continue;
+      GTRIX_CHECK_MSG(entry.epoch == epoch_of(entry.time),
+                      "live calendar entry carries an epoch from an older width");
+      GTRIX_CHECK_MSG(bucket_of_epoch(entry.epoch) == b,
+                      "live calendar entry sits in a bucket its epoch does not map to");
+      GTRIX_CHECK_MSG(entry.epoch >= cur_epoch_,
+                      "live calendar entry hides behind the scan cursor");
+    }
+  }
 }
 
 }  // namespace gtrix

@@ -124,6 +124,12 @@ class EventQueue {
   /// of the next_time() + run_next() pair (the simulator's main loop).
   bool run_next_due(SimTime deadline, SimTime& fired);
 
+  /// run_next_due with an exclusive bound: dispatches only events strictly
+  /// before `horizon`. The sharded engine's window loop (runner/
+  /// shard_driver.cpp) runs each shard up to but not including the window
+  /// horizon, which is the earliest time a cross-shard message can land.
+  bool run_next_strictly_before(SimTime horizon, SimTime& fired);
+
   SchedulerKind scheduler_kind() const noexcept { return kind_; }
 
   std::uint64_t executed_count() const noexcept { return executed_; }
@@ -218,6 +224,11 @@ class EventQueue {
   /// current live population. Also drops all stale entries.
   void calendar_rebuild(std::size_t min_buckets);
   std::size_t calendar_live() const noexcept { return entry_count_ - dead_; }
+  /// GTRIX_DEBUG_CHECKS walk of the EPOCH FRESHNESS INVARIANT above: every
+  /// live entry's cached epoch matches epoch_of(time) under the current
+  /// width, sits in the bucket its epoch maps to, and none is behind the
+  /// cursor. O(pending), so only the debug-assertion builds call it.
+  void calendar_verify_epochs() const;
 
   SchedulerKind kind_;
 

@@ -38,6 +38,26 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
   return executed;
 }
 
+std::uint64_t Simulator::run_before(SimTime horizon) {
+  std::uint64_t executed = 0;
+  if (single_locate_) {
+    while (queue_.run_next_strictly_before(horizon, now_)) {
+      ++executed;
+    }
+  } else {
+    while (!queue_.empty() && queue_.next_time() < horizon) {
+      now_ = queue_.next_time();
+      queue_.run_next();
+      ++executed;
+    }
+  }
+  // The whole window [old now, horizon) is settled; scheduling below the
+  // horizon from outside an event handler would now be scheduling into the
+  // past of a window already executed.
+  if (horizon > now_) now_ = horizon;
+  return executed;
+}
+
 std::uint64_t Simulator::run_all(std::uint64_t max_events) {
   std::uint64_t executed = 0;
   if (single_locate_) {

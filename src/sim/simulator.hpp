@@ -55,9 +55,30 @@ class Simulator {
   /// number of events executed.
   std::uint64_t run_until(SimTime deadline);
 
+  /// Runs events strictly before `horizon` and leaves now() == horizon.
+  /// The sharded engine's window primitive: a shard may execute everything
+  /// below the window horizon because no cross-shard message sent in the
+  /// window can arrive before it (see runner/shard_driver.hpp). Returns the
+  /// number of events executed.
+  std::uint64_t run_before(SimTime horizon);
+
   /// Runs until the queue is empty. An event budget guards against
   /// accidental infinite self-scheduling. Returns events executed.
   std::uint64_t run_all(std::uint64_t max_events = 2'000'000'000ULL);
+
+  /// Moves the clock cursor forward to `t` without executing anything
+  /// (no-op if now() >= t). The sharded driver aligns every shard's clock
+  /// with the run_until deadline after the final window.
+  void advance_to(SimTime t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+  /// Time of the earliest pending event, or kTimeInfinity when idle. The
+  /// sharded driver's barrier takes the minimum across shards to place the
+  /// next window.
+  SimTime next_event_time() const {
+    return queue_.empty() ? kTimeInfinity : queue_.next_time();
+  }
 
   std::uint64_t executed_events() const noexcept { return queue_.executed_count(); }
   std::size_t pending_events() const noexcept { return queue_.pending_count(); }

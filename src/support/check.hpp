@@ -53,3 +53,26 @@ inline std::uint32_t checked_u32_mul(std::uint32_t a, std::uint32_t b, const std
   do {                                                                  \
     if (!(expr)) ::gtrix::check_failed(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+// Debug-build invariant assertions (cmake -DGTRIX_DEBUG_CHECKS=ON; the
+// sanitizer CI jobs enable them). Unlike GTRIX_CHECK these may sit on hot
+// paths or perform O(n) walks, so release builds compile them out -- the
+// expression is still parsed (if (false)) so it cannot rot.
+#ifdef GTRIX_DEBUG_CHECKS
+#define GTRIX_DEBUG_CHECK(expr) GTRIX_CHECK(expr)
+#define GTRIX_DEBUG_CHECK_MSG(expr, msg) GTRIX_CHECK_MSG(expr, msg)
+#else
+#define GTRIX_DEBUG_CHECK(expr) \
+  do {                          \
+    if (false) {                \
+      (void)(expr);             \
+    }                           \
+  } while (false)
+#define GTRIX_DEBUG_CHECK_MSG(expr, msg) \
+  do {                                   \
+    if (false) {                         \
+      (void)(expr);                      \
+      (void)(msg);                       \
+    }                                    \
+  } while (false)
+#endif

@@ -331,6 +331,66 @@ TEST(CalendarQueue, MatchesBinaryHeapUnderPurgeResizeChurnAt64k) {
   }
 }
 
+/// Windowed pops under purge/resize churn: the sharded driver pops each
+/// shard's queue in [gmin, horizon) windows via run_next_strictly_before, so
+/// the calendar engine must agree with the heap when window boundaries
+/// interleave with behind-cursor inserts and purge rebuilds. In a
+/// -DGTRIX_DEBUG_CHECKS build (the sanitizer CI jobs), every insert, pop and
+/// rebuild in this churn additionally runs the epoch-freshness assertions in
+/// event_queue.cpp -- entry.epoch must match epoch_of(entry.time) under the
+/// CURRENT bucket width -- turning a silently-buried event into a hard
+/// failure at the exact operation that staled it.
+TEST(CalendarQueue, WindowedPopsMatchBinaryHeapUnderChurn) {
+  for (const std::uint64_t seed : {11ULL, 4242ULL}) {
+    EventQueue cal(SchedulerKind::kCalendar);
+    EventQueue heap(SchedulerKind::kBinaryHeap);
+    EventLog cal_log;
+    EventLog heap_log;
+
+    const auto drive = [seed](EventQueue& q, EventLog& log) {
+      Rng rng(seed);
+      std::vector<TimerHandle> handles;
+      std::int64_t tag = 0;
+      for (int i = 0; i < 66000; ++i) {
+        handles.push_back(
+            q.schedule(rng.uniform(0.0, 3000.0), &log, 0, EventPayload{.i = tag++}));
+      }
+      double horizon = 0.0;
+      SimTime fired = 0.0;
+      for (int window = 0; window < 400; ++window) {
+        horizon += rng.uniform(1.0, 15.0);
+        // Drain the window: events exactly AT the horizon must stay queued.
+        while (q.run_next_strictly_before(horizon, fired)) {
+          ASSERT_LT(fired, horizon);
+        }
+        // Cross-window churn: new events behind and ahead of the horizon
+        // plus bulk cancels that trip purge rebuilds mid-sequence.
+        for (int i = 0; i < 40; ++i) {
+          handles.push_back(q.schedule(horizon + rng.uniform(0.0, 2000.0), &log, 0,
+                                       EventPayload{.i = tag++}));
+        }
+        if (window % 7 == 0 && !handles.empty()) {
+          for (int k = 0; k < 512; ++k) {
+            q.cancel(handles[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(handles.size()) - 1))]);
+          }
+        }
+      }
+      while (q.run_next()) {
+      }
+    };
+
+    drive(cal, cal_log);
+    drive(heap, heap_log);
+    EXPECT_GT(cal.calendar_rebuilds(), 0u);
+    ASSERT_EQ(cal_log.events.size(), heap_log.events.size());
+    for (std::size_t i = 0; i < cal_log.events.size(); ++i) {
+      ASSERT_EQ(cal_log.events[i].time, heap_log.events[i].time) << "at " << i;
+      ASSERT_EQ(cal_log.events[i].payload.i, heap_log.events[i].payload.i) << "at " << i;
+    }
+  }
+}
+
 /// run_next_due respects the deadline and reports fire times (the single-
 /// locate simulator loop depends on both).
 TEST(CalendarQueue, RunNextDueStopsAtDeadline) {

@@ -67,7 +67,10 @@ TEST(Campaign, SummaryAggregates) {
   EXPECT_LE(local.at("min").as_double(), local.at("p50").as_double());
   EXPECT_LE(local.at("p50").as_double(), local.at("p95").as_double());
   EXPECT_LE(local.at("p95").as_double(), local.at("max").as_double());
-  EXPECT_GT(summary.at("counters").at("events_executed").as_int(), 0);
+  // The JSONL reports the engine-invariant logical event count, never the
+  // raw executed-event counter (which varies with batching and sharding).
+  EXPECT_GT(summary.at("counters").at("logical_events").as_int(), 0);
+  EXPECT_EQ(summary.at("shards").as_int(), 1);
   EXPECT_EQ(summary.at("cells_within_thm11_bound").as_int(), 6);
   EXPECT_EQ(local.at("samples").as_int(), 6);
 }

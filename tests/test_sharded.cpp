@@ -1,0 +1,275 @@
+// Sharded-engine differential harness: the conservative-parallel engine
+// (EngineOptions::shards > 1; runner/shard_driver.hpp) must be bit-identical
+// to the serial engine on every builtin scenario -- including mid-run
+// corruption (the run_until window path) and streaming recording -- and the
+// campaign JSONL must not depend on the (threads, shards) combination.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/network.hpp"
+#include "runner/campaign.hpp"
+#include "runner/experiment.hpp"
+#include "runner/perf.hpp"
+#include "scenario/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace gtrix {
+namespace {
+
+// Thins a builtin scenario document to one cell: every sweep axis keeps only
+// its last value (the last value exercises the "most faulted" end of fault
+// axes), and the mega-grid scale scenarios shrink to a 40x40 grid so the
+// differential run stays test-sized while keeping their topology and
+// streaming-recording coverage.
+Json thin_doc(Json doc) {
+  if (doc.contains("sweep")) {
+    Json thin = Json::object();
+    for (const auto& [key, value] : doc.at("sweep").as_object()) {
+      Json axis = Json::array();
+      if (value.is_array()) {
+        axis.push_back(value.as_array().back());
+      } else {
+        axis.push_back(value.at("from"));  // {"from","count"} range spec
+      }
+      thin.set(key, std::move(axis));
+    }
+    doc.set("sweep", std::move(thin));
+  }
+  Json config = doc.at("config");
+  if (config.contains("columns") && config.at("columns").as_int() >= 256) {
+    config.set("columns", static_cast<std::int64_t>(40));
+    config.set("layers", static_cast<std::int64_t>(40));
+    doc.set("config", std::move(config));
+  }
+  return doc;
+}
+
+TEST(Sharded, ShardPlanUsesContiguousColumnRanges) {
+  const auto cells = builtin_scenario("quickstart-grid").cells();
+  const ExperimentConfig& config = cells.front().config;  // 6 columns
+  EngineOptions engine;
+  engine.shards = 4;
+  World world(config, engine);
+  ASSERT_EQ(world.shard_count(), 4u);
+  std::vector<bool> used(4, false);
+  std::uint32_t previous = 0;
+  for (GridNodeId g = 0; g < world.grid().node_count(); ++g) {
+    const std::uint32_t col = world.grid().base().column(world.grid().base_of(g));
+    const std::uint32_t shard = world.shard_of(g);
+    EXPECT_EQ(shard, col * 4u / 6u) << "node " << g;
+    EXPECT_GE(shard, col == 0 ? 0u : previous);
+    used[shard] = true;
+    previous = shard;
+  }
+  for (std::uint32_t s = 0; s < 4; ++s) EXPECT_TRUE(used[s]) << "empty shard " << s;
+}
+
+TEST(Sharded, ShardCountClampsToColumns) {
+  const auto cells = builtin_scenario("quickstart-grid").cells();
+  const ExperimentConfig& config = cells.front().config;  // 6 columns
+  for (const auto& [requested, expected] :
+       {std::pair<std::uint32_t, std::uint32_t>{0, 1},
+        {1, 1},
+        {2, 2},
+        {6, 6},
+        {8, 6},
+        {4096, 6}}) {
+    EngineOptions engine;
+    engine.shards = requested;
+    World world(config, engine);
+    EXPECT_EQ(world.shard_count(), expected) << "requested " << requested;
+  }
+}
+
+TEST(Sharded, LineModeClockSourceLivesInShardZero) {
+  auto cells = builtin_scenario("quickstart-grid").cells();
+  ExperimentConfig config = cells.front().config;
+  config.layer0 = Layer0Mode::kLinePropagation;
+  EngineOptions engine;
+  engine.shards = 3;
+  World world(config, engine);
+  ASSERT_EQ(world.shard_count(), 3u);
+  // The line-mode clock source is the extra net node after the grid nodes;
+  // it feeds column 0 and must share its shard.
+  EXPECT_EQ(world.shard_of(world.grid().node_count()), 0u);
+}
+
+TEST(Sharded, ShardGateIsIdenticalOverTheReferenceEngine) {
+  // Same shape as Perf.EveryEngineGateIsIndividuallyIdentical: flip ONLY the
+  // shard count against the full reference engine, so sharding cannot
+  // "work" by leaning on another optimization masking a divergence.
+  const auto cells = builtin_scenario("quickstart-grid").cells();
+  const ExperimentConfig& config = cells.front().config;
+  const CorruptPlan& corrupt = cells.front().corrupt;
+  const std::string baseline =
+      skew_digest(run_cell(config, corrupt, EngineOptions::reference()));
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    EngineOptions engine = EngineOptions::reference();
+    engine.shards = shards;
+    EXPECT_EQ(skew_digest(run_cell(config, corrupt, engine)), baseline)
+        << shards << " shards diverged from the serial reference engine";
+  }
+}
+
+TEST(Sharded, AllBuiltinScenariosIdenticalAcrossShardCounts) {
+  // 1-vs-2-vs-4-vs-8-shard differential over every builtin scenario (thinned
+  // to one cell each): skew reports AND logical event counts must match the
+  // serial engine exactly. Covers corrupt cells (thm16-stabilization runs
+  // the run_until + corrupt_fraction + realign path) and streaming
+  // recording (the scale scenarios).
+  for (const BuiltinInfo& info : builtin_scenarios()) {
+    const Scenario scenario = Scenario::from_json(thin_doc(builtin_scenario_doc(info.name)));
+    for (const ScenarioCell& cell : scenario.cells()) {
+      const ExperimentResult serial = run_cell(cell.config, cell.corrupt, EngineOptions{});
+      const std::string baseline = skew_digest(serial);
+      const std::uint64_t logical = serial.counters.events_executed -
+                                    serial.counters.delivery_events +
+                                    serial.counters.messages_delivered;
+      for (const std::uint32_t shards : {2u, 4u, 8u}) {
+        EngineOptions engine;
+        engine.shards = shards;
+        const ExperimentResult sharded = run_cell(cell.config, cell.corrupt, engine);
+        EXPECT_EQ(skew_digest(sharded), baseline)
+            << info.name << " cell " << cell.label << " diverged at " << shards
+            << " shards";
+        EXPECT_EQ(sharded.counters.events_executed - sharded.counters.delivery_events +
+                      sharded.counters.messages_delivered,
+                  logical)
+            << info.name << " cell " << cell.label << " logical events diverged at "
+            << shards << " shards";
+        EXPECT_EQ(sharded.counters.messages_delivered, serial.counters.messages_delivered)
+            << info.name << " cell " << cell.label;
+        EXPECT_EQ(sharded.counters.iterations, serial.counters.iterations)
+            << info.name << " cell " << cell.label;
+      }
+    }
+  }
+}
+
+TEST(Sharded, RepeatedShardedRunsAreDeterministic) {
+  // The mailbox hand-off runs under real thread interleaving; repeat the
+  // same 4-shard cell several times to catch schedule-dependent divergence
+  // (a lost or duplicated envelope shows up as a changed digest).
+  const auto cells = builtin_scenario("quickstart-grid").cells();
+  const ExperimentConfig& config = cells.front().config;
+  EngineOptions engine;
+  engine.shards = 4;
+  const std::string first = skew_digest(run_cell(config, {}, engine));
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    EXPECT_EQ(skew_digest(run_cell(config, {}, engine)), first)
+        << "repeat " << repeat;
+  }
+}
+
+TEST(Sharded, CampaignJsonlIsIdenticalAcrossThreadsAndShards) {
+  // Nested parallelism: whatever combination of sweep workers and engine
+  // shards the budget resolves to, the campaign JSONL bytes cannot change.
+  const Scenario scenario = builtin_scenario("quickstart-grid");
+  const std::string baseline = campaign_jsonl(
+      run_campaign(scenario, CampaignOptions{.threads = 1, .shards = 1, .recording_override = {}}));
+  ASSERT_FALSE(baseline.empty());
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    for (const std::uint32_t shards : {1u, 2u, 4u}) {
+      if (threads == 1 && shards == 1) continue;
+      const CampaignResult result = run_campaign(
+          scenario, CampaignOptions{.threads = threads, .shards = shards, .recording_override = {}});
+      EXPECT_EQ(campaign_jsonl(result), baseline)
+          << "threads=" << threads << " shards=" << shards;
+    }
+  }
+}
+
+TEST(Sharded, CampaignBudgetsShardsAgainstSweepThreads) {
+  // cells x shards stays within hardware concurrency: shards_used follows
+  // the documented formula from the ACTUAL thread count, whatever machine
+  // the test runs on.
+  const Scenario scenario = builtin_scenario("quickstart-grid");
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  for (const unsigned threads : {1u, 2u}) {
+    const CampaignResult result = run_campaign(
+        scenario, CampaignOptions{.threads = threads, .shards = 8, .recording_override = {}});
+    const std::uint32_t expected = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(8, hardware / std::max(1u, result.threads_used)));
+    EXPECT_EQ(result.shards_used, expected) << "threads=" << threads;
+    EXPECT_EQ(campaign_summary(result).at("shards").as_int(),
+              static_cast<std::int64_t>(expected));
+  }
+  // An explicit --shards=1 always runs serial regardless of budget headroom.
+  const CampaignResult serial =
+      run_campaign(scenario, CampaignOptions{.threads = 1, .shards = 1, .recording_override = {}});
+  EXPECT_EQ(serial.shards_used, 1u);
+}
+
+TEST(Sharded, ScenarioEngineShardsParsesAndValidates) {
+  const Scenario with = Scenario::from_json(Json::parse(R"({
+    "name": "t", "config": {"columns": 4, "layers": 4, "pulses": 6},
+    "engine": {"shards": 4}
+  })"));
+  EXPECT_EQ(with.engine_shards(), 4u);
+  const Scenario without = Scenario::from_json(Json::parse(R"({
+    "name": "t", "config": {"columns": 4, "layers": 4, "pulses": 6}
+  })"));
+  EXPECT_EQ(without.engine_shards(), 1u);
+  EXPECT_THROW(Scenario::from_json(Json::parse(R"({
+    "name": "t", "config": {}, "engine": {"shards": 0}
+  })")),
+               std::runtime_error);
+  EXPECT_THROW(Scenario::from_json(Json::parse(R"({
+    "name": "t", "config": {}, "engine": {"threads": 2}
+  })")),
+               std::runtime_error);
+  // The scenario default feeds the campaign when no --shards override is
+  // given; results stay identical to the serial run by construction.
+  const Scenario tiny = Scenario::from_json(Json::parse(R"({
+    "name": "tiny-sharded",
+    "config": {"columns": 6, "layers": 6, "pulses": 8},
+    "engine": {"shards": 2}
+  })"));
+  const CampaignResult defaulted =
+      run_campaign(tiny, CampaignOptions{.threads = 1, .shards = 0, .recording_override = {}});
+  EXPECT_LE(defaulted.shards_used, 2u);
+  Json doc = builtin_scenario_doc("quickstart-grid");
+  // Builtin docs deliberately carry no "engine" key: engine choices stay out
+  // of committed scenario documents (ROADMAP gating doctrine); the scenario
+  // key exists for user files.
+  EXPECT_FALSE(doc.contains("engine"));
+}
+
+TEST(Sharded, NetworkLookaheadIsMinimumCrossShardDelay) {
+  Simulator sim_a;
+  Simulator sim_b;
+  Network net(sim_a);
+  const NetNodeId n0 = net.add_node();
+  const NetNodeId n1 = net.add_node();
+  const NetNodeId n2 = net.add_node();
+  const NetNodeId n3 = net.add_node();
+  net.add_edge(n0, n1, 0.25);  // intra-shard: must not bound the lookahead
+  net.add_edge(n1, n2, 2.0);   // crosses 0 -> 1
+  net.add_edge(n2, n1, 1.5);   // crosses 1 -> 0
+  net.add_edge(n2, n3, 0.5);   // intra-shard
+  net.configure_shards({&sim_a, &sim_b}, {0, 0, 1, 1});
+  EXPECT_EQ(net.shard_count(), 2u);
+  EXPECT_DOUBLE_EQ(net.cross_shard_lookahead(), 1.5);
+  EXPECT_EQ(net.shard_of(n1), 0u);
+  EXPECT_EQ(net.shard_of(n2), 1u);
+  EXPECT_EQ(net.earliest_mailbox_time(), kTimeInfinity);
+}
+
+TEST(Sharded, ConfiguringASingleShardKeepsTheSerialEngine) {
+  Simulator sim;
+  Network net(sim);
+  const NetNodeId n0 = net.add_node();
+  const NetNodeId n1 = net.add_node();
+  net.add_edge(n0, n1, 1.0);
+  net.configure_shards({&sim}, {0, 0});
+  EXPECT_EQ(net.shard_count(), 1u);
+  // Serial mode is untouched: topology edits stay legal.
+  net.add_edge(n1, n0, 1.0);
+  EXPECT_EQ(net.edge_count(), 2u);
+}
+
+}  // namespace
+}  // namespace gtrix

@@ -35,6 +35,10 @@ Usage make_usage(const std::string& program) {
   usage.flag("--export=DIR", "write built-in scenarios as JSON files and exit");
   usage.flag("--out=DIR", "output directory (default: campaign-out)");
   usage.flag("--threads=N", "sweep worker threads (default 0 = all cores)");
+  usage.flag("--shards=N",
+             "engine shards per cell (default 0 = the scenario's own engine "
+             "default); budgeted so cells x shards stays within hardware "
+             "concurrency -- results are bit-identical for every shard count");
   usage.flag("--recording=MODE",
              "override every cell's trace retention: full, windowed or streaming "
              "(see docs/scaling.md; corrupt cells always record full)");
@@ -74,6 +78,14 @@ int list_builtins() {
   std::printf("\nregistered components (scenario config syntax: \"<dimension>\": \"<kind>\" "
               "or {\"kind\": ..., <params>}):\n%s",
               components.render().c_str());
+
+  Table gates({"engine gate", "fast", "reference", "summary"});
+  for (const EngineGateDesc& desc : engine_gate_descs()) {
+    gates.row().add(desc.name).add(desc.fast_value).add(desc.reference_value).add(desc.summary);
+  }
+  std::printf("\nengine gates (EngineOptions; performance only -- every combination "
+              "produces bit-identical results):\n%s",
+              gates.render().c_str());
   return 0;
 }
 
@@ -99,11 +111,25 @@ int describe_component(const std::string& kind) {
     }
     std::printf("\n");
   }
+  // Engine gates share the --describe namespace: they are not scenario
+  // components (they never appear in configs or JSONL), but users discover
+  // them through the same --list table.
+  for (const EngineGateDesc& desc : engine_gate_descs()) {
+    if (desc.name != kind) continue;
+    found = true;
+    std::printf("engine gate '%s' (EngineOptions; performance only, results are "
+                "bit-identical)\n  %s\n  fast engine: %s, reference engine: %s\n\n",
+                desc.name.c_str(), desc.summary.c_str(), desc.fast_value.c_str(),
+                desc.reference_value.c_str());
+  }
   if (!found) {
     std::string valid;
     for (const ComponentDesc& desc : all_component_descs()) {
       if (!valid.empty()) valid += ", ";
       valid += desc.kind;
+    }
+    for (const EngineGateDesc& desc : engine_gate_descs()) {
+      valid += ", " + desc.name;
     }
     std::fprintf(stderr, "error: no registered component named '%s' (valid: %s)\n",
                  kind.c_str(), valid.c_str());
@@ -178,8 +204,15 @@ int run(int argc, char** argv) {
                  static_cast<long long>(threads));
     return 2;
   }
+  const std::int64_t shards = flags.get_int("shards", 0);
+  if (shards < 0 || shards > 4096) {
+    std::fprintf(stderr, "error: --shards must be in [0, 4096], got %lld\n",
+                 static_cast<long long>(shards));
+    return 2;
+  }
   CampaignOptions options;
   options.threads = static_cast<unsigned>(threads);
+  options.shards = static_cast<std::uint32_t>(shards);
   if (flags.has("recording")) {
     const std::string mode = flags.get_string("recording", "");
     if (mode.empty() || mode == "true") {
