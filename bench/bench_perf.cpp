@@ -69,6 +69,10 @@ int run(int argc, char** argv) {
   usage.flag("--out=FILE", "also write the report JSON to FILE");
   usage.flag("--baseline=FILE", "fail on speedup regression vs this BENCH_perf.json");
   usage.flag("--max-regression=X", "allowed fractional speedup drop (default 0.25)");
+  usage.flag("--telemetry-gate=TOL",
+             "run ONLY the telemetry on/off overhead comparison on the gate "
+             "scenario and fail if overhead exceeds TOL (e.g. 0.05); results "
+             "must stay bit-identical");
   usage.flag("--help", "show this help");
   const Flags flags(argc, argv, {"--quick", "--help"});
   if (flags.get_bool("help", false)) {
@@ -85,6 +89,40 @@ int run(int argc, char** argv) {
 
   const bool quick = flags.get_bool("quick", false);
   const int repeats = static_cast<int>(flags.get_int("repeats", quick ? 2 : 5));
+
+  if (flags.has("telemetry-gate")) {
+    if (!kObsCompiled) {
+      // Nothing to gate: the disabled build has no telemetry code at all.
+      std::fprintf(stderr, "telemetry gate skipped: built with GTRIX_OBS=OFF\n");
+      return 0;
+    }
+    const double tolerance = flags.get_double("telemetry-gate", 0.05);
+    const std::string name = flags.get_string("scenario", kGateScenario);
+    std::fprintf(stderr, "telemetry overhead on %s (%d repeats, on vs off)...\n",
+                 name.c_str(), repeats);
+    const TelemetryOverheadReport report =
+        run_telemetry_overhead(builtin_scenario(name), repeats);
+    const Json doc = telemetry_overhead_json(report);
+    std::fputs((doc.dump(2) + "\n").c_str(), stdout);
+    if (flags.has("out")) write_file(flags.get_string("out", ""), doc.dump(2) + "\n");
+    if (!report.skew_identical) {
+      std::fprintf(stderr, "FAIL: telemetry changed skew results -- it must be "
+                           "purely observational\n");
+      return 1;
+    }
+    if (report.overhead > tolerance) {
+      std::fprintf(stderr,
+                   "FAIL: telemetry overhead %.1f%% exceeds %.1f%% tolerance "
+                   "(%.3fs on vs %.3fs off)\n",
+                   report.overhead * 100.0, tolerance * 100.0, report.on_wall_seconds,
+                   report.off_wall_seconds);
+      return 1;
+    }
+    std::fprintf(stderr, "telemetry gate OK: %.1f%% overhead <= %.1f%% (%.3fs on, %.3fs off)\n",
+                 report.overhead * 100.0, tolerance * 100.0, report.on_wall_seconds,
+                 report.off_wall_seconds);
+    return 0;
+  }
 
   std::vector<std::string> timing_set;
   std::vector<std::string> identity_set;

@@ -32,7 +32,6 @@
 // --assert-shard-floor (CI smoke) fails if 2 shards run materially slower
 // than 1 on a host with headroom; --assert-shard-scaling applies the tiered
 // thresholds to every listed count the host has cores AND headroom for.
-#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -47,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/rss.hpp"
 #include "registry/recording.hpp"
 #include "runner/experiment.hpp"
 #include "scenario/registry.hpp"
@@ -80,12 +80,6 @@ struct ModeResult {
   std::uint64_t stream_bytes = 0;
 };
 
-double self_peak_rss_mb() {
-  rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
-}
-
 /// Runs one cell under `mode` with `shards` engine shards in THIS process
 /// and serializes the result.
 Json run_mode(const ExperimentConfig& base_config, const std::string& mode,
@@ -113,7 +107,9 @@ Json run_mode(const ExperimentConfig& base_config, const std::string& mode,
   j.set("mode", mode);
   j.set("shards", world.shard_count());
   j.set("wall_seconds", wall);
-  j.set("peak_rss_mb", self_peak_rss_mb());
+  // obs/rss.hpp is the one shared definition of "peak RSS" (same sampler
+  // campaign engine_stats reports through).
+  j.set("peak_rss_mb", peak_rss_mb());
   j.set("events_executed", counters.events_executed);
   j.set("logical_events", logical);
   j.set("messages_delivered", counters.messages_delivered);

@@ -101,6 +101,7 @@ void Network::publish_mailboxes() {
   for (std::size_t i = 0; i < mail_.size(); ++i) {
     std::vector<ShardEnvelope>& cell = mail_[i];
     if (cell.empty()) continue;
+    envelopes_published_ += cell.size();
     std::vector<ShardEnvelope>& published = pending_[i];
     if (published.empty()) {
       published.swap(cell);  // the common case: last window's batch was drained
@@ -131,6 +132,7 @@ void Network::drain_mailbox(std::uint32_t dst) {
               return a.edge < b.edge;
             });
   Simulator& sim = *shard_sims_[dst];
+  shard_counters_[dst].envelopes_drained += batch.size();
   for (const ShardEnvelope& env : batch) {
     sim.at(env.arrival, this, kDeliver,
            EventPayload{.a = env.from, .b = env.edge, .c = env.to, .i = env.stamp, .f = 0.0});
@@ -146,6 +148,12 @@ std::uint64_t Network::messages_sent() const noexcept {
 std::uint64_t Network::messages_delivered() const noexcept {
   std::uint64_t total = delivered_;
   for (const ShardCounters& c : shard_counters_) total += c.delivered;
+  return total;
+}
+
+std::uint64_t Network::envelopes_drained() const noexcept {
+  std::uint64_t total = 0;
+  for (const ShardCounters& c : shard_counters_) total += c.envelopes_drained;
   return total;
 }
 

@@ -120,6 +120,15 @@ class Network final : public TimerTarget {
   std::uint64_t messages_sent() const noexcept;
   std::uint64_t messages_delivered() const noexcept;
 
+  /// Cross-shard mailbox traffic (telemetry summary; both 0 in serial
+  /// mode). Published counts accumulate in the serial barrier completion;
+  /// drained counts live in the per-shard counter cells.
+  std::uint64_t envelopes_published() const noexcept { return envelopes_published_; }
+  std::uint64_t envelopes_drained() const noexcept;
+  std::uint64_t shard_envelopes_drained(std::uint32_t shard) const {
+    return shard_counters_.at(shard).envelopes_drained;
+  }
+
   /// Queue events spent performing deliveries (one per message unbatched,
   /// one per broadcast batched). executed_events - delivery_events +
   /// messages_delivered is the engine-independent logical event count
@@ -200,6 +209,9 @@ class Network final : public TimerTarget {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
     std::uint64_t delivery_events = 0;
+    /// Envelopes this shard drained into its queue (written only by the
+    /// owning worker in drain_mailbox); telemetry summary data.
+    std::uint64_t envelopes_drained = 0;
   };
 
   void deliver(NetNodeId from, EdgeId edge, NetNodeId to, const Pulse& pulse, SimTime at);
@@ -225,6 +237,8 @@ class Network final : public TimerTarget {
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t delivery_events_ = 0;
+  /// Written only inside publish_mailboxes (serial barrier completion).
+  std::uint64_t envelopes_published_ = 0;
 
   // Sharded-mode state; all empty / trivial while shard_count_ == 1.
   std::uint32_t shard_count_ = 1;

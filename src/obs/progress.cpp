@@ -1,0 +1,74 @@
+#include "obs/progress.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace gtrix {
+
+namespace {
+
+/// "1.82M", "912k", "431" -- enough precision for a heartbeat.
+std::string human_rate(double per_sec) {
+  char buf[32];
+  if (per_sec >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM", per_sec / 1e6);
+  } else if (per_sec >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0fk", per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", per_sec);
+  }
+  return buf;
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::string label, std::uint64_t total_cells,
+                             double interval_seconds)
+    : label_(std::move(label)),
+      total_cells_(total_cells),
+      started_(std::chrono::steady_clock::now()) {
+  GTRIX_CHECK_MSG(interval_seconds > 0.0, "progress interval must be positive");
+  thread_ = std::thread([this, interval_seconds] { heartbeat_loop(interval_seconds); });
+}
+
+ProgressMeter::~ProgressMeter() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  if (done_.load(std::memory_order_relaxed) > 0) print_line();
+}
+
+void ProgressMeter::heartbeat_loop(double interval_seconds) {
+  const auto interval = std::chrono::duration<double>(interval_seconds);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
+    print_line();
+  }
+}
+
+void ProgressMeter::print_line() const {
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const std::uint64_t events = events_.load(std::memory_order_relaxed);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+  const double rate = elapsed > 0.0 ? static_cast<double>(events) / elapsed : 0.0;
+  char eta[32];
+  if (done == 0 || done >= total_cells_) {
+    std::snprintf(eta, sizeof eta, "-");
+  } else {
+    const double remaining =
+        elapsed * static_cast<double>(total_cells_ - done) / static_cast<double>(done);
+    std::snprintf(eta, sizeof eta, "%.1fs", remaining);
+  }
+  std::fprintf(stderr, "[%s] %llu/%llu cells | %s ev/s | %.1fs elapsed | eta %s\n",
+               label_.c_str(), static_cast<unsigned long long>(done),
+               static_cast<unsigned long long>(total_cells_), human_rate(rate).c_str(),
+               elapsed, eta);
+}
+
+}  // namespace gtrix

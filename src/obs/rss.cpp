@@ -1,0 +1,43 @@
+#include "obs/rss.hpp"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace gtrix {
+
+double peak_rss_mb() {
+#if defined(__APPLE__)
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#elif defined(__unix__)
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB
+#else
+  return 0.0;
+#endif
+}
+
+double current_rss_mb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long long pages_total = 0;
+  long long pages_resident = 0;
+  const int got = std::fscanf(f, "%lld %lld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (got != 2) return 0.0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<double>(pages_resident) * static_cast<double>(page) /
+         (1024.0 * 1024.0);
+#else
+  return 0.0;
+#endif
+}
+
+}  // namespace gtrix

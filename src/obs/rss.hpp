@@ -1,0 +1,19 @@
+// Process-memory sampling: the ONE code path for peak-RSS numbers.
+//
+// bench_scale's forked-child measurements and campaign engine_stats both
+// report through peak_rss_mb(), so "peak RSS" means the same thing in every
+// artifact (getrusage ru_maxrss, the kernel's high-water mark for the
+// calling process).
+#pragma once
+
+namespace gtrix {
+
+/// Peak resident set size of this process in MB (ru_maxrss); 0.0 when the
+/// platform offers no measurement.
+double peak_rss_mb();
+
+/// Current resident set size in MB (/proc/self/statm); 0.0 when
+/// unavailable. Informational only -- never part of any gate.
+double current_rss_mb();
+
+}  // namespace gtrix

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "support/stats.hpp"
 
 namespace gtrix {
@@ -85,8 +88,34 @@ Json percentiles_to_json(std::vector<double> values) {
 }  // namespace
 
 ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& corrupt,
-                          EngineOptions engine) {
-  if (!corrupt.enabled) return run_experiment(config, engine);
+                          EngineOptions engine, CellObs obs) {
+  // Phase spans land on (cell pid, tid 0); sharded window spans nest inside
+  // them on the per-shard tids. Null trace -> zero added work.
+  TraceCollector* trace = kObsCompiled && engine.telemetry ? obs.trace : nullptr;
+  const auto phase_span = [&](const char* name, auto&& body) {
+    if (trace == nullptr) {
+      body();
+      return;
+    }
+    const double t0 = trace->now_us();
+    body();
+    trace->add_complete(obs.trace_pid, 0, name, t0, trace->now_us() - t0);
+  };
+
+  if (!corrupt.enabled) {
+    if (trace == nullptr) return run_experiment(config, engine);
+    World world(config, engine);
+    world.set_trace(trace, obs.trace_pid);
+    phase_span("run", [&] { world.run_to_completion(); });
+    ExperimentResult result;
+    result.skew = world.skew();
+    result.counters = world.counters();
+    result.diameter = world.grid().base().diameter();
+    result.thm11_bound = config.params.thm11_bound(result.diameter);
+    result.global_bound = config.params.global_skew_bound(result.diameter);
+    result.engine_stats = world.engine_stats();
+    return result;
+  }
 
   // Corrupt cells measure over a post-recovery sub-window after wave-label
   // realignment; both need the full trace, so the memory-bounded recording
@@ -94,12 +123,13 @@ ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& cor
   ExperimentConfig cell_config = config;
   cell_config.recording_spec = ComponentSpec{};
   World world(cell_config, engine);
+  world.set_trace(trace, obs.trace_pid);
   // Seed derivation matches the historical stabilization harnesses.
   Rng rng(config.seed ^ 0xFEED);
-  world.run_until(corrupt.wave * config.params.lambda);
-  world.corrupt_fraction(corrupt.fraction, rng);
-  world.run_to_completion();
-  world.realign_labels();
+  phase_span("run", [&] { world.run_until(corrupt.wave * config.params.lambda); });
+  phase_span("corrupt", [&] { world.corrupt_fraction(corrupt.fraction, rng); });
+  phase_span("recover", [&] { world.run_to_completion(); });
+  phase_span("realign", [&] { world.realign_labels(); });
 
   ExperimentResult result;
   // Measure after the recovery budget (one layer per wave plus slack), not
@@ -120,6 +150,7 @@ ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& cor
   result.diameter = world.grid().base().diameter();
   result.thm11_bound = config.params.thm11_bound(result.diameter);
   result.global_bound = config.params.global_skew_bound(result.diameter);
+  result.engine_stats = world.engine_stats();
   return result;
 }
 
@@ -164,9 +195,41 @@ CampaignResult run_campaign(const Scenario& scenario, const CampaignOptions& opt
                                  hardware / std::max(1u, campaign.threads_used)));
   EngineOptions engine;
   engine.shards = campaign.shards_used;
+  engine.telemetry = kObsCompiled && (options.telemetry || options.trace != nullptr);
+
+  TraceCollector* trace = engine.telemetry ? options.trace : nullptr;
+  if (trace != nullptr) {
+    trace->set_process_name(1, "campaign " + campaign.scenario);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      trace->set_process_name(options.trace_pid_base + static_cast<std::uint32_t>(i),
+                              campaign.scenario + "/" + cells[i].label);
+    }
+  }
+  std::unique_ptr<ProgressMeter> progress;
+  if (options.progress_seconds > 0.0) {
+    progress = std::make_unique<ProgressMeter>(campaign.scenario, cells.size(),
+                                               options.progress_seconds);
+  }
+
   const std::vector<ExperimentResult> results = runner.run(
-      configs, [&cells, engine](const ExperimentConfig& config, std::size_t i) {
-        return run_cell(config, cells[i].corrupt, engine);
+      configs, [&](const ExperimentConfig& config, std::size_t i) {
+        CellObs obs;
+        if (trace != nullptr) {
+          obs.trace = trace;
+          obs.trace_pid = options.trace_pid_base + static_cast<std::uint32_t>(i);
+        }
+        const double t0 = trace != nullptr ? trace->now_us() : 0.0;
+        ExperimentResult r = run_cell(config, cells[i].corrupt, engine, obs);
+        const std::uint64_t logical = r.counters.events_executed -
+                                      r.counters.delivery_events +
+                                      r.counters.messages_delivered;
+        if (trace != nullptr) {
+          trace->add_complete(1, trace->tid_for_current_thread(), cells[i].label, t0,
+                              trace->now_us() - t0,
+                              static_cast<std::int64_t>(logical));
+        }
+        if (progress) progress->cell_done(logical);
+        return r;
       });
 
   campaign.cells.reserve(cells.size());
@@ -205,6 +268,12 @@ std::string campaign_jsonl(const CampaignResult& result) {
     bounds.set("global", cell.result.global_bound);
     res.set("bounds", std::move(bounds));
     res.set("counters", counters_to_json(cell.result.counters));
+    // Engine-invariant telemetry only: the JSONL must stay byte-identical
+    // across (threads, shards), so the engine-shaped counters and all
+    // wall-clock data live in the summary instead.
+    if (cell.result.engine_stats.enabled) {
+      res.set("engine_stats", cell.result.engine_stats.invariant_json());
+    }
     line.set("result", std::move(res));
     out += line.dump();
     out += '\n';
@@ -215,8 +284,10 @@ std::string campaign_jsonl(const CampaignResult& result) {
 Json campaign_summary(const CampaignResult& result) {
   std::vector<double> local, global;
   ExperimentCounters totals;
+  EngineStats engine_totals;
   std::int64_t within_thm11 = 0;
   for (const CampaignCell& cell : result.cells) {
+    engine_totals.merge(cell.result.engine_stats);
     local.push_back(cell.result.skew.max_intra);
     global.push_back(cell.result.skew.global_skew);
     if (cell.result.skew.max_intra <= cell.result.thm11_bound) ++within_thm11;
@@ -242,6 +313,9 @@ Json campaign_summary(const CampaignResult& result) {
   j.set("threads", result.threads_used);
   j.set("shards", result.shards_used);
   j.set("wall_seconds", result.wall_seconds);
+  // Merged engine telemetry (engine-shaped + wall-clock); summary-only by
+  // design -- this file already holds the non-portable wall_seconds.
+  if (engine_totals.enabled) j.set("engine_stats", engine_totals.summary_json());
   return j;
 }
 

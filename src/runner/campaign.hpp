@@ -12,6 +12,7 @@
 //    which is why it lives here and never in the JSONL.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,8 @@
 #include "scenario/spec.hpp"
 
 namespace gtrix {
+
+class TraceCollector;
 
 struct CampaignOptions {
   unsigned threads = 0;  ///< sweep workers; 0 = hardware concurrency
@@ -35,6 +38,22 @@ struct CampaignOptions {
   /// -- which run under full recording regardless (see run_cell) -- are
   /// rewritten to full in the output, whatever the scenario declared.
   ComponentSpec recording_override;
+  /// Engine telemetry per cell (--telemetry; docs/observability.md): cells
+  /// harvest EngineStats, the JSONL gains the engine-invariant
+  /// `engine_stats` block and the summary the merged engine-shaped one.
+  /// Implied by a non-null `trace`. No-op when GTRIX_OBS is compiled out.
+  bool telemetry = false;
+  /// Optional Chrome-trace collector (--trace-out; non-owning). Cell i's
+  /// run is traced under pid `trace_pid_base + i`; the campaign itself
+  /// under pid 1, one span per cell on the executing sweep worker's tid.
+  TraceCollector* trace = nullptr;
+  /// First pid used for per-cell trace processes (pid 1 is the campaign);
+  /// callers tracing several campaigns into one file bump this.
+  std::uint32_t trace_pid_base = 2;
+  /// > 0: print a live progress heartbeat to stderr every this-many
+  /// seconds (--progress) -- cells done, cumulative events/s, ETA.
+  /// Diagnostics only; never written to the JSONL or summary.
+  double progress_seconds = 0.0;
 };
 
 struct CampaignCell {
@@ -52,13 +71,21 @@ struct CampaignResult {
   double wall_seconds = 0.0;
 };
 
+/// Per-cell observers (campaign internals; defaulted so direct run_cell
+/// callers -- tests, bench_perf -- are untouched). Only honored when
+/// `engine.telemetry` is set and GTRIX_OBS is compiled in.
+struct CellObs {
+  TraceCollector* trace = nullptr;  ///< non-owning
+  std::uint32_t trace_pid = 0;      ///< trace process id for this cell
+};
+
 /// Runs one cell, honoring an optional mid-run corruption plan (the
 /// Theorem 1.6 workload: run to wave * lambda, scramble `fraction` of all
 /// nodes, run out, realign labels, then measure). `engine` selects the
 /// simulation engine (bench_perf runs the reference engine through here;
 /// results are bit-identical for every engine).
 ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& corrupt,
-                          EngineOptions engine = {});
+                          EngineOptions engine = {}, CellObs obs = {});
 
 /// Expands and runs the whole scenario matrix in parallel.
 CampaignResult run_campaign(const Scenario& scenario, const CampaignOptions& options = {});

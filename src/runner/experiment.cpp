@@ -1,7 +1,9 @@
 #include "runner/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/rss.hpp"
 #include "runner/shard_driver.hpp"
 #include "support/check.hpp"
 
@@ -22,6 +24,9 @@ std::vector<EngineGateDesc> engine_gate_descs() {
       {"shards", "1", "1",
        "conservative-parallel shards per run (--shards; clamped to columns "
        "and the thread budget); every count is bit-identical"},
+      {"telemetry", "off", "off",
+       "engine counters, window timings and peak RSS (--telemetry; "
+       "docs/observability.md); purely observational, results identical"},
   };
 }
 
@@ -133,6 +138,12 @@ World::World(ExperimentConfig config, EngineOptions engine)
   layer0_by_grid_.assign(grid_.node_count(), nullptr);
 
   init_shards();
+  // Telemetry lanes exist only for sharded runs (the serial engine has no
+  // windows to time); counters are harvested from always-on sources either
+  // way. kObsCompiled is constexpr, so with GTRIX_OBS=OFF this folds away.
+  if (kObsCompiled && engine_.telemetry && shard_count_ > 1) {
+    telemetry_ = std::make_unique<Telemetry>(shard_count_);
+  }
   build_network(delay_rng);
   if (shard_count_ > 1) net_.configure_shards(shard_sims_, node_shard_);
   build_layer0(clock_rng, layer0_rng);
@@ -446,19 +457,83 @@ void World::install_fault(GridNodeId g, const FaultSpec& spec, NodeModel& model,
 }
 
 void World::run_to_completion() {
+  using Clock = std::chrono::steady_clock;
+  const bool timed = kObsCompiled && engine_.telemetry;
+  const Clock::time_point t0 = timed ? Clock::now() : Clock::time_point{};
   if (shard_count_ <= 1) {
     sim_.run_all();
-    return;
+  } else {
+    ShardDriver(shard_sims_, net_, recorder_, shard_recorder_ptrs_,
+                ShardDriverObs{telemetry_.get(), trace_, trace_pid_})
+        .run(kTimeInfinity);
   }
-  ShardDriver(shard_sims_, net_, recorder_, shard_recorder_ptrs_).run(kTimeInfinity);
+  if (timed) run_wall_seconds_ += std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
 void World::run_until(SimTime t) {
+  using Clock = std::chrono::steady_clock;
+  const bool timed = kObsCompiled && engine_.telemetry;
+  const Clock::time_point t0 = timed ? Clock::now() : Clock::time_point{};
   if (shard_count_ <= 1) {
     sim_.run_until(t);
-    return;
+  } else {
+    ShardDriver(shard_sims_, net_, recorder_, shard_recorder_ptrs_,
+                ShardDriverObs{telemetry_.get(), trace_, trace_pid_})
+        .run(t);
   }
-  ShardDriver(shard_sims_, net_, recorder_, shard_recorder_ptrs_).run(t);
+  if (timed) run_wall_seconds_ += std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void World::set_trace(TraceCollector* trace, std::uint32_t pid) {
+  if (!kObsCompiled || !engine_.telemetry) return;
+  trace_ = trace;
+  trace_pid_ = pid;
+}
+
+EngineStats World::engine_stats() const {
+  EngineStats stats;
+  if (!kObsCompiled || !engine_.telemetry) return stats;
+  stats.enabled = true;
+
+  // Engine-invariant block (JSONL-safe; see obs/telemetry.hpp).
+  const ExperimentCounters c = counters();
+  stats.set(ObsCounter::kLogicalEvents,
+            c.events_executed - c.delivery_events + c.messages_delivered);
+  stats.set(ObsCounter::kMessagesSent, c.messages_sent);
+  stats.set(ObsCounter::kMessagesDelivered, c.messages_delivered);
+  stats.set(ObsCounter::kNodeIterations, c.iterations);
+  stats.set(ObsCounter::kPulsesRecorded, recorder_.pulse_count());
+
+  // Queue counters, summed over shard queues. Cancels are algorithm-issued
+  // and engine-invariant; scheduled/executed/purged/rebuilds are
+  // engine-shaped (summary only).
+  std::uint64_t cancels = 0, scheduled = 0, purged = 0, rebuilds = 0;
+  const auto harvest_queue = [&](const Simulator& sim) {
+    const EventQueue& q = sim.event_queue();
+    cancels += q.cancelled_count();
+    scheduled += q.scheduled_count();
+    purged += q.purged_count();
+    rebuilds += q.calendar_rebuilds();
+  };
+  harvest_queue(sim_);
+  for (const auto& sim : extra_sims_) harvest_queue(*sim);
+  stats.set(ObsCounter::kTimerCancels, cancels);
+  stats.set(ObsCounter::kEventsExecuted, c.events_executed);
+  stats.set(ObsCounter::kEventsScheduled, scheduled);
+  stats.set(ObsCounter::kEventsPurged, purged);
+  stats.set(ObsCounter::kCalendarRebuilds, rebuilds);
+
+  // Sharded-run extras: window lanes and mailbox traffic.
+  if (telemetry_) telemetry_->harvest_into(stats);
+  stats.set(ObsCounter::kEnvelopesPublished, net_.envelopes_published());
+  stats.set(ObsCounter::kEnvelopesDrained, net_.envelopes_drained());
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(stats.shards.size()); ++s) {
+    stats.shards[s].envelopes_drained = net_.shard_envelopes_drained(s);
+  }
+
+  stats.run_wall_seconds = run_wall_seconds_;
+  stats.peak_rss_mb = peak_rss_mb();
+  return stats;
 }
 
 void World::corrupt_fraction(double fraction, Rng& rng) {
@@ -550,6 +625,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config, EngineOptions en
   result.diameter = world.grid().base().diameter();
   result.thm11_bound = config.params.thm11_bound(result.diameter);
   result.global_bound = config.params.global_skew_bound(result.diameter);
+  result.engine_stats = world.engine_stats();
   return result;
 }
 

@@ -32,6 +32,7 @@
 #include "metrics/skew.hpp"
 #include "metrics/streaming.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "registry/algorithm.hpp"
 #include "registry/clock_model.hpp"
 #include "registry/component.hpp"
@@ -42,6 +43,8 @@
 #include "support/rng.hpp"
 
 namespace gtrix {
+
+class TraceCollector;
 
 enum class Layer0Mode {
   kIdealJitter,       ///< direct synchronized input, L_0 <= jitter
@@ -137,6 +140,13 @@ struct EngineOptions {
   /// column count; 0 and 1 both select the serial engine, whose code paths
   /// then run completely untouched.
   std::uint32_t shards = 1;
+  /// Engine telemetry (docs/observability.md): World::engine_stats()
+  /// harvests counters, window timings and peak RSS after a run. Purely
+  /// observational -- simulations are bit-identical with it on or off, and
+  /// the engine-invariant counter block is byte-identical across every
+  /// engine combination. Off by default; no-op when compiled out
+  /// (GTRIX_OBS=OFF).
+  bool telemetry = false;
 
   /// The pre-refactor hot path, reproduced choice by choice: binary heap,
   /// per-edge broadcasts, object-per-node state, uncached metrics, paired
@@ -232,6 +242,20 @@ class World {
 
   ExperimentCounters counters() const;
 
+  /// Attaches an optional Chrome-trace collector (obs/trace.hpp) for
+  /// sharded window/barrier spans; non-owning, must outlive the runs.
+  /// `pid` identifies this World in the trace. No-op when
+  /// EngineOptions::telemetry is off or GTRIX_OBS is compiled out.
+  void set_trace(TraceCollector* trace, std::uint32_t pid);
+
+  /// Post-run telemetry harvest (EngineOptions::telemetry). Returns
+  /// enabled == false with zeroed counters when telemetry is off or
+  /// compiled out; callable repeatedly (counters are cumulative totals,
+  /// not deltas). The invariant_json() block is byte-identical across
+  /// every EngineOptions combination; summary_json() is engine-shaped
+  /// and wall-clock data.
+  EngineStats engine_stats() const;
+
   /// The gradient node simulating grid node g; null for layer 0, faulty
   /// positions, or non-gradient algorithms.
   GradientTrixNode* gradient_node(GridNodeId g);
@@ -299,6 +323,14 @@ class World {
   std::vector<std::unique_ptr<ShardRecorder>> shard_recorders_;
   std::vector<ShardRecorder*> shard_recorder_ptrs_;
 
+  // Telemetry (EngineOptions::telemetry; null/zero when off or compiled
+  // out). telemetry_ holds the per-shard window lanes the ShardDriver
+  // workers write; run_wall_seconds_ accumulates across run_* calls.
+  std::unique_ptr<Telemetry> telemetry_;
+  TraceCollector* trace_ = nullptr;  // non-owning
+  std::uint32_t trace_pid_ = 0;
+  double run_wall_seconds_ = 0.0;
+
   NetNodeId source_id_ = 0;  // line mode only
   std::vector<std::unique_ptr<PulseSink>> sinks_;
   std::vector<std::unique_ptr<NodeModel>> models_;
@@ -318,6 +350,8 @@ struct ExperimentResult {
   double thm11_bound = 0.0;
   double global_bound = 0.0;
   std::uint32_t diameter = 0;
+  /// enabled == false unless EngineOptions::telemetry was set.
+  EngineStats engine_stats;
 };
 
 /// Builds, runs and summarizes in one call.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "support/check.hpp"
 
@@ -121,6 +122,81 @@ std::string skew_digest(const ExperimentResult& result) {
 
 PerfScenarioReport run_perf_scenario(const Scenario& scenario, int repeats) {
   return run_both(scenario, repeats);
+}
+
+TelemetryOverheadReport run_telemetry_overhead(const Scenario& scenario, int repeats) {
+  GTRIX_CHECK_MSG(repeats >= 1, "perf repeats must be >= 1");
+  TelemetryOverheadReport report;
+  report.scenario = scenario.name();
+  report.repeats = repeats;
+  const std::vector<ScenarioCell> cells = scenario.cells();
+  report.cells = cells.size();
+
+  EngineOptions on_engine;
+  on_engine.telemetry = true;
+
+  // Per-CELL best-of-repeats, not best whole pass: a scheduler hiccup on a
+  // shared CI runner lands inside one cell of one pass, and the per-cell
+  // minimum filters it out instead of polluting an entire pass's total.
+  // The summed minima estimate "both modes on their best behaviour", which
+  // is exactly the comparison an overhead gate needs.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> off_best(cells.size(), kInf);
+  std::vector<double> on_best(cells.size(), kInf);
+  std::vector<std::string> off_digests;
+  std::vector<std::string> on_digests;
+
+  const auto timed_pass = [&](EngineOptions engine, std::vector<double>& best,
+                              std::vector<std::string>& digests) {
+    std::vector<std::string> pass_digests;
+    pass_digests.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto started = std::chrono::steady_clock::now();
+      const ExperimentResult result = run_cell(cells[i].config, cells[i].corrupt, engine);
+      best[i] = std::min(
+          best[i],
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+              .count());
+      pass_digests.push_back(skew_digest(result));
+    }
+    if (digests.empty()) {
+      digests = std::move(pass_digests);
+    } else {
+      GTRIX_CHECK(pass_digests == digests);
+    }
+  };
+
+  for (int r = 0; r < repeats; ++r) {
+    // Alternate mode order per repeat, like the engine comparison.
+    if (r % 2 == 0) {
+      timed_pass(EngineOptions{}, off_best, off_digests);
+      timed_pass(on_engine, on_best, on_digests);
+    } else {
+      timed_pass(on_engine, on_best, on_digests);
+      timed_pass(EngineOptions{}, off_best, off_digests);
+    }
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    report.off_wall_seconds += off_best[i];
+    report.on_wall_seconds += on_best[i];
+  }
+  report.skew_identical = off_digests == on_digests;
+  if (report.off_wall_seconds > 0.0) {
+    report.overhead = report.on_wall_seconds / report.off_wall_seconds - 1.0;
+  }
+  return report;
+}
+
+Json telemetry_overhead_json(const TelemetryOverheadReport& report) {
+  Json j = Json::object();
+  j.set("scenario", report.scenario);
+  j.set("cells", static_cast<std::int64_t>(report.cells));
+  j.set("repeats", report.repeats);
+  j.set("off_wall_seconds", report.off_wall_seconds);
+  j.set("on_wall_seconds", report.on_wall_seconds);
+  j.set("overhead", report.overhead);
+  j.set("skew_identical", report.skew_identical);
+  return j;
 }
 
 PerfScenarioReport check_perf_identity(const Scenario& scenario) {

@@ -60,4 +60,23 @@ PerfScenarioReport check_perf_identity(const Scenario& scenario);
 /// The BENCH_perf.json document.
 Json perf_report_json(const std::vector<PerfScenarioReport>& reports);
 
+/// Telemetry overhead measurement (the CI "telemetry is ~free" gate; see
+/// docs/observability.md). Runs every cell on the DEFAULT engine with
+/// telemetry off and on, alternating pass order per repeat exactly like the
+/// engine comparison; wall time takes the fastest repeat per mode.
+struct TelemetryOverheadReport {
+  std::string scenario;
+  std::size_t cells = 0;
+  int repeats = 1;
+  double off_wall_seconds = 0.0;  ///< best repeat, telemetry disabled
+  double on_wall_seconds = 0.0;   ///< best repeat, telemetry enabled
+  /// on/off - 1; <= 0 means enabling was within noise of free.
+  double overhead = 0.0;
+  bool skew_identical = false;    ///< telemetry must not change results
+};
+
+TelemetryOverheadReport run_telemetry_overhead(const Scenario& scenario, int repeats);
+
+Json telemetry_overhead_json(const TelemetryOverheadReport& report);
+
 }  // namespace gtrix

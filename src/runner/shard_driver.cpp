@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace gtrix {
@@ -27,6 +31,16 @@ struct WindowPlan {
   WindowKind kind = WindowKind::kStop;
   SimTime horizon = 0.0;
 };
+
+const char* window_span_name(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRunBefore: return "window";
+    case WindowKind::kRunUntil: return "window-final";
+    case WindowKind::kDrain: return "drain";
+    case WindowKind::kStop: break;
+  }
+  return "stop";
+}
 
 }  // namespace
 
@@ -85,9 +99,27 @@ void ShardDriver::run(SimTime deadline) {
 
   auto worker = [&](std::size_t shard) {
     Simulator& sim = *sims_[shard];
+    Telemetry::Lane* lane =
+        obs_.telemetry != nullptr ? &obs_.telemetry->lane(static_cast<std::uint32_t>(shard))
+                                  : nullptr;
+    TraceCollector* trace = obs_.trace;
+    // Timing is one branch + at most three clock reads per WINDOW (windows
+    // are milliseconds of work); with no observers attached the loop below
+    // is the untimed pre-telemetry loop.
+    const bool timed = lane != nullptr || trace != nullptr;
+    using Clock = std::chrono::steady_clock;
     while (true) {
+      Clock::time_point t_arrive{};
+      if (timed) t_arrive = Clock::now();
       barrier.arrive_and_wait();
       if (plan.kind == WindowKind::kStop) return;
+      Clock::time_point t_start{};
+      std::uint64_t executed_before = 0;
+      const WindowKind kind = plan.kind;
+      if (timed) {
+        t_start = Clock::now();
+        executed_before = sim.executed_events();
+      }
       try {
         net_.drain_mailbox(static_cast<std::uint32_t>(shard));
         switch (plan.kind) {
@@ -113,8 +145,35 @@ void ShardDriver::run(SimTime deadline) {
         if (!first_error) first_error = std::current_exception();
         failed.store(true, std::memory_order_release);
       }
+      if (timed) {
+        const Clock::time_point t_end = Clock::now();
+        const std::uint64_t executed = sim.executed_events() - executed_before;
+        if (lane != nullptr) {
+          ++lane->windows;
+          lane->window_events.add(executed);
+          lane->barrier_wait_seconds +=
+              std::chrono::duration<double>(t_start - t_arrive).count();
+          lane->busy_seconds += std::chrono::duration<double>(t_end - t_start).count();
+        }
+        if (trace != nullptr) {
+          const std::uint32_t tid = static_cast<std::uint32_t>(shard);
+          trace->add_complete(obs_.trace_pid, tid, "barrier", trace->us_at(t_arrive),
+                              trace->us_at(t_start) - trace->us_at(t_arrive));
+          trace->add_complete(obs_.trace_pid, tid, window_span_name(kind),
+                              trace->us_at(t_start),
+                              trace->us_at(t_end) - trace->us_at(t_start),
+                              static_cast<std::int64_t>(executed));
+        }
+      }
     }
   };
+
+  if (obs_.trace != nullptr) {
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      obs_.trace->set_thread_name(obs_.trace_pid, static_cast<std::uint32_t>(shard),
+                                  "shard " + std::to_string(shard));
+    }
+  }
 
   {
     std::vector<std::jthread> threads;

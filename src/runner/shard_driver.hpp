@@ -24,6 +24,7 @@
 // stay parked for the next run_until call.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "metrics/shard_recorder.hpp"
@@ -32,14 +33,32 @@
 
 namespace gtrix {
 
+class Telemetry;
+class TraceCollector;
+
+/// Optional observers for a sharded run (obs/telemetry.hpp). Both pointers
+/// are non-owning and may be null independently; with both null the driver
+/// performs no timing work at all -- the instrumentation is one
+/// predictable branch per WINDOW, never per event.
+struct ShardDriverObs {
+  Telemetry* telemetry = nullptr;  ///< lane s <- shard s's window/wait stats
+  TraceCollector* trace = nullptr; ///< window/barrier spans on (trace_pid, shard)
+  std::uint32_t trace_pid = 0;
+};
+
 class ShardDriver {
  public:
   /// All spans are non-owning and must stay alive across run() calls.
   /// `sims[s]`, `shard_recorders[s]` belong to shard s; `recorder` is the
   /// true single-threaded Recorder the buffers merge into.
   ShardDriver(std::span<Simulator* const> sims, Network& net, Recorder& recorder,
-              std::span<ShardRecorder* const> shard_recorders)
-      : sims_(sims), net_(net), recorder_(recorder), shard_recorders_(shard_recorders) {}
+              std::span<ShardRecorder* const> shard_recorders,
+              ShardDriverObs obs = {})
+      : sims_(sims),
+        net_(net),
+        recorder_(recorder),
+        shard_recorders_(shard_recorders),
+        obs_(obs) {}
 
   /// Runs every shard up to and including `deadline` (run_until semantics:
   /// afterwards each shard's now() == deadline, when finite) or to
@@ -52,6 +71,7 @@ class ShardDriver {
   Network& net_;
   Recorder& recorder_;
   std::span<ShardRecorder* const> shard_recorders_;
+  ShardDriverObs obs_;
 };
 
 }  // namespace gtrix

@@ -76,6 +76,7 @@ bool EventQueue::cancel(TimerHandle handle) {
   }
   release_slot(handle.slot);
   --live_;
+  ++cancelled_;
   if (kind_ == SchedulerKind::kCalendar && dead_ > 64 && dead_ * 2 > entry_count_) {
     calendar_rebuild(kMinBuckets);
   }
@@ -162,6 +163,7 @@ bool EventQueue::run_next_strictly_before(SimTime horizon, SimTime& fired) {
 void EventQueue::heap_skim() const {
   while (!heap_.empty() && stale(heap_.top())) {
     heap_.pop();
+    ++purged_;
   }
 }
 
@@ -240,6 +242,7 @@ bool EventQueue::calendar_find_min() const {
       bucket.pop_back();
       --entry_count_;
       --dead_;
+      ++purged_;
     }
     if (!bucket.empty() && bucket.back().epoch == epoch) {
       GTRIX_DEBUG_CHECK_MSG(bucket.back().epoch == epoch_of(bucket.back().time),
@@ -308,6 +311,7 @@ void EventQueue::calendar_rebuild(std::size_t min_buckets) {
     }
     bucket.clear();
   }
+  purged_ += dead_;  // the stale entries just dropped with their buckets
   dead_ = 0;
   entry_count_ = entries.size();
   const std::size_t target = std::max(min_buckets, std::bit_ceil(entries.size()));

@@ -134,6 +134,14 @@ class EventQueue {
 
   std::uint64_t executed_count() const noexcept { return executed_; }
   std::uint64_t scheduled_count() const noexcept { return scheduled_; }
+  /// Successful cancel() calls. Engine-invariant: cancellations are issued
+  /// by node code, which behaves identically under every scheduler kind and
+  /// shard layout (telemetry's JSONL block relies on this).
+  std::uint64_t cancelled_count() const noexcept { return cancelled_; }
+  /// Lazily-cancelled entries physically removed by scan skims and purge
+  /// rebuilds. Engine-SHAPED (scheduler- and traffic-pattern dependent):
+  /// summary telemetry only.
+  std::uint64_t purged_count() const noexcept { return purged_; }
   std::size_t pending_count() const noexcept { return live_; }
 
   /// High-water mark of simultaneously pending events: the slot table never
@@ -237,6 +245,10 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   std::uint64_t scheduled_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  /// mutable: the skims that remove stale entries run inside const peeks
+  /// (same reason the structures below are mutable).
+  mutable std::uint64_t purged_ = 0;
   std::size_t live_ = 0;
 
   // kBinaryHeap state. mutable: next_time()/empty() skim lazily.

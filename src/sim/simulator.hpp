@@ -84,6 +84,10 @@ class Simulator {
   std::size_t pending_events() const noexcept { return queue_.pending_count(); }
   bool idle() const noexcept { return queue_.empty(); }
 
+  /// Read-only queue access for telemetry harvesting (scheduled / cancelled
+  /// / purged / rebuild counters); see obs/telemetry.hpp.
+  const EventQueue& event_queue() const noexcept { return queue_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;

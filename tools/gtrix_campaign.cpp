@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "registry/describe.hpp"
 #include "runner/campaign.hpp"
 #include "scenario/registry.hpp"
@@ -43,6 +44,17 @@ Usage make_usage(const std::string& program) {
              "override every cell's trace retention: full, windowed or streaming "
              "(see docs/scaling.md; corrupt cells always record full)");
   usage.flag("--recording-window=K", "waves retained / ring capacity for the override mode");
+  usage.flag("--telemetry",
+             "harvest engine telemetry: per-cell engine_stats in the JSONL "
+             "(engine-invariant counters) and a merged block in the summary "
+             "(docs/observability.md)");
+  usage.flag("--trace-out=FILE",
+             "write a Chrome trace-event JSON timeline (Perfetto-loadable) of "
+             "the campaign: per-cell spans plus per-shard window/barrier "
+             "spans; implies --telemetry");
+  usage.flag("--progress=SECONDS",
+             "live heartbeat on stderr every SECONDS (bare --progress = 2): "
+             "cells done, cumulative events/s, ETA");
   usage.flag("--dry-run", "expand and list cells without running");
   usage.flag("--quiet", "suppress the per-scenario result table");
   usage.flag("--help", "show this help");
@@ -156,7 +168,7 @@ Scenario load_scenario(const std::string& ref) {
 }
 
 int run(int argc, char** argv) {
-  const Flags flags(argc, argv, {"list", "dry-run", "quiet", "help"});
+  const Flags flags(argc, argv, {"list", "dry-run", "quiet", "help", "telemetry", "progress"});
   const Usage usage = make_usage(flags.program());
   // Reject typos ("--thread=1") instead of silently using defaults; the
   // accepted set is exactly what --help documents.
@@ -233,9 +245,33 @@ int run(int argc, char** argv) {
     std::fputs("error: --recording-window needs --recording=MODE\n", stderr);
     return 2;
   }
+  options.telemetry = flags.get_bool("telemetry", false);
+  const std::string trace_out = flags.get_string("trace-out", "");
+  if (flags.has("trace-out") && (trace_out.empty() || trace_out == "true")) {
+    std::fputs("error: --trace-out requires a file path (--trace-out=FILE)\n", stderr);
+    return 2;
+  }
+  if (flags.has("progress")) {
+    // Bare "--progress" parses as the boolean value "true": default cadence.
+    const std::string raw = flags.get_string("progress", "");
+    options.progress_seconds = raw == "true" ? 2.0 : flags.get_double("progress", 2.0);
+    if (!(options.progress_seconds > 0.0)) {
+      std::fputs("error: --progress needs a positive interval in seconds\n", stderr);
+      return 2;
+    }
+  }
+  if (!kObsCompiled && (options.telemetry || !trace_out.empty())) {
+    std::fputs("error: this binary was built with GTRIX_OBS=OFF; rebuild with "
+               "telemetry compiled in to use --telemetry/--trace-out\n",
+               stderr);
+    return 2;
+  }
   const std::string out_dir = flags.get_string("out", "campaign-out");
   const bool dry_run = flags.get_bool("dry-run", false);
   const bool quiet = flags.get_bool("quiet", false);
+
+  TraceCollector trace_collector;
+  if (!trace_out.empty()) options.trace = &trace_collector;
 
   if (!dry_run) std::filesystem::create_directories(out_dir);
 
@@ -262,6 +298,9 @@ int run(int argc, char** argv) {
     }
 
     const CampaignResult result = run_campaign(scenario, options);
+    // Next scenario's cells get fresh trace pids (pid 1 stays the shared
+    // campaign-level track).
+    options.trace_pid_base += static_cast<std::uint32_t>(result.cells.size());
     const std::filesystem::path jsonl_path =
         std::filesystem::path(out_dir) / (result.scenario + ".jsonl");
     const std::filesystem::path summary_path =
@@ -284,6 +323,11 @@ int run(int argc, char** argv) {
              std::to_string(result.cells.size()))
         .add(result.wall_seconds, 2)
         .add(jsonl_path.string());
+  }
+  if (!dry_run && options.trace != nullptr) {
+    write_file(trace_out, trace_collector.to_json().dump() + "\n");
+    std::printf("wrote %s (%zu trace events; open in ui.perfetto.dev)\n", trace_out.c_str(),
+                trace_collector.event_count());
   }
   if (!dry_run && !quiet) std::printf("%s", table.render().c_str());
   return 0;
