@@ -1,0 +1,158 @@
+// Checkpoint container format (docs/checkpointing.md).
+//
+// A checkpoint is a single binary file:
+//
+//   magic "GTRXCKPT" (8 bytes)
+//   u32  format version (kCkptFormatVersion)
+//   u32  header length
+//   JSON header (UTF-8, human-readable: tools/ckpt_inspect.py dumps it)
+//   sections: { u32 name length | name | u64 body length | body } ...
+//   u32  CRC-32 over every preceding byte (zlib polynomial, so Python's
+//        zlib.crc32 verifies it without any native code)
+//
+// All integers are little-endian; doubles travel as their IEEE-754 bit
+// pattern (bit_cast), so NaN payloads -- the recorder's missing-pulse
+// sentinel -- survive the round trip exactly. The header carries the full
+// experiment config and the engine fingerprint; the sections carry raw
+// mutable state only. Restore rebuilds a fresh World from the header's
+// config (construction is deterministic) and overwrites its mutable state
+// from the sections, so anything derivable from the config -- topology,
+// edge delays, clock parameters, RNG split structure -- is never stored.
+//
+// Versioning is hard: a mismatched version, bad magic, truncated file or
+// CRC failure throws CkptError with a path-qualified message; callers map
+// it to exit code 2 (validation), never to undefined behavior.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gtrix {
+
+class TimerTarget;
+
+inline constexpr std::string_view kCkptMagic = "GTRXCKPT";
+inline constexpr std::uint32_t kCkptFormatVersion = 1;
+
+/// Any checkpoint failure: unreadable/corrupt/truncated files, version
+/// mismatches, snapshot/config mismatches. Messages are path-qualified by
+/// the I/O layer.
+class CkptError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// CRC-32 (zlib polynomial 0xEDB88320, init/final xor 0xffffffff), chosen so
+/// ckpt_inspect.py can verify files with the stdlib's zlib.crc32.
+std::uint32_t ckpt_crc32(const std::uint8_t* data, std::size_t n);
+
+/// Serializer for the section region. Primitives append little-endian;
+/// begin_section/end_section frame named sections, finish() assembles the
+/// whole file image (magic, version, header, sections, CRC).
+class CkptWriter {
+ public:
+  void begin_section(std::string_view name);
+  void end_section();
+
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);  ///< IEEE-754 bit pattern; NaN payloads preserved
+  void str(std::string_view s);
+
+  /// Assembles the complete file image. `header_json` is stored verbatim.
+  std::vector<std::uint8_t> finish(std::string_view header_json) const;
+
+ private:
+  std::vector<std::uint8_t> body_;
+  std::size_t open_len_at_ = 0;  ///< offset of the open section's length field
+  bool section_open_ = false;
+};
+
+/// Bounds-checked reader over one section's body. Every primitive throws
+/// CkptError("truncated checkpoint section ...") instead of reading past
+/// the end; expect_done() catches trailing garbage.
+class CkptCursor {
+ public:
+  CkptCursor(const std::uint8_t* begin, const std::uint8_t* end, std::string name)
+      : p_(begin), end_(end), name_(std::move(name)) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+
+  bool done() const noexcept { return p_ == end_; }
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  std::string name_;
+};
+
+/// A parsed checkpoint file: validated container (magic, version, CRC,
+/// section framing) with random access to the header and named sections.
+class CkptFile {
+ public:
+  /// Parses and validates `bytes`; `path` qualifies every error message.
+  /// Throws CkptError on bad magic, unsupported version, truncation or CRC
+  /// mismatch.
+  static CkptFile parse(std::vector<std::uint8_t> bytes, const std::string& path);
+
+  const std::string& path() const noexcept { return path_; }
+  const std::string& header_json() const noexcept { return header_; }
+  std::uint32_t version() const noexcept { return version_; }
+
+  bool has_section(std::string_view name) const;
+  /// Cursor over the named section's body; throws CkptError when absent.
+  CkptCursor section(std::string_view name) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::size_t offset = 0;
+    std::size_t len = 0;
+  };
+
+  std::vector<std::uint8_t> bytes_;
+  std::string path_;
+  std::string header_;
+  std::uint32_t version_ = 0;
+  std::vector<Section> sections_;
+};
+
+/// Reads a whole file; throws CkptError with the path on any I/O failure.
+std::vector<std::uint8_t> ckpt_read_file(const std::string& path);
+
+/// Writes `bytes` to `path` atomically (temp file in the same directory,
+/// fsync'd, then renamed over the target), so a crash mid-write can never
+/// leave a half-written checkpoint under the final name.
+void ckpt_write_file_atomic(const std::string& path, const std::vector<std::uint8_t>& bytes);
+
+/// Bidirectional TimerTarget <-> dense id mapping for event-queue
+/// serialization. The World enumerates its targets in deterministic
+/// construction order; a queue entry's target pointer round-trips as the
+/// target's index in that enumeration.
+class CkptTargetMap {
+ public:
+  void add(TimerTarget* target);
+  std::uint32_t id_of(const TimerTarget* target) const;  ///< throws if unknown
+  TimerTarget* target_of(std::uint32_t id) const;        ///< throws if out of range
+  std::size_t size() const noexcept { return targets_.size(); }
+
+ private:
+  std::vector<TimerTarget*> targets_;
+  std::unordered_map<const TimerTarget*, std::uint32_t> ids_;
+};
+
+}  // namespace gtrix

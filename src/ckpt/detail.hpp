@@ -1,0 +1,61 @@
+// Shared serializers for small structs that appear in several checkpoint
+// sections (timer handles in every node's arena lanes, iteration records in
+// both the recorder log and a gradient node's staged record).
+#pragma once
+
+#include "ckpt/codec.hpp"
+#include "metrics/recorder.hpp"
+#include "sim/event_queue.hpp"
+
+namespace gtrix::ckpt {
+
+inline void write_timer(CkptWriter& w, const TimerHandle& h) {
+  w.u32(h.slot);
+  w.u32(h.gen);
+}
+
+inline TimerHandle read_timer(CkptCursor& cur) {
+  TimerHandle h;
+  h.slot = cur.u32();
+  h.gen = cur.u32();
+  return h;
+}
+
+inline void write_iteration(CkptWriter& w, const IterationRecord& rec) {
+  w.i64(rec.sigma);
+  w.f64(rec.correction);
+  w.f64(rec.h_own);
+  w.f64(rec.h_min);
+  w.f64(rec.h_max);
+  w.u8(rec.own_missing ? 1 : 0);
+  w.u8(rec.max_missing ? 1 : 0);
+  w.u8(rec.timeout_branch ? 1 : 0);
+  w.u8(rec.late ? 1 : 0);
+  w.f64(rec.pulse_time);
+  w.f64(rec.pulse_local);
+  w.u8(rec.slot_count);
+  for (std::size_t s = 0; s < IterationRecord::kMaxSlots; ++s) w.i64(rec.slot_sigma[s]);
+  for (std::size_t s = 0; s < IterationRecord::kMaxSlots; ++s)
+    w.u8(rec.slot_seen[s] ? 1 : 0);
+}
+
+inline IterationRecord read_iteration(CkptCursor& cur) {
+  IterationRecord rec;
+  rec.sigma = cur.i64();
+  rec.correction = cur.f64();
+  rec.h_own = cur.f64();
+  rec.h_min = cur.f64();
+  rec.h_max = cur.f64();
+  rec.own_missing = cur.u8() != 0;
+  rec.max_missing = cur.u8() != 0;
+  rec.timeout_branch = cur.u8() != 0;
+  rec.late = cur.u8() != 0;
+  rec.pulse_time = cur.f64();
+  rec.pulse_local = cur.f64();
+  rec.slot_count = cur.u8();
+  for (std::size_t s = 0; s < IterationRecord::kMaxSlots; ++s) rec.slot_sigma[s] = cur.i64();
+  for (std::size_t s = 0; s < IterationRecord::kMaxSlots; ++s) rec.slot_seen[s] = cur.u8() != 0;
+  return rec;
+}
+
+}  // namespace gtrix::ckpt

@@ -12,6 +12,9 @@
 
 namespace gtrix {
 
+class CkptWriter;
+class CkptCursor;
+
 /// A node whose control logic is dead but whose oscillator still runs: it
 /// ignores every input and broadcasts at a fixed period. Its wave stamps
 /// advance monotonically but bear no relation to real waves.
@@ -32,6 +35,11 @@ class FixedPeriodRogue final : public PulseSink, public TimerTarget {
   void on_timer(const Event& event) override;
 
   std::uint64_t pulses_emitted() const noexcept { return emitted_; }
+
+  /// Checkpoint hooks (src/ckpt/nodes_ckpt.cpp): wave label + emit counter
+  /// (the pending tick event lives in the queue snapshot).
+  void checkpoint_save(CkptWriter& w) const;
+  void checkpoint_restore(CkptCursor& r);
 
  private:
   enum TimerKind : std::uint32_t { kTick = 1 };
@@ -59,6 +67,10 @@ class CrashSink final : public PulseSink {
   }
 
   std::uint64_t absorbed() const noexcept { return absorbed_; }
+
+  /// Checkpoint hooks (src/ckpt/nodes_ckpt.cpp): the absorbed counter.
+  void checkpoint_save(CkptWriter& w) const;
+  void checkpoint_restore(CkptCursor& r);
 
  private:
   std::uint64_t absorbed_ = 0;

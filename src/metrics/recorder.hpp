@@ -23,6 +23,8 @@ using RecNodeId = std::uint32_t;
 using Sigma = std::int64_t;
 
 class StreamingSkew;
+class CkptWriter;
+class CkptCursor;
 
 /// How much of the execution trace the Recorder retains (docs/scaling.md).
 ///
@@ -145,6 +147,13 @@ class Recorder {
   std::uint64_t pulse_count() const noexcept { return pulses_recorded_; }
 
   static constexpr Sigma kInvalidSigma = std::numeric_limits<Sigma>::min();
+
+  /// Checkpoint hooks (src/ckpt/state_ckpt.cpp): sigma extrema, the pulse
+  /// counter and every retained node log (pulse times as raw IEEE-754 bits
+  /// so NaN "missing" markers survive). Options and node metas are rebuilt
+  /// by the restored World's construction and only size-validated here.
+  void checkpoint_save(CkptWriter& w) const;
+  void checkpoint_restore(CkptCursor& r);
 
  private:
   struct NodeLog {

@@ -107,6 +107,16 @@ Json EngineStats::summary_json() const {
   j.set("shards", std::move(shard_rows));
   j.set("run_wall_seconds", run_wall_seconds);
   j.set("peak_rss_mb", peak_rss_mb);
+  if (checkpoints_written + checkpoints_restored + cells_resumed_done > 0) {
+    Json ckpt = Json::object();
+    ckpt.set("written", static_cast<std::int64_t>(checkpoints_written));
+    ckpt.set("bytes", static_cast<std::int64_t>(checkpoint_bytes));
+    ckpt.set("restored", static_cast<std::int64_t>(checkpoints_restored));
+    ckpt.set("cells_resumed_done", static_cast<std::int64_t>(cells_resumed_done));
+    ckpt.set("write_seconds", checkpoint_write_seconds);
+    ckpt.set("restore_seconds", checkpoint_restore_seconds);
+    j.set("checkpoint", std::move(ckpt));
+  }
   return j;
 }
 
@@ -124,6 +134,12 @@ void EngineStats::merge(const EngineStats& other) {
   }
   run_wall_seconds += other.run_wall_seconds;
   peak_rss_mb = std::max(peak_rss_mb, other.peak_rss_mb);
+  checkpoints_written += other.checkpoints_written;
+  checkpoint_bytes += other.checkpoint_bytes;
+  checkpoints_restored += other.checkpoints_restored;
+  cells_resumed_done += other.cells_resumed_done;
+  checkpoint_write_seconds += other.checkpoint_write_seconds;
+  checkpoint_restore_seconds += other.checkpoint_restore_seconds;
 }
 
 void Telemetry::harvest_into(EngineStats& out) const {

@@ -99,6 +99,9 @@ class ObsHistogram {
     for (std::size_t i = 0; i < kBins; ++i) counts_[i] += other.counts_[i];
   }
   std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  /// Direct bin write (bounds-checked) -- used when deserializing a
+  /// previously exported histogram (runner/result_io.cpp).
+  void set_count(std::size_t bin, std::uint64_t v) { counts_.at(bin) = v; }
   std::uint64_t total() const;
 
   /// {"bin_floors": [...], "counts": [...]} -- floors emitted so consumers
@@ -130,6 +133,16 @@ struct EngineStats {
   double run_wall_seconds = 0.0;         ///< wall time inside run_* calls
   double peak_rss_mb = 0.0;              ///< process peak RSS at harvest time
 
+  // Checkpoint activity (runner-level, filled by the checkpointed cell
+  // runner -- docs/checkpointing.md). Snapshot sizes and wall times are
+  // host/engine-shaped, so the block is summary-only, like wall_seconds.
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_bytes = 0;       ///< total snapshot bytes written
+  std::uint64_t checkpoints_restored = 0;   ///< resumes from a snapshot
+  std::uint64_t cells_resumed_done = 0;     ///< cells satisfied from done files
+  double checkpoint_write_seconds = 0.0;
+  double checkpoint_restore_seconds = 0.0;
+
   std::uint64_t get(ObsCounter c) const {
     return counters[static_cast<std::size_t>(c)];
   }
@@ -146,7 +159,8 @@ struct EngineStats {
   Json invariant_json() const;
 
   /// The summary block: every counter, the window histogram, per-shard
-  /// busy/barrier breakdown, run wall time and peak RSS.
+  /// busy/barrier breakdown, run wall time, peak RSS and -- when any
+  /// checkpoint was written or restored -- the checkpoint activity block.
   Json summary_json() const;
 
   /// Accumulates another run's stats (campaign summary aggregation):

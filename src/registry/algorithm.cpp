@@ -4,6 +4,7 @@
 
 #include "baseline/lw_grid.hpp"
 #include "baseline/trix_node.hpp"
+#include "ckpt/codec.hpp"
 #include "core/gradient_node.hpp"
 #include "core/node_state.hpp"
 #include "support/check.hpp"
@@ -16,6 +17,14 @@ void NodeModel::set_send_override(SendOverride) {
 
 void NodeModel::corrupt_state(Rng&) {
   GTRIX_CHECK_MSG(false, "this algorithm does not support state corruption");
+}
+
+void NodeModel::checkpoint_save(CkptWriter&) const {
+  throw CkptError("this algorithm does not support checkpointing");
+}
+
+void NodeModel::checkpoint_restore(CkptCursor&) {
+  throw CkptError("this algorithm does not support checkpointing");
 }
 
 namespace {
@@ -52,6 +61,10 @@ class GradientNodeModel final : public NodeModel {
 
   GradientTrixNode* gradient() noexcept override { return node_.get(); }
 
+  TimerTarget* timer_target() noexcept override { return node_.get(); }
+  void checkpoint_save(CkptWriter& w) const override { node_->checkpoint_save(w); }
+  void checkpoint_restore(CkptCursor& r) override { node_->checkpoint_restore(r); }
+
  private:
   std::unique_ptr<GradientTrixNode> node_;
 };
@@ -83,6 +96,10 @@ class TrixNaiveNodeModel final : public NodeModel {
 
   PulseSink& sink() override { return *node_; }
 
+  TimerTarget* timer_target() noexcept override { return node_.get(); }
+  void checkpoint_save(CkptWriter& w) const override { node_->checkpoint_save(w); }
+  void checkpoint_restore(CkptCursor& r) override { node_->checkpoint_restore(r); }
+
  private:
   std::unique_ptr<TrixNaiveNode> node_;
 };
@@ -111,6 +128,10 @@ class LynchWelchNodeModel final : public NodeModel {
             ctx.arena != nullptr ? &ctx.arena->lw : nullptr)) {}
 
   PulseSink& sink() override { return *node_; }
+
+  TimerTarget* timer_target() noexcept override { return node_.get(); }
+  void checkpoint_save(CkptWriter& w) const override { node_->checkpoint_save(w); }
+  void checkpoint_restore(CkptCursor& r) override { node_->checkpoint_restore(r); }
 
  private:
   std::unique_ptr<LynchWelchGridNode> node_;

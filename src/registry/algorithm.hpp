@@ -28,6 +28,8 @@ namespace gtrix {
 
 class GradientTrixNode;
 struct NodeArena;
+class CkptWriter;
+class CkptCursor;
 
 /// Legacy closed enumeration of algorithms, kept as a thin adapter for
 /// ExperimentConfig source compatibility. New algorithms (e.g. the
@@ -109,6 +111,16 @@ class NodeModel {
   /// The wrapped GradientTrixNode, for harnesses that poke gradient
   /// internals (World::gradient_node); null for other algorithms.
   virtual GradientTrixNode* gradient() noexcept { return nullptr; }
+
+  /// Checkpoint hooks (src/ckpt). timer_target() exposes the wrapped
+  /// node's TimerTarget identity so pending events targeting it can
+  /// round-trip through the checkpoint target map; the save/load pair
+  /// serializes the node's mutable state. The defaults throw CkptError:
+  /// an external provider without these overrides fails a checkpoint
+  /// attempt loudly instead of silently snapshotting partial state.
+  virtual TimerTarget* timer_target() noexcept { return nullptr; }
+  virtual void checkpoint_save(CkptWriter& w) const;
+  virtual void checkpoint_restore(CkptCursor& r);
 };
 
 class AlgorithmProvider {

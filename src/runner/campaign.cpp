@@ -7,8 +7,11 @@
 #include <string>
 #include <thread>
 
+#include <filesystem>
+
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "runner/ckpt_runner.hpp"
 #include "support/stats.hpp"
 
 namespace gtrix {
@@ -87,6 +90,36 @@ Json percentiles_to_json(std::vector<double> values) {
 
 }  // namespace
 
+ExperimentResult measure_cell(World& world, const ExperimentConfig& config,
+                              const CorruptPlan& corrupt) {
+  ExperimentResult result;
+  if (corrupt.enabled) {
+    world.realign_labels();
+    // Measure after the recovery budget (one layer per wave plus slack), not
+    // over the corruption transient itself -- the scenario's claim is about
+    // the post-stabilization skew.
+    const auto [lo, hi] = default_window(world.recorder(), config.warmup);
+    const Sigma recovered =
+        static_cast<Sigma>(corrupt.wave) + static_cast<Sigma>(config.layers) + 6;
+    if (recovered > hi) {
+      throw std::runtime_error(
+          "corrupt scenario leaves no post-recovery measurement window: "
+          "recovery budget ends at wave " + std::to_string(recovered) +
+          " but the run's window ends at wave " + std::to_string(hi) +
+          " -- increase 'pulses' (need roughly corrupt.wave + layers + warmup + 10)");
+    }
+    result.skew = world.skew_window(std::max(lo, recovered), hi);
+  } else {
+    result.skew = world.skew();
+  }
+  result.counters = world.counters();
+  result.diameter = world.grid().base().diameter();
+  result.thm11_bound = config.params.thm11_bound(result.diameter);
+  result.global_bound = config.params.global_skew_bound(result.diameter);
+  result.engine_stats = world.engine_stats();
+  return result;
+}
+
 ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& corrupt,
                           EngineOptions engine, CellObs obs) {
   // Phase spans land on (cell pid, tid 0); sharded window spans nest inside
@@ -107,14 +140,7 @@ ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& cor
     World world(config, engine);
     world.set_trace(trace, obs.trace_pid);
     phase_span("run", [&] { world.run_to_completion(); });
-    ExperimentResult result;
-    result.skew = world.skew();
-    result.counters = world.counters();
-    result.diameter = world.grid().base().diameter();
-    result.thm11_bound = config.params.thm11_bound(result.diameter);
-    result.global_bound = config.params.global_skew_bound(result.diameter);
-    result.engine_stats = world.engine_stats();
-    return result;
+    return measure_cell(world, config, corrupt);
   }
 
   // Corrupt cells measure over a post-recovery sub-window after wave-label
@@ -129,28 +155,8 @@ ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& cor
   phase_span("run", [&] { world.run_until(corrupt.wave * config.params.lambda); });
   phase_span("corrupt", [&] { world.corrupt_fraction(corrupt.fraction, rng); });
   phase_span("recover", [&] { world.run_to_completion(); });
-  phase_span("realign", [&] { world.realign_labels(); });
-
   ExperimentResult result;
-  // Measure after the recovery budget (one layer per wave plus slack), not
-  // over the corruption transient itself -- the scenario's claim is about
-  // the post-stabilization skew.
-  const auto [lo, hi] = default_window(world.recorder(), config.warmup);
-  const Sigma recovered =
-      static_cast<Sigma>(corrupt.wave) + static_cast<Sigma>(config.layers) + 6;
-  if (recovered > hi) {
-    throw std::runtime_error(
-        "corrupt scenario leaves no post-recovery measurement window: "
-        "recovery budget ends at wave " + std::to_string(recovered) +
-        " but the run's window ends at wave " + std::to_string(hi) +
-        " -- increase 'pulses' (need roughly corrupt.wave + layers + warmup + 10)");
-  }
-  result.skew = world.skew_window(std::max(lo, recovered), hi);
-  result.counters = world.counters();
-  result.diameter = world.grid().base().diameter();
-  result.thm11_bound = config.params.thm11_bound(result.diameter);
-  result.global_bound = config.params.global_skew_bound(result.diameter);
-  result.engine_stats = world.engine_stats();
+  phase_span("realign", [&] { result = measure_cell(world, config, corrupt); });
   return result;
 }
 
@@ -205,6 +211,9 @@ CampaignResult run_campaign(const Scenario& scenario, const CampaignOptions& opt
                               campaign.scenario + "/" + cells[i].label);
     }
   }
+  if (!options.checkpoint.dir.empty()) {
+    std::filesystem::create_directories(options.checkpoint.dir);
+  }
   std::unique_ptr<ProgressMeter> progress;
   if (options.progress_seconds > 0.0) {
     progress = std::make_unique<ProgressMeter>(campaign.scenario, cells.size(),
@@ -219,7 +228,11 @@ CampaignResult run_campaign(const Scenario& scenario, const CampaignOptions& opt
           obs.trace_pid = options.trace_pid_base + static_cast<std::uint32_t>(i);
         }
         const double t0 = trace != nullptr ? trace->now_us() : 0.0;
-        ExperimentResult r = run_cell(config, cells[i].corrupt, engine, obs);
+        ExperimentResult r =
+            options.checkpoint.dir.empty()
+                ? run_cell(config, cells[i].corrupt, engine, obs)
+                : run_cell_checkpointed(config, cells[i].corrupt, options.checkpoint, i,
+                                        cells[i].label, engine, obs);
         const std::uint64_t logical = r.counters.events_executed -
                                       r.counters.delivery_events +
                                       r.counters.messages_delivered;

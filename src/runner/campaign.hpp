@@ -23,6 +23,24 @@ namespace gtrix {
 
 class TraceCollector;
 
+/// Per-cell checkpointing for crash-safe campaigns (docs/checkpointing.md).
+/// An empty `dir` disables the subsystem entirely; with a directory set,
+/// cells run through run_cell_checkpointed (runner/ckpt_runner.hpp), which
+/// snapshots at sim-time boundaries and records finished cells as done
+/// files. Resumed runs reproduce byte-identical JSONL output.
+struct CheckpointOptions {
+  std::string dir;     ///< checkpoint/done-file directory; empty = off
+  /// Simulated time between snapshots (--checkpoint-every). <= 0 means no
+  /// periodic snapshots: cells still write done files (and corrupt cells
+  /// one snapshot at the corruption boundary), so resume skips completed
+  /// cells but restarts incomplete ones from scratch.
+  double every = 0.0;
+  /// Reuse artifacts already in `dir`: completed cells reload their done
+  /// files (never re-run), incomplete ones restore the newest snapshot and
+  /// continue. Off = ignore and overwrite existing artifacts.
+  bool resume = false;
+};
+
 struct CampaignOptions {
   unsigned threads = 0;  ///< sweep workers; 0 = hardware concurrency
   /// Engine shards per cell (the gtrix_campaign --shards flag); 0 = the
@@ -54,6 +72,8 @@ struct CampaignOptions {
   /// seconds (--progress) -- cells done, cumulative events/s, ETA.
   /// Diagnostics only; never written to the JSONL or summary.
   double progress_seconds = 0.0;
+  /// Crash-safe per-cell checkpointing (--checkpoint-dir / --resume).
+  CheckpointOptions checkpoint;
 };
 
 struct CampaignCell {
@@ -86,6 +106,13 @@ struct CellObs {
 /// results are bit-identical for every engine).
 ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& corrupt,
                           EngineOptions engine = {}, CellObs obs = {});
+
+/// Harvests a cell's final measurement from a COMPLETED world: for corrupt
+/// cells realigns wave labels and measures the post-recovery sub-window,
+/// otherwise the default window. Shared by run_cell and the checkpointed
+/// runner so a resumed cell measures exactly like an uninterrupted one.
+ExperimentResult measure_cell(World& world, const ExperimentConfig& config,
+                              const CorruptPlan& corrupt);
 
 /// Expands and runs the whole scenario matrix in parallel.
 CampaignResult run_campaign(const Scenario& scenario, const CampaignOptions& options = {});

@@ -1,0 +1,182 @@
+#include "runner/ckpt_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ckpt/codec.hpp"
+#include "obs/trace.hpp"
+#include "runner/result_io.hpp"
+
+namespace gtrix {
+
+namespace {
+
+constexpr const char* kDoneFormat = "gtrix-cell-done";
+constexpr std::int64_t kDoneVersion = 1;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+std::string read_text_file(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = ckpt_read_file(path);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+void write_text_atomic(const std::string& path, const std::string& text) {
+  ckpt_write_file_atomic(path, std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+}  // namespace
+
+std::string cell_key(std::size_t index, const std::string& label) {
+  char idx[32];
+  std::snprintf(idx, sizeof(idx), "%05zu", index);
+  std::string sanitized;
+  for (const char ch : label) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '.' || ch == '_' || ch == '-';
+    sanitized.push_back(ok ? ch : '_');
+    if (sanitized.size() >= 80) break;
+  }
+  return std::string("cell-") + idx + "-" + sanitized;
+}
+
+ExperimentResult run_cell_checkpointed(const ExperimentConfig& config,
+                                       const CorruptPlan& corrupt,
+                                       const CheckpointOptions& ckpt,
+                                       std::size_t cell_index, const std::string& label,
+                                       EngineOptions engine, CellObs obs) {
+  const std::string key = cell_key(cell_index, label);
+  const std::string ckpt_path = ckpt.dir + "/" + key + ".ckpt";
+  const std::string done_path = ckpt.dir + "/" + key + ".done.json";
+
+  // Completed cells are NEVER re-run on resume: the done file carries the
+  // full result (result_io round trip is bit-exact), so reloading it
+  // regenerates the identical JSONL line at zero simulation cost.
+  if (ckpt.resume && std::filesystem::exists(done_path)) {
+    Json doc;
+    try {
+      doc = Json::parse(read_text_file(done_path));
+      if (!(doc.at("format") == Json(kDoneFormat))) {
+        throw CkptError(done_path + ": not a gtrix cell-done document (format is " +
+                        doc.at("format").dump() + ")");
+      }
+      if (doc.at("version").as_int() != kDoneVersion) {
+        throw CkptError(done_path + ": cell-done format version " +
+                        doc.at("version").dump() + " is not supported (this build reads version " +
+                        std::to_string(kDoneVersion) + ")");
+      }
+    } catch (const JsonError& e) {
+      throw CkptError(done_path + ": malformed cell-done document (" + e.what() + ")");
+    }
+    ExperimentResult result = result_from_json(doc.at("result"), done_path);
+    result.engine_stats.cells_resumed_done += 1;
+    return result;
+  }
+
+  // Mirror run_cell's effective config: corrupt cells need the full trace
+  // for realignment, so memory-bounded recording modes fall back to full.
+  ExperimentConfig cell_config = config;
+  if (corrupt.enabled) cell_config.recording_spec = ComponentSpec{};
+
+  TraceCollector* trace = kObsCompiled && engine.telemetry ? obs.trace : nullptr;
+  World world(cell_config, engine);
+  world.set_trace(trace, obs.trace_pid);
+
+  std::uint64_t written = 0, bytes_written = 0, restored = 0;
+  double write_seconds = 0.0, restore_seconds = 0.0;
+
+  // chunk = completed sim-time chunks of length `every`; phase = 0 before
+  // the corruption boundary (always 0 for non-corrupt cells), 1 after. Both
+  // ride in the snapshot header's meta block so a resume re-enters the
+  // chunk loop exactly where the killed run left it. Boundaries are
+  // computed as every * (chunk + 1) -- an exact product, never an
+  // accumulated float sum -- so the original and the resumed run stop at
+  // bit-identical deadlines.
+  std::uint64_t chunk = 0;
+  std::uint8_t phase = 0;
+
+  if (ckpt.resume && std::filesystem::exists(ckpt_path)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    CkptFile file = CkptFile::parse(ckpt_read_file(ckpt_path), ckpt_path);
+    world.checkpoint_restore(file);
+    try {
+      const Json meta = Json::parse(file.header_json()).at("meta");
+      chunk = meta.at("chunk").as_u64();
+      phase = static_cast<std::uint8_t>(meta.at("phase").as_u64());
+    } catch (const JsonError& e) {
+      throw CkptError(ckpt_path + ": checkpoint carries no usable runner metadata (" +
+                      e.what() + ")");
+    }
+    restored = 1;
+    restore_seconds += seconds_since(t0);
+  }
+
+  const auto save = [&](double t_now) {
+    Json meta = Json::object();
+    meta.set("t", t_now);
+    meta.set("phase", phase);
+    meta.set("chunk", static_cast<std::int64_t>(chunk));
+    meta.set("cell", key);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<std::uint8_t> image = world.checkpoint_save(meta.dump());
+    ckpt_write_file_atomic(ckpt_path, image);
+    ++written;
+    bytes_written += image.size();
+    write_seconds += seconds_since(t0);
+  };
+
+  // Seed derivation matches run_cell; the stream is only ever drawn from at
+  // the corruption boundary, so reconstructing it fresh on a post-corrupt
+  // resume (phase == 1) is exact -- it is never touched again.
+  Rng rng(config.seed ^ 0xFEED);
+  const double corrupt_t = corrupt.wave * config.params.lambda;
+  const double inf = std::numeric_limits<double>::infinity();
+
+  while (!world.idle() || (corrupt.enabled && phase == 0)) {
+    const double boundary = ckpt.every > 0.0 ? ckpt.every * static_cast<double>(chunk + 1) : inf;
+    if (corrupt.enabled && phase == 0 && corrupt_t <= boundary) {
+      world.run_until(corrupt_t);
+      world.corrupt_fraction(corrupt.fraction, rng);
+      phase = 1;
+      save(corrupt_t);
+      continue;
+    }
+    if (boundary == inf) {
+      world.run_to_completion();
+      break;
+    }
+    world.run_until(boundary);
+    ++chunk;
+    if (!world.idle()) save(boundary);
+  }
+
+  ExperimentResult result = measure_cell(world, config, corrupt);
+  result.engine_stats.checkpoints_written += written;
+  result.engine_stats.checkpoint_bytes += bytes_written;
+  result.engine_stats.checkpoints_restored += restored;
+  result.engine_stats.checkpoint_write_seconds += write_seconds;
+  result.engine_stats.checkpoint_restore_seconds += restore_seconds;
+
+  // The done file is the completion marker: written atomically AFTER the
+  // result exists, so a kill at any earlier instant leaves either no file
+  // or a complete one -- never a torn marker that would wrongly skip a
+  // half-run cell on resume.
+  Json doc = Json::object();
+  doc.set("format", kDoneFormat);
+  doc.set("version", kDoneVersion);
+  doc.set("cell", key);
+  doc.set("label", label);
+  doc.set("index", static_cast<std::int64_t>(cell_index));
+  doc.set("result", result_to_json(result));
+  write_text_atomic(done_path, doc.dump(2) + "\n");
+  return result;
+}
+
+}  // namespace gtrix

@@ -1,0 +1,41 @@
+// Checkpointed cell execution (docs/checkpointing.md): run_cell semantics
+// plus crash safety. The cell advances in sim-time chunks of
+// CheckpointOptions::every; at each chunk boundary the full world state is
+// snapshotted atomically (ckpt_write_file_atomic), and on completion the
+// measured result is written as a done file. A campaign killed at ANY point
+// and rerun with resume=true reproduces the exact bytes of an uninterrupted
+// run:
+//  * completed cells reload their done file -- the result_io round trip is
+//    bit-exact, so the regenerated JSONL line is byte-identical and the
+//    cell is never executed twice;
+//  * incomplete cells restore the newest snapshot and continue -- the
+//    snapshot restores the event queue with its original (time, seq) order
+//    and every RNG stream mid-sequence, so the continuation replays the
+//    identical event history (tests/kill_resume_test.py SIGKILLs real
+//    campaigns to prove it, across thread and shard counts).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runner/campaign.hpp"
+
+namespace gtrix {
+
+/// Stable per-cell artifact key: "cell-<zero-padded index>-<sanitized
+/// label>" (characters outside [A-Za-z0-9._-] become '_', long labels are
+/// truncated). Cell order is deterministic, so the key names the same cell
+/// in the original run and in every resume.
+std::string cell_key(std::size_t index, const std::string& label);
+
+/// run_cell with checkpointing (semantics above). Artifacts live in
+/// `ckpt.dir` as <key>.ckpt (newest snapshot; kept after completion for
+/// inspection) and <key>.done.json (completion marker + full result).
+/// Throws CkptError on corrupt/mismatched artifacts when resuming.
+ExperimentResult run_cell_checkpointed(const ExperimentConfig& config,
+                                       const CorruptPlan& corrupt,
+                                       const CheckpointOptions& ckpt,
+                                       std::size_t cell_index, const std::string& label,
+                                       EngineOptions engine = {}, CellObs obs = {});
+
+}  // namespace gtrix

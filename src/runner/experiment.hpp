@@ -45,6 +45,8 @@
 namespace gtrix {
 
 class TraceCollector;
+class CkptFile;
+class CkptTargetMap;
 
 enum class Layer0Mode {
   kIdealJitter,       ///< direct synchronized input, L_0 <= jitter
@@ -261,6 +263,33 @@ class World {
   GradientTrixNode* gradient_node(GridNodeId g);
   Layer0LineNode* layer0_node(GridNodeId g);
 
+  /// True when no events are pending anywhere: every shard queue is empty
+  /// and no cross-shard envelope is parked in a mailbox. A checkpointed
+  /// chunked run uses this as its termination test.
+  bool idle() const;
+
+  /// Serializes the full mutable simulation state (src/ckpt): every shard
+  /// queue with its clock cursor, the network mailboxes and counters, all
+  /// node registers, fault runtimes, the recorder and the streaming
+  /// accumulators. Must be called while the World is quiescent (between
+  /// run_* calls -- on the sharded engine that is a window barrier with
+  /// every worker parked and every shard-recorder buffer merged). Returns
+  /// the complete checkpoint file image; `meta_json` (may be empty) is
+  /// embedded in the header for the runner's own bookkeeping.
+  std::vector<std::uint8_t> checkpoint_save(const std::string& meta_json) const;
+
+  /// Restores the state saved by checkpoint_save into this freshly
+  /// constructed World. The header's config and engine fingerprint must
+  /// match this World's exactly (hard CkptError otherwise): restore never
+  /// migrates state across configs or engine shapes. After it returns, the
+  /// simulation continues bit-identically to the run that was snapshotted.
+  void checkpoint_restore(const CkptFile& file);
+
+  /// The snapshot's header JSON for a World with this config/engine, as
+  /// checkpoint_save would embed it (used by restore-side validation and
+  /// by tools that want the fingerprint without saving).
+  Json checkpoint_header(const std::string& meta_json) const;
+
   bool is_faulty(GridNodeId g) const { return fault_map_.contains(g); }
 
  private:
@@ -272,6 +301,9 @@ class World {
 
   static BaseGraph make_base(const ExperimentConfig& config,
                              const ResolvedComponents& components);
+  /// Enumerates every possible event target in construction order (the
+  /// identity scheme queue snapshots serialize pointers through).
+  void checkpoint_targets(CkptTargetMap& targets) const;
   HardwareClock make_clock(Rng& rng, std::uint32_t column, std::uint32_t layer) const;
   double clock_horizon() const;
   void init_shards();

@@ -1,0 +1,34 @@
+// Full-fidelity ExperimentResult <-> JSON round trip, used by the
+// checkpointed cell runner's per-cell done files (docs/checkpointing.md).
+//
+// Fidelity contract: result_from_json(result_to_json(r)) reproduces every
+// field of `r` bit-exactly, doubles included -- Json serializes doubles via
+// shortest-round-trip to_chars, so dump/parse is lossless. That is what lets
+// a resumed campaign reload completed cells from their done files and still
+// emit byte-identical JSONL/summary output: the emitters re-derive their
+// blocks from the reloaded struct, never from cached text.
+//
+// This is deliberately a different schema from the campaign JSONL `result`
+// block: the JSONL is a curated, engine-invariant view (logical events only,
+// intra_by_layer only), while a done file must carry the WHOLE struct --
+// raw executed/delivery event counts, all three by-layer vectors, the full
+// engine telemetry including wall-clock data -- so nothing is lost across a
+// kill/resume boundary.
+#pragma once
+
+#include <string>
+
+#include "runner/experiment.hpp"
+#include "support/json.hpp"
+
+namespace gtrix {
+
+/// Serializes every field of the result (schema above). Deterministic.
+Json result_to_json(const ExperimentResult& result);
+
+/// Inverse of result_to_json. Throws CkptError naming `path` on any missing
+/// key, type mismatch or schema-version mismatch -- a malformed done file is
+/// treated exactly like a corrupt checkpoint (hard, versioned failure).
+ExperimentResult result_from_json(const Json& j, const std::string& path);
+
+}  // namespace gtrix

@@ -1,0 +1,55 @@
+// Campaign service mode (tools/gtrix_serve; docs/checkpointing.md): a
+// long-running job queue over a spool directory.
+//
+// Spool layout (all paths under ServeOptions::spool):
+//   jobs/<name>.json       one queued job; the file IS a scenario document
+//   state/<name>/          the job's per-cell checkpoint directory
+//   results/<name>.jsonl   campaign JSONL, written atomically on completion
+//   results/<name>.summary.json   aggregate summary; its presence IS the
+//                          completion marker (written last, atomically)
+//   results/<name>.error.json     failure marker: the job threw; recorded so
+//                          a restart reports it instead of retrying forever
+//
+// Crash contract: the server may be SIGKILLed at any instant. On restart it
+// rescans the spool -- jobs with a summary are reported as already complete
+// and NEVER re-run (their results are left byte-untouched); jobs without one
+// re-run with resume semantics, so finished cells reload their done files
+// and the interrupted cell restores its newest snapshot. Every artifact
+// write is atomic (tmp + fsync + rename), so a torn file cannot exist.
+//
+// Event stream: one JSON object per line on `events` (stdout for the tool),
+// mirroring the campaign JSONL discipline -- serve_start, job_start,
+// job_done, job_skipped, job_failed, serve_idle.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace gtrix {
+
+struct ServeOptions {
+  std::string spool;            ///< spool root (created if missing)
+  unsigned threads = 0;         ///< sweep workers per job; 0 = all cores
+  std::uint32_t shards = 0;     ///< engine shards per cell; 0 = scenario default
+  double checkpoint_every = 4000.0;  ///< sim time between cell snapshots
+  bool telemetry = false;       ///< harvest engine telemetry per job
+  double progress_seconds = 0.0;  ///< > 0: live heartbeat on stderr
+  bool once = false;            ///< drain the queue, then exit (no polling)
+  double poll_seconds = 1.0;    ///< queue re-scan cadence when idle
+};
+
+struct ServeReport {
+  std::uint64_t completed = 0;  ///< jobs run to completion this process
+  std::uint64_t skipped = 0;    ///< jobs already complete (or failed) on disk
+  std::uint64_t failed = 0;     ///< jobs that threw this process
+};
+
+/// Runs the serve loop. `jobs_in` non-null enables stdin protocol mode:
+/// each line is {"name": "...", "scenario": {...}}; the job is materialized
+/// into the spool atomically (surviving a later crash) and then processed.
+/// EOF on `jobs_in` drains the queue and returns, like `once`.
+ServeReport run_serve(const ServeOptions& options, std::istream* jobs_in,
+                      std::ostream& events);
+
+}  // namespace gtrix

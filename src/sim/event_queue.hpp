@@ -38,6 +38,10 @@
 
 namespace gtrix {
 
+class CkptWriter;
+class CkptCursor;
+class CkptTargetMap;
+
 inline constexpr std::uint32_t kInvalidEventSlot = 0xffffffffU;
 
 /// Which internal priority structure an EventQueue / Simulator uses. The
@@ -153,6 +157,16 @@ class EventQueue {
   std::size_t calendar_buckets() const noexcept { return buckets_.size(); }
   double calendar_width() const noexcept { return width_; }
   std::uint64_t calendar_rebuilds() const noexcept { return rebuilds_; }
+
+  /// Checkpoint hooks (src/ckpt/state_ckpt.cpp). The snapshot preserves the
+  /// exact slot table -- indices, generations, freelist order and the
+  /// per-entry sequence numbers -- so outstanding TimerHandles stay valid
+  /// across a restore and the (time, seq) total order continues
+  /// unperturbed. The priority structure itself is refit on restore
+  /// (calendar width/bucket layout are engine-shaped, not part of the
+  /// simulated behaviour). Targets round-trip through `targets` ids.
+  void checkpoint_save(CkptWriter& w, const CkptTargetMap& targets) const;
+  void checkpoint_restore(CkptCursor& r, const CkptTargetMap& targets);
 
  private:
   struct Slot {

@@ -88,6 +88,12 @@ class Simulator {
   /// / purged / rebuild counters); see obs/telemetry.hpp.
   const EventQueue& event_queue() const noexcept { return queue_; }
 
+  /// Checkpoint hooks (src/ckpt/state_ckpt.cpp): the clock cursor and the
+  /// full queue. Scheduler kind and loop shape are construction parameters
+  /// validated by the World-level engine fingerprint, not snapshotted.
+  void checkpoint_save(CkptWriter& w, const CkptTargetMap& targets) const;
+  void checkpoint_restore(CkptCursor& r, const CkptTargetMap& targets);
+
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;

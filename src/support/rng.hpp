@@ -12,6 +12,9 @@
 
 namespace gtrix {
 
+class CkptWriter;
+class CkptCursor;
+
 /// SplitMix64: used to expand a 64-bit seed into generator state.
 /// Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
 /// Generators" (OOPSLA 2014).
@@ -62,6 +65,12 @@ class Rng {
   /// Jump function: advances the state by 2^128 steps (for independent
   /// long-range streams with the same seed).
   void jump() noexcept;
+
+  /// Checkpoint hooks (src/ckpt): the full generator state -- the four
+  /// xoshiro words plus the Box-Muller spare -- so a restored stream emits
+  /// the exact continuation. Defined in src/ckpt/state_ckpt.cpp.
+  void checkpoint_save(CkptWriter& w) const;
+  void checkpoint_restore(CkptCursor& r);
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -8,6 +8,9 @@
 
 namespace gtrix {
 
+class CkptWriter;
+class CkptCursor;
+
 /// Streaming summary accumulator (Welford's online algorithm for variance).
 class Summary {
  public:
@@ -15,6 +18,10 @@ class Summary {
 
   /// Merges another summary into this one (parallel Welford combine).
   void merge(const Summary& other) noexcept;
+
+  /// Checkpoint hooks (src/ckpt/state_ckpt.cpp): all six accumulator words.
+  void checkpoint_save(CkptWriter& w) const;
+  void checkpoint_restore(CkptCursor& r);
 
   std::size_t count() const noexcept { return n_; }
   bool empty() const noexcept { return n_ == 0; }
@@ -88,6 +95,11 @@ class LogQuantileSketch {
   double quantile(double q) const noexcept;
 
   std::uint64_t memory_bytes() const noexcept;
+
+  /// Checkpoint hooks (src/ckpt/state_ckpt.cpp): bin counts and totals; the
+  /// binning parameters are construction state and must already match.
+  void checkpoint_save(CkptWriter& w) const;
+  void checkpoint_restore(CkptCursor& r);
 
  private:
   double gamma_;

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Kill-and-resume byte-identity test for gtrix_campaign checkpointing.
+
+For each scenario (plain, mid-run corruption, streaming recording) and each
+(threads, shards) combination:
+  1. run the campaign uninterrupted once to get the reference JSONL bytes
+     and summary (the JSONL is thread/shard-invariant by design, so one
+     serial reference serves every combination);
+  2. start a fresh checkpointed run, SIGKILL it at a randomized moment
+     after its first snapshot hits disk;
+  3. rerun with --resume and require byte-identical JSONL plus an identical
+     summary skew block (wall-clock and engine-shaped telemetry excluded --
+     they are documented as non-portable).
+
+A kill that lands after the campaign already finished still exercises the
+done-file reload path; the randomized delay is printed so a failing timing
+can be replayed.
+
+Usage: tests/kill_resume_test.py GTRIX_CAMPAIGN_BINARY [--combos=N]
+"""
+import json
+import os
+import pathlib
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SCENARIOS = {
+    "kr-plain": {
+        "name": "kr-plain",
+        "config": {"columns": 8, "layers": 10, "pulses": 30},
+        "sweep": {"seed": [1, 2, 3]},
+    },
+    "kr-corrupt": {
+        "name": "kr-corrupt",
+        "config": {"columns": 8, "layers": 8, "pulses": 40,
+                   "self_stabilizing": True},
+        "corrupt": {"wave": 10.0, "fraction": 1.0},
+        "sweep": {"seed": [1, 2]},
+    },
+    "kr-stream": {
+        "name": "kr-stream",
+        "config": {"columns": 8, "layers": 10, "pulses": 30,
+                   "recording": "streaming"},
+        "sweep": {"seed": [1, 2]},
+    },
+}
+
+COMBOS = [(1, 1), (1, 2), (1, 4), (4, 1), (4, 2), (4, 4)]
+
+# Summary keys that must survive a kill/resume bit-exactly. wall_seconds is
+# measured, engine_stats carries engine-shaped + wall-clock telemetry, and
+# threads/shards describe the host layout -- all documented as non-portable.
+COMPARED_SUMMARY_KEYS = ("scenario", "cells", "local_skew", "global_skew",
+                         "cells_within_thm11_bound", "counters")
+
+
+def fail(msg):
+    print(f"kill_resume_test: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_campaign(binary, scenario_file, out_dir, threads, shards, extra=()):
+    cmd = [binary, str(scenario_file), f"--threads={threads}",
+           f"--shards={shards}", f"--out={out_dir}", "--quiet", *extra]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    return proc
+
+
+def summary_subset(path):
+    doc = json.loads(path.read_text())
+    return {k: doc.get(k) for k in COMPARED_SUMMARY_KEYS}
+
+
+def kill_after_first_snapshot(proc, ckpt_dir, delay, timeout=120.0):
+    """SIGKILL `proc` a randomized delay after its first snapshot lands."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline and proc.poll() is None:
+        if any(ckpt_dir.rglob("*.ckpt")):
+            break
+        time.sleep(0.005)
+    time.sleep(delay)
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=60)
+    return proc.returncode
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    binary = argv[1]
+    combos = COMBOS
+    for arg in argv[2:]:
+        if arg.startswith("--combos="):
+            combos = COMBOS[:int(arg.split("=", 1)[1])]
+
+    seed = int.from_bytes(os.urandom(4), "little")
+    rng = random.Random(seed)
+    print(f"kill_resume_test: rng seed {seed}")
+
+    with tempfile.TemporaryDirectory(prefix="gtrix_kill_resume_") as tmp:
+        tmp = pathlib.Path(tmp)
+        for name, doc in SCENARIOS.items():
+            scenario_file = tmp / f"{name}.json"
+            scenario_file.write_text(json.dumps(doc))
+
+            ref_dir = tmp / name / "ref"
+            run_campaign(binary, scenario_file, ref_dir, 1, 1)
+            ref_jsonl = (ref_dir / f"{name}.jsonl").read_bytes()
+            ref_summary = summary_subset(ref_dir / f"{name}.summary.json")
+
+            for threads, shards in combos:
+                tag = f"{name} threads={threads} shards={shards}"
+                work = tmp / name / f"t{threads}s{shards}"
+                ckpt_dir = work / "ckpt"
+                out_dir = work / "out"
+                delay = rng.uniform(0.0, 0.4)
+
+                cmd = [binary, str(scenario_file), f"--threads={threads}",
+                       f"--shards={shards}", f"--out={out_dir}", "--quiet",
+                       f"--checkpoint-dir={ckpt_dir}", "--checkpoint-every=4000"]
+                proc = subprocess.Popen(cmd, stdout=subprocess.DEVNULL,
+                                        stderr=subprocess.DEVNULL)
+                rc = kill_after_first_snapshot(proc, ckpt_dir, delay)
+                print(f"kill_resume_test: {tag}: killed after {delay:.3f}s "
+                      f"(exit {rc})")
+
+                run_campaign(binary, scenario_file, out_dir, threads, shards,
+                             extra=[f"--checkpoint-dir={ckpt_dir}",
+                                    "--checkpoint-every=4000", "--resume"])
+                resumed_jsonl = (out_dir / f"{name}.jsonl").read_bytes()
+                if resumed_jsonl != ref_jsonl:
+                    fail(f"{tag}: resumed JSONL differs from the "
+                         f"uninterrupted reference (kill delay {delay:.3f}s, "
+                         f"rng seed {seed})")
+                resumed_summary = summary_subset(out_dir / f"{name}.summary.json")
+                if resumed_summary != ref_summary:
+                    fail(f"{tag}: resumed summary skew block differs "
+                         f"(kill delay {delay:.3f}s, rng seed {seed}):\n"
+                         f"  reference: {ref_summary}\n"
+                         f"  resumed:   {resumed_summary}")
+                print(f"kill_resume_test: {tag}: byte-identical after resume")
+
+        # Corrupt-artifact contract: a damaged snapshot must fail the resume
+        # hard (exit 2) with a path-qualified message, never run silently.
+        name = "kr-plain"
+        scenario_file = tmp / f"{name}.json"
+        work = tmp / "corrupt-artifact"
+        ckpt_dir = work / "ckpt"
+        out_dir = work / "out"
+        run_campaign(binary, scenario_file, out_dir, 1, 1,
+                     extra=[f"--checkpoint-dir={ckpt_dir}",
+                            "--checkpoint-every=4000"])
+        victims = sorted(ckpt_dir.rglob("*.ckpt"))
+        if not victims:
+            fail("checkpointed reference run left no .ckpt files to corrupt")
+        victim = victims[0]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        victim.write_bytes(blob)
+        # Remove the done marker so the resume actually opens the snapshot.
+        done = victim.parent / (victim.name[:-len(".ckpt")] + ".done.json")
+        if done.exists():
+            done.unlink()
+        cmd = [binary, str(scenario_file), "--threads=1", "--shards=1",
+               f"--out={out_dir}", "--quiet", f"--checkpoint-dir={ckpt_dir}",
+               "--checkpoint-every=4000", "--resume"]
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+        if proc.returncode != 2:
+            fail(f"corrupt snapshot: expected exit 2, got {proc.returncode} "
+                 f"(stderr: {proc.stderr!r})")
+        if "CRC mismatch" not in proc.stderr or victim.name not in proc.stderr:
+            fail(f"corrupt snapshot: stderr lacks a path-qualified CRC "
+                 f"message: {proc.stderr!r}")
+        print("kill_resume_test: corrupt snapshot fails hard with exit 2")
+
+    print("kill_resume_test: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

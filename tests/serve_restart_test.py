@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Crash-restart test for gtrix_serve: kill -9 mid-queue, restart, and
+require that completed jobs are neither lost nor re-run.
+
+Procedure:
+  1. spool two jobs (job-a small, job-b larger so the kill lands inside it);
+  2. run `gtrix_serve --once`, watch the event stream, SIGKILL the process
+     right after job-a's job_done event;
+  3. record job-a's result bytes and mtimes;
+  4. restart `gtrix_serve --once`: it must emit job_skipped (already
+     complete) for job-a, leave its result files byte- and mtime-untouched,
+     and run job-b to completion (resuming from job-b's checkpoints);
+  5. compare both jobs' results against an uninterrupted serve over the
+     same jobs in a second spool -- bytes must match exactly;
+  6. submit a job over the stdin protocol and check it spools and runs.
+
+Usage: tests/serve_restart_test.py GTRIX_SERVE_BINARY
+"""
+import json
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+JOB_A = {
+    "name": "job-a",
+    "config": {"columns": 6, "layers": 6, "pulses": 10},
+    "sweep": {"seed": [1, 2]},
+}
+JOB_B = {
+    "name": "job-b",
+    "config": {"columns": 10, "layers": 16, "pulses": 30},
+    "sweep": {"seed": [1, 2, 3, 4]},
+}
+
+
+def fail(msg):
+    print(f"serve_restart_test: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def spool_jobs(spool):
+    (spool / "jobs").mkdir(parents=True, exist_ok=True)
+    (spool / "jobs" / "job-a.json").write_text(json.dumps(JOB_A))
+    (spool / "jobs" / "job-b.json").write_text(json.dumps(JOB_B))
+
+
+def serve_once(binary, spool, extra=()):
+    proc = subprocess.run([binary, f"--spool={spool}", "--once", "--threads=2",
+                           "--checkpoint-every=4000", *extra],
+                          capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"serve --once exited {proc.returncode}:\n{proc.stderr}")
+    return [json.loads(line) for line in proc.stdout.splitlines() if line]
+
+
+def events_of(events, kind):
+    return [e for e in events if e.get("event") == kind]
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    binary = argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="gtrix_serve_restart_") as tmp:
+        tmp = pathlib.Path(tmp)
+        spool = tmp / "spool"
+        spool_jobs(spool)
+
+        # Uninterrupted reference serve in its own spool.
+        ref_spool = tmp / "ref"
+        spool_jobs(ref_spool)
+        ref_events = serve_once(binary, ref_spool)
+        if len(events_of(ref_events, "job_done")) != 2:
+            fail(f"reference serve did not complete both jobs: {ref_events}")
+
+        # Run 1: kill -9 right after job-a completes (jobs run in name
+        # order, so job-b is in flight or about to start).
+        proc = subprocess.Popen([binary, f"--spool={spool}", "--once",
+                                 "--threads=2", "--checkpoint-every=4000"],
+                                stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                                text=True)
+        saw_a_done = False
+        start = time.monotonic()
+        for line in proc.stdout:
+            event = json.loads(line)
+            if event.get("event") == "job_done" and event.get("job") == "job-a":
+                saw_a_done = True
+                break
+            if time.monotonic() - start > 300:
+                break
+        if not saw_a_done:
+            proc.kill()
+            fail("never saw job_done for job-a")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+
+        results = spool / "results"
+        a_jsonl = results / "job-a.jsonl"
+        a_summary = results / "job-a.summary.json"
+        if not a_jsonl.exists() or not a_summary.exists():
+            fail("job-a results missing after kill")
+        a_bytes = a_jsonl.read_bytes()
+        a_mtimes = (a_jsonl.stat().st_mtime_ns, a_summary.stat().st_mtime_ns)
+        if (results / "job-b.summary.json").exists():
+            print("serve_restart_test: note: job-b finished before the kill; "
+                  "restart still must not re-run it")
+
+        # Run 2: restart. job-a must be skipped untouched; job-b must finish.
+        events = serve_once(binary, spool)
+        skips = [e for e in events_of(events, "job_skipped")
+                 if e.get("job") == "job-a"]
+        if not skips:
+            fail(f"restart did not skip completed job-a: {events}")
+        if "complete" not in skips[0].get("reason", ""):
+            fail(f"unexpected skip reason: {skips[0]}")
+        if events_of(events, "job_start") and any(
+                e.get("job") == "job-a" for e in events_of(events, "job_start")):
+            fail("restart re-ran completed job-a")
+        if a_jsonl.read_bytes() != a_bytes:
+            fail("restart changed job-a's result bytes")
+        if (a_jsonl.stat().st_mtime_ns, a_summary.stat().st_mtime_ns) != a_mtimes:
+            fail("restart rewrote job-a's result files")
+        if not (results / "job-b.summary.json").exists():
+            fail("restart did not complete job-b")
+
+        # Byte-identity of both results vs the uninterrupted reference.
+        for job in ("job-a", "job-b"):
+            got = (results / f"{job}.jsonl").read_bytes()
+            want = (ref_spool / "results" / f"{job}.jsonl").read_bytes()
+            if got != want:
+                fail(f"{job}: killed-and-restarted serve differs from the "
+                     f"uninterrupted reference")
+        print("serve_restart_test: kill -9 restart: no loss, no re-run, "
+              "byte-identical results")
+
+        # Third pass over a fully served spool: everything skips, nothing runs.
+        events = serve_once(binary, spool)
+        if events_of(events, "job_start") or events_of(events, "job_done"):
+            fail(f"idle restart still ran jobs: {events}")
+
+        # stdin protocol: submit a job as a JSON line; it must spool and run.
+        stdin_spool = tmp / "stdin-spool"
+        job = {"name": "job-c", "scenario": JOB_A | {"name": "job-c"}}
+        proc = subprocess.run([binary, f"--spool={stdin_spool}", "--stdin",
+                               "--threads=2", "--checkpoint-every=4000"],
+                              input=json.dumps(job) + "\n",
+                              capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"stdin serve exited {proc.returncode}:\n{proc.stderr}")
+        events = [json.loads(line) for line in proc.stdout.splitlines() if line]
+        if not any(e.get("event") == "job_done" and e.get("job") == "job-c"
+                   for e in events):
+            fail(f"stdin-submitted job never completed: {events}")
+        if not (stdin_spool / "jobs" / "job-c.json").exists():
+            fail("stdin submission was not spooled to disk")
+        if not (stdin_spool / "results" / "job-c.summary.json").exists():
+            fail("stdin-submitted job left no results")
+        print("serve_restart_test: stdin protocol: spooled and served")
+
+    print("serve_restart_test: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,315 @@
+// Checkpoint subsystem harness (src/ckpt/, runner/ckpt_runner.hpp): a world
+// snapshotted mid-run and restored into a freshly constructed world must
+// continue bit-identically -- same skew digest, same counters -- at every
+// (scheduler, shard count) combination, including mid-run corruption and
+// streaming recording. Plus the hard-failure contract: truncated, corrupt,
+// version-bumped and config-mismatched checkpoints throw CkptError with a
+// message naming the file, never a silent partial restore.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/codec.hpp"
+#include "runner/campaign.hpp"
+#include "runner/ckpt_runner.hpp"
+#include "runner/experiment.hpp"
+#include "runner/perf.hpp"
+#include "runner/result_io.hpp"
+#include "scenario/spec.hpp"
+
+namespace gtrix {
+namespace {
+
+ExperimentConfig tiny_config() {
+  return config_from_json(Json::parse(R"({"columns": 6, "layers": 6, "pulses": 10})"));
+}
+
+ExperimentConfig streaming_config() {
+  return config_from_json(
+      Json::parse(R"({"columns": 6, "layers": 6, "pulses": 10, "recording": "streaming"})"));
+}
+
+ExperimentConfig corrupt_config() {
+  return config_from_json(Json::parse(
+      R"({"columns": 6, "layers": 6, "pulses": 40, "self_stabilizing": true})"));
+}
+
+CorruptPlan corrupt_plan() {
+  CorruptPlan plan;
+  plan.enabled = true;
+  plan.wave = 10.0;
+  plan.fraction = 1.0;
+  return plan;
+}
+
+// A fresh scratch directory per call, under the system temp dir.
+std::filesystem::path scratch_dir(const std::string& tag) {
+  static int counter = 0;
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("gtrix_ckpt_test_" + tag + "_" + std::to_string(++counter));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string counters_digest(const ExperimentResult& r) {
+  const ExperimentCounters& c = r.counters;
+  return std::to_string(c.iterations) + "/" + std::to_string(c.late_broadcasts) + "/" +
+         std::to_string(c.guard_aborts) + "/" + std::to_string(c.watchdog_resets) + "/" +
+         std::to_string(c.timeout_branches) + "/" + std::to_string(c.duplicate_drops) + "/" +
+         std::to_string(c.events_executed) + "/" + std::to_string(c.messages_sent) + "/" +
+         std::to_string(c.messages_delivered) + "/" + std::to_string(c.delivery_events);
+}
+
+// Runs the cell uninterrupted and via save-at-t -> restore-into-fresh-world
+// -> continue, and requires identical skew and counters.
+void expect_roundtrip_identical(const ExperimentConfig& config, EngineOptions engine,
+                                double save_t, const std::string& what) {
+  ExperimentResult baseline;
+  {
+    World world(config, engine);
+    world.run_to_completion();
+    EXPECT_TRUE(world.idle()) << what;
+    baseline = measure_cell(world, config, {});
+  }
+  std::vector<std::uint8_t> image;
+  {
+    World world(config, engine);
+    world.run_until(save_t);
+    image = world.checkpoint_save("");
+  }
+  World resumed(config, engine);
+  {
+    CkptFile file = CkptFile::parse(image, "mem.ckpt");
+    resumed.checkpoint_restore(file);
+  }
+  resumed.run_to_completion();
+  const ExperimentResult result = measure_cell(resumed, config, {});
+  EXPECT_EQ(skew_digest(result), skew_digest(baseline)) << what;
+  EXPECT_EQ(counters_digest(result), counters_digest(baseline)) << what;
+}
+
+TEST(Ckpt, RestoreContinuesBitIdenticallyAcrossShardsAndSchedulers) {
+  const ExperimentConfig config = tiny_config();
+  const double mid = 4.5 * config.params.lambda;
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    EngineOptions engine;
+    engine.shards = shards;
+    expect_roundtrip_identical(config, engine, mid,
+                               "calendar/" + std::to_string(shards) + " shards");
+    EngineOptions reference = EngineOptions::reference();
+    reference.shards = shards;
+    expect_roundtrip_identical(config, reference, mid,
+                               "reference/" + std::to_string(shards) + " shards");
+  }
+}
+
+TEST(Ckpt, RestoreContinuesBitIdenticallyUnderStreamingRecording) {
+  const ExperimentConfig config = streaming_config();
+  const double mid = 5.0 * config.params.lambda;
+  for (const std::uint32_t shards : {1u, 2u}) {
+    EngineOptions engine;
+    engine.shards = shards;
+    expect_roundtrip_identical(config, engine, mid,
+                               "streaming/" + std::to_string(shards) + " shards");
+  }
+}
+
+TEST(Ckpt, RestoreAtEveryBoundaryMatchesUninterruptedRun) {
+  // Simulated kill-at-boundary: run the checkpointed runner to completion
+  // once per boundary count, each time taking the snapshot left by an
+  // earlier prefix and resuming it in a fresh runner invocation. Resumed
+  // results must match the plain run_cell result exactly.
+  const ExperimentConfig config = tiny_config();
+  const double every = 2.0 * config.params.lambda;
+  const std::string baseline = skew_digest(run_cell(config, {}));
+
+  for (const std::uint32_t shards : {1u, 2u}) {
+    EngineOptions engine;
+    engine.shards = shards;
+
+    // Uninterrupted checkpointed run: chunked execution changes nothing.
+    const auto dir = scratch_dir("chunked");
+    CheckpointOptions opts;
+    opts.dir = dir.string();
+    opts.every = every;
+    const ExperimentResult chunked =
+        run_cell_checkpointed(config, {}, opts, 0, "base", engine);
+    EXPECT_EQ(skew_digest(chunked), baseline) << shards << " shards";
+    EXPECT_GT(chunked.engine_stats.checkpoints_written, 0u);
+    EXPECT_GT(chunked.engine_stats.checkpoint_bytes, 0u);
+    ASSERT_TRUE(std::filesystem::exists(dir / "cell-00000-base.ckpt"));
+    ASSERT_TRUE(std::filesystem::exists(dir / "cell-00000-base.done.json"));
+
+    // Kill-after-last-snapshot: drop the done marker, keep the snapshot;
+    // resume must restore (not restart) and land on the same bytes.
+    std::filesystem::remove(dir / "cell-00000-base.done.json");
+    opts.resume = true;
+    const ExperimentResult resumed =
+        run_cell_checkpointed(config, {}, opts, 0, "base", engine);
+    EXPECT_EQ(skew_digest(resumed), baseline) << shards << " shards resumed";
+    EXPECT_EQ(resumed.engine_stats.checkpoints_restored, 1u);
+
+    // Completed cell: resume short-circuits to the done file, zero re-run.
+    const ExperimentResult reloaded =
+        run_cell_checkpointed(config, {}, opts, 0, "base", engine);
+    EXPECT_EQ(skew_digest(reloaded), baseline) << shards << " shards reloaded";
+    EXPECT_EQ(reloaded.engine_stats.cells_resumed_done, 1u);
+    EXPECT_EQ(counters_digest(reloaded), counters_digest(resumed));
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(Ckpt, CorruptCellResumesIdenticallyAcrossThePhaseBoundary) {
+  const ExperimentConfig config = corrupt_config();
+  const CorruptPlan plan = corrupt_plan();
+  const std::string baseline = skew_digest(run_cell(config, plan));
+
+  // `every` chosen so snapshots land both before wave 10 (phase 0) and
+  // after (phase 1); the kill-and-resume covers whichever is newest.
+  for (const double every : {3.0 * config.params.lambda, 14.0 * config.params.lambda}) {
+    const auto dir = scratch_dir("corrupt");
+    CheckpointOptions opts;
+    opts.dir = dir.string();
+    opts.every = every;
+    const ExperimentResult chunked = run_cell_checkpointed(config, plan, opts, 3, "c", {});
+    EXPECT_EQ(skew_digest(chunked), baseline) << "every=" << every;
+
+    std::filesystem::remove(dir / "cell-00003-c.done.json");
+    opts.resume = true;
+    const ExperimentResult resumed = run_cell_checkpointed(config, plan, opts, 3, "c", {});
+    EXPECT_EQ(skew_digest(resumed), baseline) << "every=" << every << " resumed";
+    EXPECT_EQ(counters_digest(resumed), counters_digest(chunked)) << "every=" << every;
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(Ckpt, HardFailuresNameTheFileAndTheCause) {
+  const ExperimentConfig config = tiny_config();
+  World world(config, {});
+  world.run_until(2.0 * config.params.lambda);
+  const std::vector<std::uint8_t> image = world.checkpoint_save("");
+
+  const auto expect_throw_with = [](const std::vector<std::uint8_t>& bytes,
+                                    const std::string& needle) {
+    try {
+      CkptFile::parse(bytes, "x.ckpt");
+      FAIL() << "expected CkptError containing '" << needle << "'";
+    } catch (const CkptError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find("x.ckpt"), std::string::npos) << e.what();
+    }
+  };
+
+  std::vector<std::uint8_t> bad_magic = image;
+  bad_magic[0] ^= 0xFF;
+  expect_throw_with(bad_magic, "bad magic");
+
+  std::vector<std::uint8_t> bad_version = image;
+  bad_version[8] = 0x2A;  // u32 version lives right after the 8-byte magic
+  expect_throw_with(bad_version, "version 42 is not supported");
+
+  std::vector<std::uint8_t> truncated(image.begin(), image.begin() + image.size() / 2);
+  expect_throw_with(truncated, "checkpoint");
+
+  std::vector<std::uint8_t> flipped = image;
+  flipped[image.size() / 2] ^= 0x01;
+  expect_throw_with(flipped, "CRC mismatch");
+
+  // Config mismatch: the restore target was built under different params.
+  ExperimentConfig other = tiny_config();
+  other.seed += 1;
+  World target(other, {});
+  CkptFile file = CkptFile::parse(image, "x.ckpt");
+  try {
+    target.checkpoint_restore(file);
+    FAIL() << "expected config-mismatch CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_NE(std::string(e.what()).find("different experiment config"), std::string::npos)
+        << e.what();
+  }
+
+  // Engine mismatch: same config, different shard layout.
+  EngineOptions sharded;
+  sharded.shards = 2;
+  World sharded_target(config, sharded);
+  CkptFile file2 = CkptFile::parse(image, "x.ckpt");
+  try {
+    sharded_target.checkpoint_restore(file2);
+    FAIL() << "expected engine-mismatch CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_NE(std::string(e.what()).find("engine fingerprint"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Ckpt, ResultJsonRoundTripIsBitExact) {
+  EngineOptions engine;
+  engine.telemetry = true;
+  engine.shards = 2;
+  const ExperimentResult result = run_cell(corrupt_config(), corrupt_plan(), engine);
+  // Through TEXT, not just Json values: the done file lives on disk, so the
+  // dump/parse leg is part of the contract (shortest-round-trip doubles).
+  const Json reparsed = Json::parse(result_to_json(result).dump());
+  const ExperimentResult back = result_from_json(reparsed, "done.json");
+  EXPECT_EQ(skew_digest(back), skew_digest(result));
+  EXPECT_EQ(counters_digest(back), counters_digest(result));
+  EXPECT_EQ(back.thm11_bound, result.thm11_bound);
+  EXPECT_EQ(back.global_bound, result.global_bound);
+  EXPECT_EQ(back.diameter, result.diameter);
+  EXPECT_EQ(back.skew.inter_by_layer, result.skew.inter_by_layer);
+  EXPECT_EQ(back.skew.spread_by_layer, result.skew.spread_by_layer);
+  if (kObsCompiled) {
+    EXPECT_EQ(back.engine_stats.enabled, result.engine_stats.enabled);
+    EXPECT_EQ(back.engine_stats.get(ObsCounter::kEventsExecuted),
+              result.engine_stats.get(ObsCounter::kEventsExecuted));
+    EXPECT_EQ(back.engine_stats.shards.size(), result.engine_stats.shards.size());
+    EXPECT_EQ(back.engine_stats.window_events.total(),
+              result.engine_stats.window_events.total());
+  }
+
+  try {
+    result_from_json(Json::parse(R"({"format": "nope"})"), "bad.json");
+    FAIL() << "expected CkptError on foreign document";
+  } catch (const CkptError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad.json"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Ckpt, CampaignWithCheckpointDirMatchesPlainCampaign) {
+  const Scenario scenario = Scenario::from_json(Json::parse(R"({
+    "name": "ckpt-tiny",
+    "config": {"columns": 6, "layers": 6, "pulses": 10},
+    "sweep": {"seed": [1, 2]}
+  })"));
+  const std::string plain =
+      campaign_jsonl(run_campaign(scenario, CampaignOptions{.threads = 1}));
+
+  const auto dir = scratch_dir("campaign");
+  CampaignOptions options;
+  options.threads = 2;
+  options.checkpoint.dir = dir.string();
+  options.checkpoint.every = 2.0 * 2000.0;  // two nominal waves of sim time
+  const std::string checkpointed = campaign_jsonl(run_campaign(scenario, options));
+  EXPECT_EQ(checkpointed, plain);
+
+  // Resume over a fully completed campaign reloads every cell from its done
+  // file and still reproduces the bytes.
+  options.checkpoint.resume = true;
+  const CampaignResult resumed = run_campaign(scenario, options);
+  EXPECT_EQ(campaign_jsonl(resumed), plain);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Ckpt, CellKeyIsStableAndSanitized) {
+  EXPECT_EQ(cell_key(0, "base"), "cell-00000-base");
+  EXPECT_EQ(cell_key(12, "layers=6/seed=100"), "cell-00012-layers_6_seed_100");
+  const std::string long_label(200, 'a');
+  EXPECT_LE(cell_key(3, long_label).size(), std::string("cell-00003-").size() + 80);
+}
+
+}  // namespace
+}  // namespace gtrix

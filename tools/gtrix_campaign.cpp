@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ckpt/codec.hpp"
 #include "obs/trace.hpp"
 #include "registry/describe.hpp"
 #include "runner/campaign.hpp"
@@ -55,6 +56,18 @@ Usage make_usage(const std::string& program) {
   usage.flag("--progress=SECONDS",
              "live heartbeat on stderr every SECONDS (bare --progress = 2): "
              "cells done, cumulative events/s, ETA");
+  usage.flag("--checkpoint-dir=DIR",
+             "crash-safe campaigns (docs/checkpointing.md): snapshot every "
+             "cell's full simulator state into DIR/<scenario>/ at sim-time "
+             "boundaries and record finished cells as done files");
+  usage.flag("--checkpoint-every=T",
+             "simulated time between snapshots (default 4000 = two nominal "
+             "waves; needs --checkpoint-dir)");
+  usage.flag("--resume",
+             "reuse artifacts under --checkpoint-dir: completed cells reload "
+             "their done files (never re-run), interrupted cells restore "
+             "their newest snapshot and continue; output bytes are identical "
+             "to an uninterrupted run");
   usage.flag("--dry-run", "expand and list cells without running");
   usage.flag("--quiet", "suppress the per-scenario result table");
   usage.flag("--help", "show this help");
@@ -168,7 +181,8 @@ Scenario load_scenario(const std::string& ref) {
 }
 
 int run(int argc, char** argv) {
-  const Flags flags(argc, argv, {"list", "dry-run", "quiet", "help", "telemetry", "progress"});
+  const Flags flags(argc, argv,
+                    {"list", "dry-run", "quiet", "help", "telemetry", "progress", "resume"});
   const Usage usage = make_usage(flags.program());
   // Reject typos ("--thread=1") instead of silently using defaults; the
   // accepted set is exactly what --help documents.
@@ -260,6 +274,30 @@ int run(int argc, char** argv) {
       return 2;
     }
   }
+  const std::string checkpoint_dir = flags.get_string("checkpoint-dir", "");
+  if (flags.has("checkpoint-dir") && (checkpoint_dir.empty() || checkpoint_dir == "true")) {
+    std::fputs("error: --checkpoint-dir requires a directory (--checkpoint-dir=DIR)\n", stderr);
+    return 2;
+  }
+  options.checkpoint.every = 4000.0;
+  if (flags.has("checkpoint-every")) {
+    if (checkpoint_dir.empty()) {
+      std::fputs("error: --checkpoint-every needs --checkpoint-dir=DIR\n", stderr);
+      return 2;
+    }
+    const std::string raw = flags.get_string("checkpoint-every", "");
+    options.checkpoint.every = raw == "true" ? 0.0 : flags.get_double("checkpoint-every", 0.0);
+    if (!(options.checkpoint.every > 0.0)) {
+      std::fputs("error: --checkpoint-every needs a positive simulated-time interval\n",
+                 stderr);
+      return 2;
+    }
+  }
+  options.checkpoint.resume = flags.get_bool("resume", false);
+  if (options.checkpoint.resume && checkpoint_dir.empty()) {
+    std::fputs("error: --resume needs --checkpoint-dir=DIR\n", stderr);
+    return 2;
+  }
   if (!kObsCompiled && (options.telemetry || !trace_out.empty())) {
     std::fputs("error: this binary was built with GTRIX_OBS=OFF; rebuild with "
                "telemetry compiled in to use --telemetry/--trace-out\n",
@@ -297,6 +335,12 @@ int run(int argc, char** argv) {
       continue;
     }
 
+    // Checkpoint artifacts are keyed per scenario: cell keys are positional
+    // within one scenario, so two scenarios must never share a directory.
+    if (!checkpoint_dir.empty()) {
+      options.checkpoint.dir =
+          (std::filesystem::path(checkpoint_dir) / scenario.name()).string();
+    }
     const CampaignResult result = run_campaign(scenario, options);
     // Next scenario's cells get fresh trace pids (pid 1 stays the shared
     // campaign-level track).
@@ -339,6 +383,12 @@ int run(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return gtrix::run(argc, argv);
+  } catch (const gtrix::CkptError& e) {
+    // Truncated / corrupt / version- or config-mismatched checkpoint
+    // artifacts are a usage-level failure with a path-qualified message,
+    // not a crash: exit 2, like every other validation error.
+    std::fprintf(stderr, "gtrix_campaign: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gtrix_campaign: %s\n", e.what());
     return 1;
