@@ -12,8 +12,15 @@
 //
 //   bench_scale                              # scale-grid, streaming + full
 //   bench_scale --scenario=scale-torus --modes=streaming
+//   bench_scale --scenario=scale-stabilization   # corrupt cells: realigned
+//                                            # skew + recovery-time sweep
 //   bench_scale --quick --assert-rss-mb=256  # CI smoke: reduced shape
 //   bench_scale --out=BENCH_scale-grid.json
+//
+// Corrupt scenarios (scale-stabilization) replay the campaign runner's
+// corruption sequence per cell; the identity gate then also covers the
+// realigned post-recovery skew, the exact quantiles and the recovery
+// report, and every cell of the fault-density sweep must recover.
 //
 // --shards=LIST adds a second sweep axis: the first recording mode re-runs
 // once per engine shard count (same fork-per-run isolation), reporting wall
@@ -48,6 +55,7 @@
 
 #include "obs/rss.hpp"
 #include "registry/recording.hpp"
+#include "runner/campaign.hpp"
 #include "runner/experiment.hpp"
 #include "scenario/registry.hpp"
 #include "support/flags.hpp"
@@ -59,11 +67,14 @@ namespace {
 
 /// Committed streaming-mode peak-RSS budgets, asserted by default at full
 /// scale (docs/scaling.md explains the headroom: measured peaks are ~500 MB
-/// for scale-grid and ~1.6 GB for scale-torus; full-trace recording of
-/// scale-grid measures ~1.1 GB, clearly over its budget).
+/// for scale-grid, ~1.6 GB for scale-torus and ~1.3 GB for
+/// scale-stabilization, whose corruption-anchored look-back box is the
+/// dominant retained state; full-trace recording measures ~1.1 GB on
+/// scale-grid and ~2.7 GB on scale-stabilization, clearly over budget).
 long default_budget_mb(const std::string& scenario) {
   if (scenario == "scale-grid") return 640;
   if (scenario == "scale-torus") return 2048;
+  if (scenario == "scale-stabilization") return 1536;
   return 0;  // no default budget for other scenarios
 }
 
@@ -81,18 +92,40 @@ struct ModeResult {
 };
 
 /// Runs one cell under `mode` with `shards` engine shards in THIS process
-/// and serializes the result.
-Json run_mode(const ExperimentConfig& base_config, const std::string& mode,
-              std::uint32_t shards) {
+/// and serializes the result. Corrupt cells replay the campaign runner's
+/// sequence exactly (anchor, run to the corruption boundary, scramble,
+/// finish, measure_cell), so the reported skew is the realigned
+/// post-recovery window and the recovery scan rides in the result.
+Json run_mode(const ExperimentConfig& base_config, const CorruptPlan& corrupt,
+              const std::string& mode, std::uint32_t shards) {
   ExperimentConfig config = base_config;
-  config.recording_spec = recording_registry().canonicalize(ComponentSpec::of(mode));
+  // Keep a scenario-declared window when overriding the mode kind: the
+  // corruption look-back is sized by the scenario, not by mode defaults.
+  ComponentSpec spec = ComponentSpec::of(mode);
+  if (mode != "full" && !base_config.recording_spec.empty() &&
+      base_config.recording_spec.params.contains("window")) {
+    recording_registry().set_param(spec, "window",
+                                   base_config.recording_spec.params.at("window"));
+  }
+  config.recording_spec = recording_registry().canonicalize(spec);
 
   EngineOptions engine;
   engine.shards = shards;
   const auto started = std::chrono::steady_clock::now();
   World world(config, engine);
-  world.run_to_completion();
-  const SkewReport skew = world.skew();
+  ExperimentResult measured;
+  if (corrupt.enabled) {
+    world.set_corruption_anchor(corrupt.wave);
+    Rng rng(config.seed ^ 0xFEED);  // matches run_cell's corruption stream
+    world.run_until(corrupt.wave * config.params.lambda);
+    world.corrupt_fraction(corrupt.fraction, rng);
+    world.run_to_completion();
+    measured = measure_cell(world, config, corrupt);
+  } else {
+    world.run_to_completion();
+    measured.skew = world.skew();
+  }
+  const SkewReport& skew = measured.skew;
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
   const ExperimentCounters counters = world.counters();
@@ -123,6 +156,23 @@ Json run_mode(const ExperimentConfig& base_config, const std::string& mode,
   s.set("dev_mean", skew.deviations.mean);
   s.set("dev_p99", skew.deviations.p99);
   j.set("skew", std::move(s));
+  if (corrupt.enabled) {
+    const RecoveryReport& rec = measured.recovery;
+    Json r = Json::object();
+    r.set("corrupt_wave", rec.corrupt_wave);
+    r.set("scan_hi", rec.scan_hi);
+    r.set("threshold", rec.threshold);
+    r.set("recovered", rec.recovered);
+    if (rec.recovered) {
+      r.set("recovered_wave", rec.recovered_wave);
+      r.set("recovery_waves", rec.recovered_wave - rec.corrupt_wave);
+    } else {
+      r.set("recovered_wave", Json());
+    }
+    r.set("realign_nodes_shifted",
+          static_cast<std::int64_t>(measured.realign.nodes_shifted));
+    j.set("recovery", std::move(r));
+  }
   if (world.streaming() != nullptr) {
     j.set("window_overflows", world.streaming()->window_overflows());
     j.set("out_of_order", world.streaming()->out_of_order());
@@ -133,8 +183,9 @@ Json run_mode(const ExperimentConfig& base_config, const std::string& mode,
 
 /// Forks a child to run one (mode, shards) combination; returns its result
 /// JSON. Process-level isolation is what makes per-run peak RSS meaningful.
-Json run_mode_forked(const ExperimentConfig& config, const std::string& mode,
-                     std::uint32_t shards, const std::string& scratch_dir) {
+Json run_mode_forked(const ExperimentConfig& config, const CorruptPlan& corrupt,
+                     const std::string& mode, std::uint32_t shards,
+                     const std::string& scratch_dir) {
   const std::string path = scratch_dir + "/bench_scale_" + mode + "_s" +
                            std::to_string(shards) + "_" +
                            std::to_string(::getpid()) + ".json";
@@ -143,7 +194,7 @@ Json run_mode_forked(const ExperimentConfig& config, const std::string& mode,
   if (pid == 0) {
     int code = 0;
     try {
-      const Json result = run_mode(config, mode, shards);
+      const Json result = run_mode(config, corrupt, mode, shards);
       std::ofstream out(path, std::ios::binary | std::ios::trunc);
       out << result.dump();
       if (!out.flush()) code = 3;
@@ -170,8 +221,8 @@ Json run_mode_forked(const ExperimentConfig& config, const std::string& mode,
 /// upper bound any k-shard run can reach, measured rather than assumed from
 /// hardware_concurrency (shared/throttled vCPUs routinely report cores they
 /// cannot feed with memory bandwidth).
-double concurrent_serial_makespan(const ExperimentConfig& config, const std::string& mode,
-                                  std::uint32_t k) {
+double concurrent_serial_makespan(const ExperimentConfig& config, const CorruptPlan& corrupt,
+                                  const std::string& mode, std::uint32_t k) {
   const auto started = std::chrono::steady_clock::now();
   std::vector<pid_t> pids;
   for (std::uint32_t i = 0; i < k; ++i) {
@@ -180,7 +231,7 @@ double concurrent_serial_makespan(const ExperimentConfig& config, const std::str
     if (pid == 0) {
       int code = 0;
       try {
-        (void)run_mode(config, mode, 1);
+        (void)run_mode(config, corrupt, mode, 1);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "bench_scale[headroom]: %s\n", e.what());
         code = 2;
@@ -215,7 +266,9 @@ int run(int argc, char** argv) {
               "Mega-grid scale benchmark: peak RSS and events/sec per recording mode.");
   usage.flag("--scenario=NAME", "scale scenario to run (default scale-grid)");
   usage.flag("--modes=LIST", "comma-separated recording modes (default streaming,full)");
-  usage.flag("--quick", "reduced 96x96 shape for the CI smoke");
+  usage.flag("--quick",
+             "reduced shape for the CI smoke (96x96; corrupt scenarios 96x12 "
+             "with pulses kept past the recovery wave)");
   usage.flag("--assert-rss-mb=N",
              "fail if the streaming run's peak RSS exceeds N MB (default: the "
              "committed per-scenario budget at full scale; off under --quick "
@@ -298,14 +351,24 @@ int run(int argc, char** argv) {
 
   const Scenario scenario = builtin_scenario(scenario_name);
   std::vector<ScenarioCell> cells = scenario.cells();
-  ExperimentConfig config = cells.at(0).config;
-  if (quick) {
+  const CorruptPlan corrupt = cells.at(0).corrupt;
+  const auto reshape_quick = [&](ExperimentConfig& c) {
     // Same pipeline, CI-sized shape: the smoke asserts the RSS ceiling and
-    // the streaming-vs-full identity without the multi-second mega run.
-    config.columns = 96;
-    config.layers = 96;
-    config.pulses = 10;
-  }
+    // the streaming-vs-full identity without the multi-minute mega run.
+    // Corrupt scenarios keep enough pulses past the recovery wave
+    // (corrupt_wave + layers + 8) for the post-recovery skew window.
+    if (corrupt.enabled) {
+      c.columns = 96;
+      c.layers = 12;
+      c.pulses = 36;
+    } else {
+      c.columns = 96;
+      c.layers = 96;
+      c.pulses = 10;
+    }
+  };
+  ExperimentConfig config = cells.at(0).config;
+  if (quick) reshape_quick(config);
 
   long budget_mb = flags.get_int("assert-rss-mb", quick ? 0 : default_budget_mb(scenario_name));
 
@@ -317,14 +380,20 @@ int run(int argc, char** argv) {
   shape.set("columns", config.columns);
   shape.set("layers", config.layers);
   shape.set("pulses", config.pulses);
+  if (!config.topology_spec.empty()) {
+    Json topo = Json::object();
+    topo.set("kind", config.topology_spec.kind);
+    topo.set("params", config.topology_spec.params);
+    shape.set("base_graph", std::move(topo));
+  }
   report.set("shape", std::move(shape));
   if (budget_mb > 0) report.set("rss_budget_mb", static_cast<std::int64_t>(budget_mb));
 
   Table table({"mode", "peak RSS MB", "wall s", "events/s", "local skew", "global skew"});
   std::vector<Json> results;
   for (const std::string& mode : modes) {
-    const Json result =
-        no_fork ? run_mode(config, mode, 1) : run_mode_forked(config, mode, 1, "/tmp");
+    const Json result = no_fork ? run_mode(config, corrupt, mode, 1)
+                                : run_mode_forked(config, corrupt, mode, 1, "/tmp");
     table.row()
         .add(mode)
         .add(result.at("peak_rss_mb").as_double(), 1)
@@ -375,6 +444,28 @@ int run(int argc, char** argv) {
         ++failures;
       }
     }
+    if (corrupt.enabled) {
+      // Corrupt cells materialize exact quantiles from the retained window
+      // in every mode, and realignment + the recovery scan must replay
+      // identically from the corruption-anchored look-back.
+      for (const char* key : {"dev_mean", "dev_p99"}) {
+        if (streaming_result->at("skew").at(key).dump() !=
+            full_result->at("skew").at(key).dump()) {
+          std::fprintf(stderr,
+                       "FAIL: '%s' differs between streaming and full recording on a "
+                       "corrupt cell (both are exact)\n",
+                       key);
+          identical = false;
+          ++failures;
+        }
+      }
+      if (streaming_result->at("recovery").dump() != full_result->at("recovery").dump()) {
+        std::fputs("FAIL: recovery report differs between streaming and full recording\n",
+                   stderr);
+        identical = false;
+        ++failures;
+      }
+    }
   }
   if (streaming_result != nullptr && full_result != nullptr) {
     report.set("skew_identical", identical);
@@ -383,14 +474,71 @@ int run(int argc, char** argv) {
     if (stream_rss > 0.0) report.set("full_over_streaming_rss", full_rss / stream_rss);
     // Relative gate, meaningful on any hardware and under sanitizers (both
     // modes inflate together): if streaming's footprint creeps toward
-    // full's, it has started retaining per-wave state it must not.
-    if (stream_rss > 0.9 * full_rss) {
+    // full's, it has started retaining per-wave state it must not. Corrupt
+    // cells are exempt: the corruption-anchored look-back legitimately
+    // retains pulse times (the absolute streaming budget still gates), and
+    // full recording's margin there is the iteration log, which shrinks to
+    // noise on the --quick shape.
+    if (corrupt.enabled) {
+      std::printf("rss ratio: corrupt cell retains the anchored look-back under "
+                  "streaming; relative gate skipped (absolute budget still applies)\n");
+    } else if (stream_rss > 0.9 * full_rss) {
       std::fprintf(stderr,
                    "FAIL: streaming peak RSS %.1f MB is not materially below full-trace "
                    "recording's %.1f MB -- streaming mode is retaining trace state\n",
                    stream_rss, full_rss);
       ++failures;
     }
+  }
+  if (corrupt.enabled) {
+    // Self-stabilization is the point of a corrupt scale run: every measured
+    // cell must return under the Theorem 1.1 bound before the pulse budget
+    // runs out, or the bench fails.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].at("recovery").at("recovered").as_bool()) {
+        std::fprintf(stderr, "FAIL: mode '%s' did not recover by wave %lld\n",
+                     modes[i].c_str(),
+                     static_cast<long long>(results[i].at("recovery").at("scan_hi").as_int()));
+        ++failures;
+      }
+    }
+  }
+  if (corrupt.enabled && cells.size() > 1 && !no_fork && !quick) {
+    // Fault-density sweep (Thm 1.2/1.3 riding on the Thm 1.6 story): run
+    // the remaining cells under the first mode and report recovery time per
+    // density. Cell 0 reuses the mode-table run. Skipped under --quick:
+    // generator faults were resolved against the full-scale grid at parse
+    // time, so the reduced shape cannot reuse the swept cells' fault lists.
+    Table cell_table({"cell", "recovered wave", "waves to recover", "local skew",
+                      "peak RSS MB", "wall s"});
+    Json cell_rows = Json::array();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Json result = i == 0 ? results.front()
+                                 : run_mode_forked(cells[i].config, cells[i].corrupt,
+                                                   modes.front(), 1, "/tmp");
+      const Json& rec = result.at("recovery");
+      const bool recovered = rec.at("recovered").as_bool();
+      if (!recovered) {
+        std::fprintf(stderr, "FAIL: cell '%s' did not recover by wave %lld\n",
+                     cells[i].label.c_str(),
+                     static_cast<long long>(rec.at("scan_hi").as_int()));
+        ++failures;
+      }
+      cell_table.row()
+          .add(cells[i].label)
+          .add(recovered ? std::to_string(rec.at("recovered_wave").as_int()) : "-")
+          .add(recovered ? std::to_string(rec.at("recovery_waves").as_int()) : "-")
+          .add(result.at("skew").at("local").as_double(), 3)
+          .add(result.at("peak_rss_mb").as_double(), 1)
+          .add(result.at("wall_seconds").as_double(), 2);
+      Json row = Json::object();
+      row.set("label", cells[i].label);
+      row.set("result", result);
+      cell_rows.push_back(std::move(row));
+    }
+    std::printf("\nfault-density sweep (%s recording):\n%s", modes.front().c_str(),
+                cell_table.render().c_str());
+    report.set("cells", std::move(cell_rows));
   }
   if (!shard_counts.empty()) {
     const std::string& mode = modes.front();
@@ -399,7 +547,7 @@ int run(int argc, char** argv) {
         {"shards", "peak RSS MB", "wall s", "events/s", "speedup", "local skew"});
     std::vector<Json> shard_results;
     for (const std::uint32_t shards : shard_counts) {
-      shard_results.push_back(run_mode_forked(config, mode, shards, "/tmp"));
+      shard_results.push_back(run_mode_forked(config, corrupt, mode, shards, "/tmp"));
     }
     double serial_wall = 0.0;
     for (std::size_t i = 0; i < shard_results.size(); ++i) {
@@ -461,7 +609,7 @@ int run(int argc, char** argv) {
     const auto headroom_for = [&](std::uint32_t k, double serial_wall) -> double {
       const std::string key = std::to_string(k);
       if (headrooms.contains(key)) return headrooms.at(key).as_double();
-      const double makespan = concurrent_serial_makespan(config, mode, k);
+      const double makespan = concurrent_serial_makespan(config, corrupt, mode, k);
       const double headroom =
           makespan > 0.0 ? static_cast<double>(k) * serial_wall / makespan : 1.0;
       headrooms.set(key, headroom);

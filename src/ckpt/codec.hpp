@@ -36,7 +36,9 @@ namespace gtrix {
 class TimerTarget;
 
 inline constexpr std::string_view kCkptMagic = "GTRXCKPT";
-inline constexpr std::uint32_t kCkptFormatVersion = 1;
+// v2: recorder corruption-anchored retention state (pin box, early list,
+// lost ranges) and the streaming suppression counter.
+inline constexpr std::uint32_t kCkptFormatVersion = 2;
 
 /// Any checkpoint failure: unreadable/corrupt/truncated files, version
 /// mismatches, snapshot/config mismatches. Messages are path-qualified by

@@ -245,6 +245,12 @@ void Simulator::checkpoint_restore(CkptCursor& cur, const CkptTargetMap& targets
 // --- Network -----------------------------------------------------------------
 
 void Network::checkpoint_save(CkptWriter& w) const {
+  // A kFlushArrivals event never outlives its instant, so no arrival can be
+  // deferred at a snapshot barrier; the cells carry no persistent state.
+  for (const DeferCell& cell : defer_) {
+    GTRIX_CHECK_MSG(!cell.active && cell.buf.empty(),
+                    "checkpoint taken mid-instant: deferred arrivals pending");
+  }
   w.u64(sent_);
   w.u64(delivered_);
   w.u64(delivery_events_);
@@ -326,6 +332,7 @@ void Recorder::checkpoint_save(CkptWriter& w) const {
   w.i64(min_sigma_);
   w.i64(max_sigma_);
   w.u64(pulses_recorded_);
+  w.u64(pinned_pulses_);  // anchor/box bounds are config-derived, not state
   w.u64(logs_.size());
   for (const NodeLog& log : logs_) {
     w.i64(log.first_sigma);
@@ -334,6 +341,24 @@ void Recorder::checkpoint_save(CkptWriter& w) const {
     w.u64(log.iterations.size());
     for (const IterationRecord& rec : log.iterations) ckpt::write_iteration(w, rec);
     w.u64(log.iterations_dropped);
+    // Corruption-anchored retention state (all empty under full recording).
+    w.u64(log.early.size());
+    for (Sigma s : log.early) w.i64(s);
+    w.i64(log.pin_first);
+    w.u64(log.pin_times.size());
+    for (SimTime t : log.pin_times) w.f64(t);
+    w.u64(log.pin_iterations.size());
+    for (const IterationRecord& rec : log.pin_iterations) ckpt::write_iteration(w, rec);
+    for (std::uint64_t abs : log.pin_iter_abs) w.u64(abs);
+    w.i64(log.lost_lo);
+    w.i64(log.lost_hi);
+    w.u64(log.lost_iters.size());
+    for (const LostIter& li : log.lost_iters) {
+      w.u64(li.abs);
+      w.i64(li.sigma);
+    }
+    w.i64(log.iter_lost_lo);
+    w.i64(log.iter_lost_hi);
   }
 }
 
@@ -341,6 +366,7 @@ void Recorder::checkpoint_restore(CkptCursor& cur) {
   min_sigma_ = cur.i64();
   max_sigma_ = cur.i64();
   pulses_recorded_ = cur.u64();
+  pinned_pulses_ = cur.u64();
   const std::uint64_t nodes = cur.u64();
   if (nodes != logs_.size()) {
     throw CkptError("checkpoint recorder covers " + std::to_string(nodes) +
@@ -358,6 +384,31 @@ void Recorder::checkpoint_restore(CkptCursor& cur) {
       log.iterations.push_back(ckpt::read_iteration(cur));
     }
     log.iterations_dropped = cur.u64();
+    const std::uint64_t nearly = cur.u64();
+    log.early.resize(nearly);
+    for (Sigma& s : log.early) s = cur.i64();
+    log.pin_first = cur.i64();
+    const std::uint64_t npin_times = cur.u64();
+    log.pin_times.resize(npin_times);
+    for (SimTime& t : log.pin_times) t = cur.f64();
+    const std::uint64_t npin_iters = cur.u64();
+    log.pin_iterations.clear();
+    log.pin_iterations.reserve(npin_iters);
+    for (std::uint64_t i = 0; i < npin_iters; ++i) {
+      log.pin_iterations.push_back(ckpt::read_iteration(cur));
+    }
+    log.pin_iter_abs.resize(npin_iters);
+    for (std::uint64_t& abs : log.pin_iter_abs) abs = cur.u64();
+    log.lost_lo = cur.i64();
+    log.lost_hi = cur.i64();
+    const std::uint64_t nlost = cur.u64();
+    log.lost_iters.resize(nlost);
+    for (LostIter& li : log.lost_iters) {
+      li.abs = cur.u64();
+      li.sigma = cur.i64();
+    }
+    log.iter_lost_lo = cur.i64();
+    log.iter_lost_hi = cur.i64();
   }
 }
 
@@ -400,6 +451,7 @@ void StreamingSkew::checkpoint_save(CkptWriter& w) const {
   w.u64(pairs_checked_);
   w.u64(window_overflows_);
   w.u64(out_of_order_);
+  w.u64(suppressed_);  // the anchor itself is config-derived, not state
   deviation_summary_.checkpoint_save(w);
   deviation_sketch_.checkpoint_save(w);
 }
@@ -432,6 +484,7 @@ void StreamingSkew::checkpoint_restore(CkptCursor& cur) {
   pairs_checked_ = cur.u64();
   window_overflows_ = cur.u64();
   out_of_order_ = cur.u64();
+  suppressed_ = cur.u64();
   deviation_summary_.checkpoint_restore(cur);
   deviation_sketch_.checkpoint_restore(cur);
 }

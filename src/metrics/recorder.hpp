@@ -115,6 +115,63 @@ class Recorder {
   virtual void record_pulse(RecNodeId node, Sigma sigma, SimTime t);
   virtual void record_iteration(RecNodeId node, const IterationRecord& record);
 
+  /// Corruption-anchored retention (windowed + streaming): pins every pulse
+  /// slot and iteration record whose wave falls inside
+  /// [wave - window, wave + window] instead of evicting it, and switches
+  /// streaming mode onto the per-wave times path so the retained box plus the
+  /// rolling last-`window` waves support post-run label realignment and
+  /// post-recovery skew windows without the full trace (docs/scaling.md,
+  /// "Realignment at scale"). Must be called before the first pulse; a no-op
+  /// in full mode (the whole trace is retained anyway).
+  void set_corruption_anchor(Sigma wave);
+  bool corruption_anchored() const noexcept { return anchor_ != kInvalidSigma; }
+  Sigma corruption_anchor() const noexcept { return anchor_; }
+
+  /// True when no pulse slot of `node` in [lo, hi] was evicted un-pinned --
+  /// i.e. every read in that range returns exactly what full recording
+  /// would. Callers that need the guarantee (realignment, windowed skew,
+  /// conditions) check this FIRST and fail with a mode-qualified error
+  /// rather than returning silently-wrong numbers.
+  bool covers(RecNodeId node, Sigma lo, Sigma hi) const;
+  /// The node's lost-pulse wave range (both kInvalidSigma if nothing lost);
+  /// for error messages.
+  std::pair<Sigma, Sigma> lost_range(RecNodeId node) const;
+
+  /// Visits every *retained* iteration record of `node` in absolute-index
+  /// order: pinned records (evicted from the rolling window into the
+  /// corruption box) first, then the rolling tail. f(record, absolute_index)
+  /// where absolute_index counts from the node's first record ever, so the
+  /// conditions checker's warmup filter keys on the same index in every
+  /// recording mode.
+  template <typename F>
+  void for_each_iteration(RecNodeId node, F&& f) const {
+    const NodeLog& log = logs_.at(node);
+    for (std::size_t i = 0; i < log.pin_iterations.size(); ++i) {
+      f(log.pin_iterations[i], log.pin_iter_abs[i]);
+    }
+    for (std::size_t i = 0; i < log.iterations.size(); ++i) {
+      f(log.iterations[i], log.iterations_dropped + i);
+    }
+  }
+
+  /// Number of iteration records of `node` lost (evicted un-pinned) whose
+  /// absolute index is < `abs_limit`. Full recording skip-counts every
+  /// record below the warmup index, so a windowed conditions check adds this
+  /// correction to report the identical iterations_skipped.
+  std::uint64_t iterations_lost_below(RecNodeId node, std::uint64_t abs_limit) const;
+
+  /// True when no iteration record of `node` that full recording WOULD have
+  /// checked (absolute index >= warmup, wave in [lo, hi]) was lost.
+  bool iterations_covered(RecNodeId node, Sigma lo, Sigma hi, std::uint64_t warmup) const;
+
+  /// Pulses moved into corruption boxes across all nodes (telemetry).
+  std::uint64_t pinned_pulse_count() const noexcept { return pinned_pulses_; }
+
+  /// Capacity limits of the bounded bookkeeping above; queries beyond them
+  /// are GTRIX_CHECK failures, not wrong answers.
+  static constexpr std::size_t kEarlyCap = 16;        ///< steady_from warmup
+  static constexpr std::uint64_t kLostIterTrackCap = 32;  ///< warmup skip correction
+
   /// Pulse time of `node` at wave `sigma`, if recorded.
   std::optional<SimTime> pulse_time(RecNodeId node, Sigma sigma) const;
 
@@ -156,14 +213,35 @@ class Recorder {
   void checkpoint_restore(CkptCursor& r);
 
  private:
+  struct LostIter {
+    std::uint64_t abs = 0;  ///< absolute record index
+    Sigma sigma = 0;
+  };
+
   struct NodeLog {
     Sigma first_sigma = kInvalidSigma;
     std::vector<SimTime> times;  ///< indexed sigma - first_sigma; NaN = missing
     std::vector<IterationRecord> iterations;
     std::uint64_t iterations_dropped = 0;  ///< windowed-mode front evictions
+
+    // Corruption-anchored retention state (empty in full mode and in
+    // un-anchored streaming mode):
+    std::vector<Sigma> early;  ///< smallest distinct recorded waves (<= kEarlyCap)
+    Sigma pin_first = kInvalidSigma;   ///< box lower bound once pin_times allocated
+    std::vector<SimTime> pin_times;    ///< pinned box slots, indexed sigma - pin_first
+    std::vector<IterationRecord> pin_iterations;  ///< ascending absolute index
+    std::vector<std::uint64_t> pin_iter_abs;      ///< parallel absolute indices
+    Sigma lost_lo = kInvalidSigma;     ///< evicted un-pinned pulse wave range
+    Sigma lost_hi = kInvalidSigma;
+    std::vector<LostIter> lost_iters;  ///< lost records with abs < kLostIterTrackCap
+    Sigma iter_lost_lo = kInvalidSigma;  ///< lost records with abs >= the cap
+    Sigma iter_lost_hi = kInvalidSigma;
   };
 
   void evict_window(NodeLog& log);
+  void pin_pulse(NodeLog& log, Sigma sigma, SimTime t);
+  void note_early(NodeLog& log, Sigma sigma);
+  static void note_lost(Sigma& lo, Sigma& hi, Sigma sigma);
 
   RecordingOptions options_;
   StreamingSkew* stream_ = nullptr;
@@ -172,6 +250,9 @@ class Recorder {
   Sigma min_sigma_ = kInvalidSigma;
   Sigma max_sigma_ = kInvalidSigma;
   std::uint64_t pulses_recorded_ = 0;
+  Sigma anchor_ = kInvalidSigma;  ///< corruption wave; kInvalidSigma = none
+  Sigma box_lo_ = 0, box_hi_ = 0;  ///< pin box [anchor - window, anchor + window]
+  std::uint64_t pinned_pulses_ = 0;
 };
 
 }  // namespace gtrix

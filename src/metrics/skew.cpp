@@ -199,6 +199,48 @@ std::vector<double> intra_skew_by_sigma(const GridTrace& trace, std::uint32_t la
   return out;
 }
 
+std::vector<double> local_skew_by_sigma(const GridTrace& trace, Sigma lo, Sigma hi) {
+  const Grid& grid = *trace.grid;
+  const SteadyWindows windows(trace);
+  const auto edges = grid.base().edges();
+  std::vector<double> out(static_cast<std::size_t>(hi >= lo ? hi - lo + 1 : 0),
+                          std::numeric_limits<double>::quiet_NaN());
+  const auto fold = [&](Sigma s, double dev) {
+    double& worst = out[static_cast<std::size_t>(s - lo)];
+    if (std::isnan(worst) || dev > worst) worst = dev;
+  };
+  for (Sigma s = lo; s <= hi; ++s) {
+    // Intra-layer pairs at wave s, every layer.
+    for (std::uint32_t layer = 0; layer < grid.layers(); ++layer) {
+      for (const auto& [a, b] : edges) {
+        const GridNodeId ga = grid.id(a, layer);
+        const GridNodeId gb = grid.id(b, layer);
+        if (trace.is_faulty(ga) || trace.is_faulty(gb)) continue;
+        const auto ta = windows.pulse(ga, s);
+        const auto tb = windows.pulse(gb, s);
+        if (!ta || !tb) continue;
+        fold(s, std::abs(*ta - *tb));
+      }
+    }
+    // Inter-layer pairs |t^{s+1}_{v,l} - t^s_{w,l+1}|, attributed to wave s.
+    for (std::uint32_t layer = 0; layer + 1 < grid.layers(); ++layer) {
+      for (BaseNodeId v = 0; v < grid.base().node_count(); ++v) {
+        const GridNodeId gv = grid.id(v, layer);
+        if (trace.is_faulty(gv)) continue;
+        const auto tv = windows.pulse(gv, s + 1);
+        if (!tv) continue;
+        for (GridNodeId gw : grid.successors(gv)) {
+          if (trace.is_faulty(gw)) continue;
+          const auto tw = windows.pulse(gw, s);
+          if (!tw) continue;
+          fold(s, std::abs(*tv - *tw));
+        }
+      }
+    }
+  }
+  return out;
+}
+
 std::pair<Sigma, Sigma> default_window(const Recorder& recorder, Sigma warmup) {
   (void)warmup;  // per-node steady filtering handles transients; the global
                  // window just bounds the sigma sweep.

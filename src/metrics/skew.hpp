@@ -77,6 +77,14 @@ SkewReport compute_skew(const GridTrace& trace, Sigma lo, Sigma hi);
 std::vector<double> intra_skew_by_sigma(const GridTrace& trace, std::uint32_t layer,
                                         Sigma lo, Sigma hi);
 
+/// Worst local deviation per wave across ALL layers: intra-layer pairs at
+/// wave s plus inter-layer pairs (s+1 at layer l vs s at layer l+1,
+/// attributed to s). NaN where no correct pair had both pulses recorded.
+/// This is the recovery-time scan of a corrupt cell: the first wave from
+/// which the series stays under the Theorem 1.1 bound is the measured
+/// recovery wave (src/runner/campaign.cpp).
+std::vector<double> local_skew_by_sigma(const GridTrace& trace, Sigma lo, Sigma hi);
+
 /// Default measurement window for a run: skips `warmup` waves at the start
 /// and 2 at the end (the last waves are perturbed by the source stopping).
 std::pair<Sigma, Sigma> default_window(const Recorder& recorder, Sigma warmup);

@@ -43,6 +43,12 @@ StreamingSkew::StreamingSkew(const Grid& grid, std::vector<bool> faulty, Config 
 void StreamingSkew::on_pulse(RecNodeId node, Sigma sigma, SimTime t) {
   if (node >= grid_.node_count()) return;  // line-mode clock source
   if (faulty_[node]) return;               // faulty endpoints never form pairs
+  if (anchor_set_ && t >= anchor_time_) {
+    // Corrupt cell: everything from the injection instant on is suspect;
+    // the accumulators stay the clean pre-corruption epoch.
+    ++suppressed_;
+    return;
+  }
   const std::int64_t arrival = ++recorded_[node];
   if (held_sigma_[node] != kNoSigma) {
     if (sigma < held_sigma_[node]) {

@@ -73,6 +73,22 @@ class StreamingSkew {
   /// already cover exactly the steady pulses inside it.
   SkewReport report(Sigma lo, Sigma hi) const;
 
+  /// Corruption anchor: pulses at or after `t_corrupt` (the injection
+  /// instant) are suppressed instead of accumulated, freezing the
+  /// accumulators on the clean pre-corruption epoch. Corrupted registers
+  /// emit arbitrary wave labels that would otherwise poison the rings and
+  /// trip the out-of-order/overflow diagnostics; the post-recovery skew of a
+  /// corrupt cell is instead measured exactly from the recorder's retained
+  /// waves (World::skew_window after realignment -- docs/scaling.md,
+  /// "Realignment at scale"). Suppression keys on the pulse TIME, which is
+  /// label-corruption-proof and identical across engines and shard counts.
+  void set_corruption_anchor(SimTime t_corrupt) {
+    anchor_set_ = true;
+    anchor_time_ = t_corrupt;
+  }
+  /// Pulses suppressed by the corruption anchor.
+  std::uint64_t suppressed() const noexcept { return suppressed_; }
+
   /// Lookups that missed because the partner's wave slot had already been
   /// overwritten -- nonzero means the ring is too small for this scenario's
   /// wave stagger and extrema may under-report. Asserted zero in tests.
@@ -131,6 +147,9 @@ class StreamingSkew {
   std::uint64_t pairs_checked_ = 0;
   std::uint64_t window_overflows_ = 0;
   std::uint64_t out_of_order_ = 0;
+  bool anchor_set_ = false;
+  SimTime anchor_time_ = 0.0;
+  std::uint64_t suppressed_ = 0;
 
   Summary deviation_summary_;
   /// Log-binned sketch: every reported percentile is within 1% of a true

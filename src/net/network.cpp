@@ -74,6 +74,7 @@ void Network::configure_shards(std::vector<Simulator*> sims,
   pending_.resize(mail_.size());
   drain_scratch_.resize(shard_count_);
   shard_counters_.assign(shard_count_, ShardCounters{});
+  defer_.resize(shard_count_);
   recompute_lookahead();
 }
 
@@ -285,24 +286,54 @@ void Network::deliver(NetNodeId from, EdgeId edge, NetNodeId to, const Pulse& pu
           EventPayload{.a = from, .b = edge, .c = to, .i = pulse.stamp, .f = 0.0});
 }
 
+void Network::sink_pulse(NetNodeId from, EdgeId edge, NetNodeId to, std::int64_t stamp,
+                         SimTime t) {
+  if (shard_count_ > 1) {
+    ++shard_counters_[node_shard_[to]].delivered;
+  } else {
+    ++delivered_;
+  }
+  PulseSink* sink = sinks_[to];
+  if (sink != nullptr) sink->on_pulse(from, edge, Pulse{stamp}, t);
+}
+
+void Network::sink_or_defer(Simulator& sim, std::uint32_t cell_index, NetNodeId from,
+                            EdgeId edge, NetNodeId to, std::int64_t stamp, SimTime t) {
+  DeferCell& cell = defer_[cell_index];
+  if (cell.active && cell.time == t) {
+    cell.buf.push_back(DeferredArrival{to, from, edge, stamp});
+    return;
+  }
+  if (sim.next_event_time() == t) {
+    // At least one more event shares this instant (every arrival at t for a
+    // node of this shard is already queued here: delays are positive, so
+    // nothing new can be scheduled AT t once t executes). Capture sink
+    // calls until the instant's events have run, then flush canonically.
+    cell.active = true;
+    cell.time = t;
+    cell.buf.push_back(DeferredArrival{to, from, edge, stamp});
+    sim.at(t, this, kFlushArrivals,
+           EventPayload{.a = cell_index, .b = 0, .c = 0, .i = 0, .f = 0.0});
+    return;
+  }
+  sink_pulse(from, edge, to, stamp, t);
+}
+
 void Network::on_timer(const Event& event) {
   const EventPayload& p = event.payload;
   switch (event.kind) {
     case kDeliver: {
+      const std::uint32_t cell = shard_count_ > 1 ? node_shard_[p.c] : 0;
       if (shard_count_ > 1) {
-        ShardCounters& counters = shard_counters_[node_shard_[p.c]];
-        ++counters.delivery_events;
-        ++counters.delivered;
+        ++shard_counters_[cell].delivery_events;
       } else {
         ++delivery_events_;
-        ++delivered_;
       }
-      PulseSink* sink = sinks_[p.c];
-      if (sink != nullptr) sink->on_pulse(p.a, p.b, Pulse{p.i}, event.time);
+      sink_or_defer(sim_of(p.c), cell, p.a, p.b, p.c, p.i, event.time);
       return;
     }
     case kBatchDeliver: {
-      // Deliver in out-edge order -- exactly the order the per-edge events
+      // Fan out in out-edge order -- exactly the order the per-edge events
       // would fire in (their sequence numbers were consecutive). In sharded
       // mode this event runs on the sender's shard and fans out only to its
       // same-shard receivers; cross-shard receivers got envelopes instead.
@@ -312,17 +343,39 @@ void Network::on_timer(const Event& event) {
       } else {
         ++delivery_events_;
       }
+      Simulator& sim = sim_of(p.a);
       for (EdgeId e : out_[p.a]) {
         const Edge& edge = edges_[e];
-        if (shard_count_ > 1) {
-          if (node_shard_[edge.to] != src) continue;
-          ++shard_counters_[src].delivered;
-        } else {
-          ++delivered_;
-        }
-        PulseSink* sink = sinks_[edge.to];
-        if (sink != nullptr) sink->on_pulse(edge.from, e, Pulse{p.i}, event.time);
+        if (shard_count_ > 1 && node_shard_[edge.to] != src) continue;
+        sink_or_defer(sim, src, edge.from, e, edge.to, p.i, event.time);
       }
+      return;
+    }
+    case kFlushArrivals: {
+      DeferCell& cell = defer_[p.a];
+      if (shard_count_ > 1) {
+        ++shard_counters_[p.a].delivery_events;
+      } else {
+        ++delivery_events_;
+      }
+      // Swap out before delivering: the sinks may schedule (strictly later)
+      // events but can never re-enter this instant's buffer.
+      std::vector<DeferredArrival> batch;
+      batch.swap(cell.buf);
+      cell.active = false;
+      std::sort(batch.begin(), batch.end(),
+                [](const DeferredArrival& a, const DeferredArrival& b) {
+                  if (a.to != b.to) return a.to < b.to;
+                  if (a.from != b.from) return a.from < b.from;
+                  if (a.edge != b.edge) return a.edge < b.edge;
+                  return a.stamp < b.stamp;
+                });
+      for (const DeferredArrival& d : batch) {
+        sink_pulse(d.from, d.edge, d.to, d.stamp, event.time);
+      }
+      // Hand the capacity back so later instants reuse it.
+      batch.clear();
+      if (cell.buf.empty()) cell.buf.swap(batch);
       return;
     }
     case kDeferredSend:

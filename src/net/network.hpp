@@ -18,6 +18,16 @@
 // sorted by the deterministic (arrival time, sender, edge) key so the merge
 // order is engine-invariant. shard_count() == 1 leaves every code path of
 // the serial engine untouched.
+//
+// Simultaneous arrivals (zero-jitter scenarios, post-corruption chaos) get
+// the same canonical order in EVERY engine: when more than one event shares
+// a delivery's instant, the sink calls are deferred and flushed in
+// (receiver, sender, edge) order once the instant's queue events have all
+// executed. Without this, the serial engine would process tied arrivals in
+// queue-insertion order while a shard mixes directly-queued local sends
+// with barrier-drained envelopes -- two different orders, and an
+// order-sensitive receiver (e.g. a wave-label vote over differing stamps
+// after state corruption) would diverge between engines.
 #pragma once
 
 #include <cstdint>
@@ -199,10 +209,16 @@ class Network final : public TimerTarget {
 
  private:
   /// Event kinds this target schedules. Payload conventions:
-  ///   kDeliver:       a=from, b=edge, c=to, i=pulse stamp
-  ///   kDeferredSend:  b=edge, i=pulse stamp
-  ///   kBatchDeliver:  a=from, i=pulse stamp (fans out over out_[from])
-  enum TimerKind : std::uint32_t { kDeliver = 1, kDeferredSend = 2, kBatchDeliver = 3 };
+  ///   kDeliver:        a=from, b=edge, c=to, i=pulse stamp
+  ///   kDeferredSend:   b=edge, i=pulse stamp
+  ///   kBatchDeliver:   a=from, i=pulse stamp (fans out over out_[from])
+  ///   kFlushArrivals:  a=defer cell index (the executing shard)
+  enum TimerKind : std::uint32_t {
+    kDeliver = 1,
+    kDeferredSend = 2,
+    kBatchDeliver = 3,
+    kFlushArrivals = 4,
+  };
 
   struct Edge {
     NetNodeId from;
@@ -222,7 +238,33 @@ class Network final : public TimerTarget {
     std::uint64_t envelopes_drained = 0;
   };
 
+  /// A sink call captured while other events still share its instant;
+  /// flushed by kFlushArrivals in (to, from, edge, stamp) order.
+  struct DeferredArrival {
+    NetNodeId to;
+    NetNodeId from;
+    EdgeId edge;
+    std::int64_t stamp;
+  };
+
+  /// Per-shard canonical-arrival cell (single-writer: the owning worker;
+  /// [0] doubles as the serial engine's cell). `active` means a
+  /// kFlushArrivals event for `time` is pending in the shard's queue; such
+  /// an event never survives past its instant, so none is ever pending at a
+  /// window barrier or checkpoint.
+  struct alignas(64) DeferCell {
+    bool active = false;
+    SimTime time = 0.0;
+    std::vector<DeferredArrival> buf;
+  };
+
   void deliver(NetNodeId from, EdgeId edge, NetNodeId to, const Pulse& pulse, SimTime at);
+  /// Calls the receiver's sink (and counts the delivery) immediately when
+  /// this delivery is alone at its instant, else defers it into the shard's
+  /// DeferCell for the canonical flush.
+  void sink_or_defer(Simulator& sim, std::uint32_t cell, NetNodeId from, EdgeId edge,
+                     NetNodeId to, std::int64_t stamp, SimTime t);
+  void sink_pulse(NetNodeId from, EdgeId edge, NetNodeId to, std::int64_t stamp, SimTime t);
   void send_sharded(EdgeId e, const Pulse& pulse);
   void broadcast_sharded(NetNodeId from, const Pulse& pulse,
                          const std::vector<EdgeId>& outs);
@@ -263,6 +305,8 @@ class Network final : public TimerTarget {
   std::vector<std::vector<ShardEnvelope>> pending_;        // published at barriers
   std::vector<std::vector<ShardEnvelope>> drain_scratch_;  // per-dst reuse
   std::vector<ShardCounters> shard_counters_;
+  /// One canonical-arrival cell per shard; size 1 in serial mode.
+  std::vector<DeferCell> defer_ = std::vector<DeferCell>(1);
 };
 
 }  // namespace gtrix

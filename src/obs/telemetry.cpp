@@ -23,6 +23,12 @@ constexpr ObsCounterInfo kCatalog[] = {
      "successful timer cancellations issued by node code"},
     {ObsCounter::kPulsesRecorded, "pulses_recorded", true,
      "pulses recorded by the metrics recorder"},
+    {ObsCounter::kRealignShiftedNodes, "realign_shifted_nodes", true,
+     "nodes whose wave labels post-run realignment shifted (corrupt cells; "
+     "0 elsewhere)"},
+    {ObsCounter::kCorruptPinnedPulses, "corrupt_pinned_pulses", true,
+     "pulses retained by the corruption-anchored pin box of the windowed/"
+     "streaming recorder (0 under full recording)"},
     {ObsCounter::kEventsExecuted, "events_executed", false,
      "raw queue events popped; depends on broadcast batching and the shard "
      "plan's cross-shard fan-out splitting"},

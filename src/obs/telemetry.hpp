@@ -54,6 +54,8 @@ enum class ObsCounter : std::uint32_t {
   kNodeIterations,    ///< algorithm node iterations
   kTimerCancels,      ///< successful timer cancellations issued by node code
   kPulsesRecorded,    ///< pulses recorded by the metrics recorder
+  kRealignShiftedNodes, ///< nodes whose wave labels realignment shifted
+  kCorruptPinnedPulses, ///< pulses pinned by the corruption-anchored retention box
   // --- engine-shaped: summary JSON only -----------------------------------
   kEventsExecuted,    ///< raw queue events popped (batching/shard dependent)
   kEventsScheduled,   ///< raw queue events scheduled

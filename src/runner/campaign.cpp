@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -93,8 +94,12 @@ Json percentiles_to_json(std::vector<double> values) {
 ExperimentResult measure_cell(World& world, const ExperimentConfig& config,
                               const CorruptPlan& corrupt) {
   ExperimentResult result;
+  result.counters = world.counters();
+  result.diameter = world.grid().base().diameter();
+  result.thm11_bound = config.params.thm11_bound(result.diameter);
+  result.global_bound = config.params.global_skew_bound(result.diameter);
   if (corrupt.enabled) {
-    world.realign_labels();
+    result.realign = world.realign_labels();
     // Measure after the recovery budget (one layer per wave plus slack), not
     // over the corruption transient itself -- the scenario's claim is about
     // the post-stabilization skew.
@@ -109,13 +114,33 @@ ExperimentResult measure_cell(World& world, const ExperimentConfig& config,
           " -- increase 'pulses' (need roughly corrupt.wave + layers + warmup + 10)");
     }
     result.skew = world.skew_window(std::max(lo, recovered), hi);
+
+    // Recovery-time scan (Theorems 1.2/1.3): worst local deviation per wave
+    // from the injection on, against the steady-state bound. Scanning stops
+    // two waves past the recovery budget -- the scan's answer is "when did
+    // the series re-enter the bound for good", and waves beyond the budget
+    // are already covered by the post-recovery skew window above.
+    const Sigma scan_lo = static_cast<Sigma>(corrupt.wave);
+    const Sigma scan_hi = std::min(hi, recovered + 2);
+    world.require_retained(scan_lo, scan_hi + 1, "recovery");
+    RecoveryReport& rec = result.recovery;
+    rec.enabled = true;
+    rec.corrupt_wave = scan_lo;
+    rec.scan_hi = scan_hi;
+    rec.threshold = result.thm11_bound;
+    rec.local_by_wave = local_skew_by_sigma(world.trace(), scan_lo, scan_hi);
+    Sigma last_violation = scan_lo - 1;
+    for (std::size_t i = 0; i < rec.local_by_wave.size(); ++i) {
+      const double v = rec.local_by_wave[i];
+      if (!std::isnan(v) && v > rec.threshold) {
+        last_violation = scan_lo + static_cast<Sigma>(i);
+      }
+    }
+    rec.recovered = last_violation < scan_hi;  // still out at scan end -> not recovered
+    rec.recovered_wave = last_violation + 1;
   } else {
     result.skew = world.skew();
   }
-  result.counters = world.counters();
-  result.diameter = world.grid().base().diameter();
-  result.thm11_bound = config.params.thm11_bound(result.diameter);
-  result.global_bound = config.params.global_skew_bound(result.diameter);
   result.engine_stats = world.engine_stats();
   return result;
 }
@@ -143,12 +168,14 @@ ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& cor
     return measure_cell(world, config, corrupt);
   }
 
-  // Corrupt cells measure over a post-recovery sub-window after wave-label
-  // realignment; both need the full trace, so the memory-bounded recording
-  // modes fall back to full recording here (documented in docs/scaling.md).
-  ExperimentConfig cell_config = config;
-  cell_config.recording_spec = ComponentSpec{};
-  World world(cell_config, engine);
+  // Corrupt cells honor the configured recording mode. Under the
+  // memory-bounded modes the corruption anchor pins a look-back box of
+  // waves around the injection so realignment, the post-recovery skew
+  // window and the recovery-time scan stay answerable after eviction --
+  // with insufficient look-back they fail loudly, never silently
+  // (docs/scaling.md, "Realignment at scale").
+  World world(config, engine);
+  world.set_corruption_anchor(corrupt.wave);
   world.set_trace(trace, obs.trace_pid);
   // Seed derivation matches the historical stabilization harnesses.
   Rng rng(config.seed ^ 0xFEED);
@@ -172,15 +199,11 @@ CampaignResult run_campaign(const Scenario& scenario, const CampaignOptions& opt
           ? ComponentSpec{}
           : recording_registry().canonicalize(options.recording_override);
   for (ScenarioCell& cell : cells) {
-    if (cell.corrupt.enabled) {
-      // Corrupt cells run under full recording no matter what (run_cell's
-      // realignment fallback). Rewrite the stored config to match, so the
-      // emitted JSONL never claims a mode that did not run -- whether the
-      // mode came from the CLI override or from the scenario itself.
-      cell.config.recording_spec = ComponentSpec{};
-    } else if (!canonical_override.empty()) {
-      cell.config.recording_spec = canonical_override;
-    }
+    // Every cell -- corrupt or not -- runs the mode its config says (the
+    // historical silent rewrite of corrupt cells to full recording is gone;
+    // corruption-anchored retention answers realignment from the bounded
+    // trace). The JSONL therefore always describes the mode that ran.
+    if (!canonical_override.empty()) cell.config.recording_spec = canonical_override;
   }
   std::vector<ExperimentConfig> configs;
   configs.reserve(cells.size());
@@ -281,6 +304,30 @@ std::string campaign_jsonl(const CampaignResult& result) {
     bounds.set("global", cell.result.global_bound);
     res.set("bounds", std::move(bounds));
     res.set("counters", counters_to_json(cell.result.counters));
+    if (cell.result.recovery.enabled) {
+      Json realign = Json::object();
+      realign.set("nodes_shifted",
+                  static_cast<std::int64_t>(cell.result.realign.nodes_shifted));
+      realign.set("max_abs_shift", cell.result.realign.max_abs_shift);
+      res.set("realign", std::move(realign));
+      const RecoveryReport& rec = cell.result.recovery;
+      Json recovery = Json::object();
+      recovery.set("corrupt_wave", static_cast<std::int64_t>(rec.corrupt_wave));
+      recovery.set("scan_hi", static_cast<std::int64_t>(rec.scan_hi));
+      recovery.set("threshold", rec.threshold);
+      recovery.set("recovered", rec.recovered);
+      // null when the cell never stabilized inside the scan -- a consumer
+      // must not mistake "no recovery" for "recovered at wave 0".
+      recovery.set("recovered_wave", rec.recovered
+                                         ? Json(static_cast<std::int64_t>(rec.recovered_wave))
+                                         : Json());
+      Json series = Json::array();
+      for (const double v : rec.local_by_wave) {
+        series.push_back(std::isnan(v) ? Json() : Json(v));  // NaN = no readable pair
+      }
+      recovery.set("local_by_wave", std::move(series));
+      res.set("recovery", std::move(recovery));
+    }
     // Engine-invariant telemetry only: the JSONL must stay byte-identical
     // across (threads, shards), so the engine-shaped counters and all
     // wall-clock data live in the summary instead.

@@ -49,12 +49,13 @@ struct CampaignOptions {
   /// exceeds hardware concurrency -- shard counts are behaviour-neutral, so
   /// the clamp never changes results, only the thread layout.
   std::uint32_t shards = 0;
-  /// When non-empty, overrides every non-corrupt cell's trace-retention
-  /// mode (the gtrix_campaign --recording flag). Validated against the
-  /// recording registry. The emitted JSONL configs always describe what
-  /// actually ran: overridden cells carry the override, and corrupt cells
-  /// -- which run under full recording regardless (see run_cell) -- are
-  /// rewritten to full in the output, whatever the scenario declared.
+  /// When non-empty, overrides every cell's trace-retention mode (the
+  /// gtrix_campaign --recording flag). Validated against the recording
+  /// registry. Applies to corrupt cells too: corruption-anchored retention
+  /// lets the memory-bounded modes answer realignment and the
+  /// post-recovery measurement from a bounded look-back box (insufficient
+  /// look-back fails loudly). The emitted JSONL configs always describe
+  /// the mode that actually ran.
   ComponentSpec recording_override;
   /// Engine telemetry per cell (--telemetry; docs/observability.md): cells
   /// harvest EngineStats, the JSONL gains the engine-invariant
@@ -101,9 +102,11 @@ struct CellObs {
 
 /// Runs one cell, honoring an optional mid-run corruption plan (the
 /// Theorem 1.6 workload: run to wave * lambda, scramble `fraction` of all
-/// nodes, run out, realign labels, then measure). `engine` selects the
-/// simulation engine (bench_perf runs the reference engine through here;
-/// results are bit-identical for every engine).
+/// nodes, run out, realign labels, then measure -- in the configured
+/// recording mode; memory-bounded modes pin a corruption-anchored look-back
+/// box). `engine` selects the simulation engine (bench_perf runs the
+/// reference engine through here; results are bit-identical for every
+/// engine).
 ExperimentResult run_cell(const ExperimentConfig& config, const CorruptPlan& corrupt,
                           EngineOptions engine = {}, CellObs obs = {});
 

@@ -80,13 +80,13 @@ ExperimentResult run_cell_checkpointed(const ExperimentConfig& config,
     return result;
   }
 
-  // Mirror run_cell's effective config: corrupt cells need the full trace
-  // for realignment, so memory-bounded recording modes fall back to full.
-  ExperimentConfig cell_config = config;
-  if (corrupt.enabled) cell_config.recording_spec = ComponentSpec{};
-
   TraceCollector* trace = kObsCompiled && engine.telemetry ? obs.trace : nullptr;
-  World world(cell_config, engine);
+  World world(config, engine);
+  // Mirror run_cell: corrupt cells run the configured recording mode, with
+  // the corruption anchor pinning the look-back box. Config-derived, so it
+  // is set identically on fresh and resumed runs -- BEFORE restore, which
+  // replays the pinned state the snapshotted run had accumulated.
+  if (corrupt.enabled) world.set_corruption_anchor(corrupt.wave);
   world.set_trace(trace, obs.trace_pid);
 
   std::uint64_t written = 0, bytes_written = 0, restored = 0;

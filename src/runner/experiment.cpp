@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "obs/rss.hpp"
 #include "runner/shard_driver.hpp"
@@ -503,6 +506,8 @@ EngineStats World::engine_stats() const {
   stats.set(ObsCounter::kMessagesDelivered, c.messages_delivered);
   stats.set(ObsCounter::kNodeIterations, c.iterations);
   stats.set(ObsCounter::kPulsesRecorded, recorder_.pulse_count());
+  stats.set(ObsCounter::kRealignShiftedNodes, last_realign_.nodes_shifted);
+  stats.set(ObsCounter::kCorruptPinnedPulses, recorder_.pinned_pulse_count());
 
   // Queue counters, summed over shard queues. Cancels are algorithm-issued
   // and engine-invariant; scheduled/executed/purged/rebuilds are
@@ -572,21 +577,61 @@ SkewReport World::skew() const {
   return skew_window(lo, hi);
 }
 
-SkewReport World::skew_window(Sigma lo, Sigma hi) const {
-  GTRIX_CHECK_MSG(recording_.mode == RecordingMode::kFull,
-                  "arbitrary-window skew needs full recording ('" +
-                      std::string(to_string(recording_.mode)) +
-                      "' keeps no per-wave trace); use skew() or record in full mode");
+void World::set_corruption_anchor(double wave) {
+  if (recording_.mode == RecordingMode::kFull) return;  // full keeps everything
+  recorder_.set_corruption_anchor(static_cast<Sigma>(std::llround(wave)));
+  if (streaming_) streaming_->set_corruption_anchor(wave * config_.params.lambda);
+}
+
+void World::require_retained(Sigma lo, Sigma hi, const std::string& what) const {
+  if (recording_.mode == RecordingMode::kFull) return;  // nothing ever evicted
+  // Every (node, wave) a measurement would read inside the node's steady
+  // window must still be retained (rolling tail or corruption box).
+  // Insufficient look-back is a hard error, never a silently different
+  // extremum.
   const GridTrace t = trace();
-  return compute_skew(t, lo, hi);
+  for (GridNodeId g = 0; g < grid_.node_count(); ++g) {
+    if (t.is_faulty(g)) continue;
+    const RecNodeId id = t.rec_id(g);
+    const Sigma from = recorder_.steady_from(id, t.node_warmup);
+    if (from == Recorder::kInvalidSigma) continue;
+    const Sigma last = recorder_.last_recorded(id);
+    if (last == Recorder::kInvalidSigma) continue;
+    const Sigma lo_n = std::max(lo, from);
+    const Sigma hi_n = std::min(hi, last - t.node_tail);
+    if (lo_n > hi_n || recorder_.covers(id, lo_n, hi_n)) continue;
+    const auto [llo, lhi] = recorder_.lost_range(id);
+    throw std::runtime_error(
+        what + ": node " + grid_.label(g) + " lost pulse waves [" + std::to_string(llo) +
+        ", " + std::to_string(lhi) + "] overlapping the measurement window [" +
+        std::to_string(lo) + ", " + std::to_string(hi) + "] (recording mode " +
+        std::string(to_string(recording_.mode)) + ", window " +
+        std::to_string(recording_.window) +
+        "): raise recording.window so the look-back covers the recovery tail");
+  }
+}
+
+SkewReport World::skew_window(Sigma lo, Sigma hi) const {
+  if (recording_.mode == RecordingMode::kStreaming) {
+    GTRIX_CHECK_MSG(recorder_.corruption_anchored(),
+                    "arbitrary-window skew needs a per-wave trace; streaming mode "
+                    "retains none outside a corruption box (use skew(), or record "
+                    "windowed/full)");
+  }
+  require_retained(lo, hi + 1, "skew");  // inter-layer pairs read wave s+1
+  return compute_skew(trace(), lo, hi);
 }
 
 RealignStats World::realign_labels() {
-  GTRIX_CHECK_MSG(recording_.mode == RecordingMode::kFull,
-                  "wave-label realignment needs the full trace; corrupt scenarios must "
-                  "record in full mode (run_cell does this automatically)");
+  if (recording_.mode == RecordingMode::kStreaming) {
+    GTRIX_CHECK_MSG(recorder_.corruption_anchored(),
+                    "wave-label realignment needs a per-wave trace; streaming mode "
+                    "retains none without a corruption anchor (set_corruption_anchor "
+                    "before the run, or record windowed/full)");
+  }
   const GridTrace t = trace();
-  return realign_wave_labels(recorder_, t, config_.params.lambda);
+  last_realign_ = realign_wave_labels(recorder_, t, config_.params.lambda);
+  return last_realign_;
 }
 
 ConditionReport World::conditions(std::uint32_t s_max) const {

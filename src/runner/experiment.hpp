@@ -222,24 +222,58 @@ class World {
   const RecordingOptions& recording() const noexcept { return recording_; }
   const StreamingSkew* streaming() const noexcept { return streaming_.get(); }
 
+  /// Corruption anchor for memory-bounded recording of a transient-fault
+  /// cell. Must be called before the first simulated event. `wave` is the
+  /// corruption injection wave (CorruptPlan::wave):
+  ///  * the Recorder pins the last K waves around the anchor so realignment
+  ///    and the post-recovery measurement stay answerable after eviction
+  ///    (metrics/recorder.hpp, corruption-anchored retention), and
+  ///  * the StreamingSkew accumulators suppress pulses from the injection
+  ///    INSTANT (wave * lambda) on, freezing them on the clean epoch --
+  ///    corrupted labels would otherwise poison the online extrema. The
+  ///    post-recovery skew is measured exactly via skew_window instead.
+  /// No-op under full recording.
+  void set_corruption_anchor(double wave);
+
   /// Skew over the default measurement window (warmup from config). Under
   /// streaming/windowed recording this reads the online accumulators --
   /// extrema and counts are bit-identical to full recording.
   SkewReport skew() const;
-  /// Arbitrary-window skew; full recording only (the accumulators cover
-  /// exactly the whole-run window).
+  /// Arbitrary-window skew from the retained trace. Full recording answers
+  /// any window; windowed and corruption-anchored streaming recording
+  /// answer windows their retained waves (rolling tail + corruption box)
+  /// cover, and throw a runtime_error naming the node, the lost waves and
+  /// the recording mode when look-back is insufficient -- never a silently
+  /// different result. Un-anchored streaming keeps no per-wave trace at all
+  /// (hard logic_error; use skew()).
   SkewReport skew_window(Sigma lo, Sigma hi) const;
 
+  /// Verifies that the retained trace (rolling tail + corruption box) still
+  /// holds every pulse wave in [lo, hi] that falls inside a non-faulty
+  /// node's steady window; throws a runtime_error naming the node, the lost
+  /// waves and the recording mode otherwise. No-op under full recording.
+  /// `what` prefixes the error ("skew", "recovery", ...). skew_window calls
+  /// this itself; exposed for measurements that read pulse times directly
+  /// (the recovery-time scan in runner/campaign.cpp).
+  void require_retained(Sigma lo, Sigma hi, const std::string& what) const;
+
   /// Condition checks over the default window. Full mode checks the whole
-  /// run; windowed mode checks the retained last-K-waves window; streaming
-  /// mode keeps no iteration records and reports a hard error.
+  /// run; windowed mode checks what the retained waves cover (hard
+  /// runtime_error on any lost record inside the window); streaming mode
+  /// keeps no iteration records and reports a hard error.
   ConditionReport conditions(std::uint32_t s_max) const;
 
   /// Post-run wave-label realignment (see metrics/realign.hpp); call after
   /// run_to_completion() in transient-fault experiments, before measuring.
-  /// Requires full recording (the campaign layer runs corrupt cells under
-  /// full recording for exactly this reason).
+  /// Runs on the full trace or on the windowed/anchored-streaming retained
+  /// window (the realignment pass reads each node's rolling tail and is
+  /// coverage-checked -- insufficient look-back is a runtime_error, see
+  /// docs/scaling.md "Realignment at scale"). Un-anchored streaming has no
+  /// per-wave trace to realign (logic_error).
   RealignStats realign_labels();
+  /// Stats of the last realign_labels() call (zeroes before any call);
+  /// exported as the engine-invariant realign_shifted_nodes counter.
+  const RealignStats& last_realign() const noexcept { return last_realign_; }
   ConditionReport conditions_window(std::uint32_t s_max, Sigma lo, Sigma hi) const;
 
   ExperimentCounters counters() const;
@@ -362,6 +396,7 @@ class World {
   TraceCollector* trace_ = nullptr;  // non-owning
   std::uint32_t trace_pid_ = 0;
   double run_wall_seconds_ = 0.0;
+  RealignStats last_realign_;
 
   NetNodeId source_id_ = 0;  // line mode only
   std::vector<std::unique_ptr<PulseSink>> sinks_;
@@ -376,12 +411,35 @@ class World {
   std::vector<std::unique_ptr<FaultRuntime>> fault_runtimes_;
 };
 
+/// Recovery-time measurement of a corrupt cell (Theorems 1.2/1.3/1.6): the
+/// per-wave worst local deviation from the injection wave on, scanned
+/// against the Theorem 1.1 steady-state bound. The measured recovery wave
+/// is the first wave from which the series stays within the bound.
+/// enabled == false on clean cells.
+struct RecoveryReport {
+  bool enabled = false;
+  Sigma corrupt_wave = 0;   ///< injection wave (CorruptPlan::wave)
+  Sigma scan_hi = 0;        ///< last wave of the scan
+  double threshold = 0.0;   ///< Theorem 1.1 local-skew bound
+  /// True when the series is back within the bound before the scan ends; a
+  /// false here means the cell did NOT stabilize inside the scanned waves.
+  bool recovered = false;
+  Sigma recovered_wave = 0; ///< first compliant-onward wave (corrupt_wave if never out)
+  /// local_by_wave[i] = worst local deviation at wave corrupt_wave + i
+  /// (metrics local_skew_by_sigma); NaN where no pair was readable.
+  std::vector<double> local_by_wave;
+};
+
 struct ExperimentResult {
   SkewReport skew;
   ExperimentCounters counters;
   double thm11_bound = 0.0;
   double global_bound = 0.0;
   std::uint32_t diameter = 0;
+  /// Wave-label realignment stats (corrupt cells; zeroes elsewhere).
+  RealignStats realign;
+  /// Recovery-time scan (corrupt cells; enabled == false elsewhere).
+  RecoveryReport recovery;
   /// enabled == false unless EngineOptions::telemetry was set.
   EngineStats engine_stats;
 };

@@ -1,6 +1,8 @@
 #include "runner/result_io.hpp"
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -12,7 +14,8 @@ namespace gtrix {
 namespace {
 
 constexpr const char* kResultFormat = "gtrix-cell-result";
-constexpr std::int64_t kResultVersion = 1;
+// v2: realign + recovery blocks (corruption-anchored windowed realignment).
+constexpr std::int64_t kResultVersion = 2;
 
 Json doubles_to_json(const std::vector<double>& values) {
   Json a = Json::array();
@@ -142,6 +145,28 @@ Json result_to_json(const ExperimentResult& result) {
   j.set("thm11_bound", result.thm11_bound);
   j.set("global_bound", result.global_bound);
   j.set("diameter", result.diameter);
+
+  Json realign = Json::object();
+  realign.set("nodes_shifted", static_cast<std::int64_t>(result.realign.nodes_shifted));
+  realign.set("max_abs_shift", result.realign.max_abs_shift);
+  j.set("realign", std::move(realign));
+
+  const RecoveryReport& rec = result.recovery;
+  Json recovery = Json::object();
+  recovery.set("enabled", rec.enabled);
+  recovery.set("corrupt_wave", static_cast<std::int64_t>(rec.corrupt_wave));
+  recovery.set("scan_hi", static_cast<std::int64_t>(rec.scan_hi));
+  recovery.set("threshold", rec.threshold);
+  recovery.set("recovered", rec.recovered);
+  recovery.set("recovered_wave", static_cast<std::int64_t>(rec.recovered_wave));
+  Json series = Json::array();
+  for (const double v : rec.local_by_wave) {
+    // JSON has no NaN; null round-trips the "no readable pair" marker.
+    series.push_back(std::isnan(v) ? Json() : Json(v));
+  }
+  recovery.set("local_by_wave", std::move(series));
+  j.set("recovery", std::move(recovery));
+
   j.set("engine_stats", stats_to_json(result.engine_stats));
   return j;
 }
@@ -197,6 +222,28 @@ ExperimentResult result_from_json(const Json& j, const std::string& path) {
     result.thm11_bound = j.at("thm11_bound").as_double();
     result.global_bound = j.at("global_bound").as_double();
     result.diameter = static_cast<std::uint32_t>(j.at("diameter").as_u64());
+
+    const Json& realign = j.at("realign");
+    result.realign.nodes_shifted =
+        static_cast<std::uint32_t>(realign.at("nodes_shifted").as_u64());
+    result.realign.max_abs_shift = realign.at("max_abs_shift").as_int();
+
+    const Json& recovery = j.at("recovery");
+    RecoveryReport& rec = result.recovery;
+    rec.enabled = recovery.at("enabled").as_bool();
+    rec.corrupt_wave = recovery.at("corrupt_wave").as_int();
+    rec.scan_hi = recovery.at("scan_hi").as_int();
+    rec.threshold = recovery.at("threshold").as_double();
+    rec.recovered = recovery.at("recovered").as_bool();
+    rec.recovered_wave = recovery.at("recovered_wave").as_int();
+    const Json& series = recovery.at("local_by_wave");
+    rec.local_by_wave.reserve(series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      rec.local_by_wave.push_back(series[i].is_null()
+                                      ? std::numeric_limits<double>::quiet_NaN()
+                                      : series[i].as_double());
+    }
+
     result.engine_stats = stats_from_json(j.at("engine_stats"));
     return result;
   } catch (const JsonError& e) {

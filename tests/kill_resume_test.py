@@ -47,6 +47,17 @@ SCENARIOS = {
                    "recording": "streaming"},
         "sweep": {"seed": [1, 2]},
     },
+    # Corruption + streaming recording together: snapshots can land
+    # mid-corruption or mid-recovery, and the resume must rebuild the
+    # retained realignment window bit-exactly.
+    "kr-corrupt-stream": {
+        "name": "kr-corrupt-stream",
+        "config": {"columns": 8, "layers": 8, "pulses": 40,
+                   "self_stabilizing": True,
+                   "recording": {"kind": "streaming", "window": 16}},
+        "corrupt": {"wave": 10.0, "fraction": 1.0},
+        "sweep": {"seed": [1, 2]},
+    },
 }
 
 COMBOS = [(1, 1), (1, 2), (1, 4), (4, 1), (4, 2), (4, 4)]

@@ -38,6 +38,12 @@ ExperimentConfig corrupt_config() {
       R"({"columns": 6, "layers": 6, "pulses": 40, "self_stabilizing": true})"));
 }
 
+ExperimentConfig corrupt_streaming_config() {
+  return config_from_json(
+      Json::parse(R"({"columns": 6, "layers": 6, "pulses": 40, "self_stabilizing": true,
+                      "recording": {"kind": "streaming", "window": 16}})"));
+}
+
 CorruptPlan corrupt_plan() {
   CorruptPlan plan;
   plan.enabled = true;
@@ -185,6 +191,46 @@ TEST(Ckpt, CorruptCellResumesIdenticallyAcrossThePhaseBoundary) {
     EXPECT_EQ(skew_digest(resumed), baseline) << "every=" << every << " resumed";
     EXPECT_EQ(counters_digest(resumed), counters_digest(chunked)) << "every=" << every;
     std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(Ckpt, CorruptStreamingCellResumesIdenticallyMidCorruptionAndMidRecovery) {
+  // Corruption-anchored retention must survive a snapshot/restore: kills
+  // landing mid-corruption (look-back box partially filled) and
+  // mid-recovery (realignment tail still accumulating) have to resume to
+  // the same realigned skew bytes as the uninterrupted streaming run --
+  // which itself must match full recording on the same cell.
+  const ExperimentConfig config = corrupt_streaming_config();
+  const CorruptPlan plan = corrupt_plan();
+  const std::string baseline = skew_digest(run_cell(config, plan));
+  EXPECT_EQ(skew_digest(run_cell(corrupt_config(), plan)), baseline)
+      << "streaming corrupt cell diverged from full recording";
+
+  // every=3 lambda: the newest snapshot before the kill sits at wave 12 --
+  // inside the corruption box, labels not yet realigned. every=11 lambda:
+  // the newest snapshot sits at wave 11, one wave into recovery.
+  for (const double every : {3.0 * config.params.lambda, 11.0 * config.params.lambda}) {
+    for (const std::uint32_t shards : {1u, 2u}) {
+      EngineOptions engine;
+      engine.shards = shards;
+      const auto dir = scratch_dir("corrupt_stream");
+      CheckpointOptions opts;
+      opts.dir = dir.string();
+      opts.every = every;
+      const std::string tag = "every=" + std::to_string(every) + " shards=" + std::to_string(shards);
+      const ExperimentResult chunked =
+          run_cell_checkpointed(config, plan, opts, 7, "cs", engine);
+      EXPECT_EQ(skew_digest(chunked), baseline) << tag;
+
+      std::filesystem::remove(dir / "cell-00007-cs.done.json");
+      opts.resume = true;
+      const ExperimentResult resumed =
+          run_cell_checkpointed(config, plan, opts, 7, "cs", engine);
+      EXPECT_EQ(skew_digest(resumed), baseline) << tag << " resumed";
+      EXPECT_EQ(resumed.engine_stats.checkpoints_restored, 1u) << tag;
+      EXPECT_EQ(counters_digest(resumed), counters_digest(chunked)) << tag;
+      std::filesystem::remove_all(dir);
+    }
   }
 }
 

@@ -34,10 +34,16 @@ const char* const kDifferentialScenarios[] = {
     "thm16-stabilization", "torus-smoke",
 };
 
-CampaignResult run_with_recording(const Scenario& scenario, const std::string& mode) {
+CampaignResult run_with_recording(const Scenario& scenario, const std::string& mode,
+                                  int window = 0) {
   CampaignOptions options;
   options.threads = 2;
-  if (!mode.empty()) options.recording_override = ComponentSpec::of(mode);
+  if (!mode.empty()) {
+    options.recording_override = ComponentSpec::of(mode);
+    if (window > 0) {
+      recording_registry().set_param(options.recording_override, "window", Json(window));
+    }
+  }
   return run_campaign(scenario, options);
 }
 
@@ -84,8 +90,16 @@ TEST(StreamingMetrics, BitIdenticalExtremaOnEveryBuiltinScenario) {
   for (const char* name : kDifferentialScenarios) {
     SCOPED_TRACE(name);
     const Scenario scenario = builtin_scenario(name);
+    // Corrupt cells replay realignment and the recovery scan from the
+    // corruption-anchored window, so the look-back must span from the
+    // corruption wave through the post-recovery tail (thm16: waves 10..49,
+    // window 32 covers it via the pin box plus the rolling tail). Default
+    // windows are deliberately too small for that -- campaigns are expected
+    // to size recording.window to their corrupt plan.
+    const bool corrupt = scenario.cells().front().corrupt.enabled;
+    const int window = corrupt ? 32 : 0;
     const CampaignResult full = run_with_recording(scenario, "");
-    const CampaignResult streaming = run_with_recording(scenario, "streaming");
+    const CampaignResult streaming = run_with_recording(scenario, "streaming", window);
     ASSERT_EQ(full.cells.size(), streaming.cells.size());
     for (std::size_t i = 0; i < full.cells.size(); ++i) {
       const std::string where = std::string(name) + " cell " + full.cells[i].label;
@@ -94,7 +108,8 @@ TEST(StreamingMetrics, BitIdenticalExtremaOnEveryBuiltinScenario) {
       expect_quantiles_within_tolerance(full.cells[i].result.skew.deviations,
                                         streaming.cells[i].result.skew.deviations, where);
       // Full recording reports exact quantiles; streaming estimates --
-      // except corrupt cells, which fall back to full recording.
+      // except corrupt cells, whose skew is materialized exactly from the
+      // retained window in every mode (streaming.hpp contract).
       EXPECT_TRUE(full.cells[i].result.skew.deviations.exact);
       if (!full.cells[i].corrupt.enabled) {
         EXPECT_FALSE(streaming.cells[i].result.skew.deviations.exact) << where;
@@ -181,13 +196,40 @@ TEST(StreamingMetrics, StreamingModeRejectsTraceOnlyQueries) {
   EXPECT_THROW((void)world.realign_labels(), std::logic_error);
 }
 
-TEST(StreamingMetrics, WindowedModeStillChecksConditionsButNotArbitraryWindows) {
+TEST(StreamingMetrics, WindowedSkewWindowsWorkWhenRetainedAndFailLoudlyWhenNot) {
+  // Windowed mode answers any window the retained look-back covers, with
+  // results bit-identical to full recording; a window that reaches into
+  // evicted waves is a hard, path-qualified error -- never silently wrong.
+  ExperimentConfig full_config = small_config();
+  World full_world(full_config);
+  full_world.run_to_completion();
+
   ExperimentConfig config = small_config();
   config.recording_spec = ComponentSpec::of("windowed");
   World world(config);
   world.run_to_completion();
   EXPECT_NO_THROW((void)world.conditions(1));
-  EXPECT_THROW((void)world.skew_window(0, 5), std::logic_error);
+  // Default window (16) retains every wave of this 14-pulse run: the
+  // arbitrary window succeeds and matches full recording bit for bit.
+  const SkewReport full = full_world.skew_window(0, 5);
+  const SkewReport windowed = world.skew_window(0, 5);
+  EXPECT_EQ(full.max_intra, windowed.max_intra);
+  EXPECT_EQ(full.global_skew, windowed.global_skew);
+  EXPECT_EQ(full.pairs_checked, windowed.pairs_checked);
+
+  // A 2-wave window evicts the early waves; asking for them must throw a
+  // runtime_error that names the remedy, not return partial numbers.
+  ExperimentConfig tight_config = small_config();
+  tight_config.recording_spec = ComponentSpec::of("windowed");
+  recording_registry().set_param(tight_config.recording_spec, "window", Json(2));
+  World tight_world(tight_config);
+  tight_world.run_to_completion();
+  try {
+    (void)tight_world.skew_window(0, 5);
+    FAIL() << "under-sized look-back must be a hard error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("window"), std::string::npos) << e.what();
+  }
 }
 
 TEST(StreamingMetrics, CampaignBytesIdenticalAcrossThreadCountsUnderStreaming) {
@@ -206,28 +248,34 @@ TEST(StreamingMetrics, CampaignBytesIdenticalAcrossThreadCountsUnderStreaming) {
   EXPECT_NE(a.find("\"recording\":\"streaming\""), std::string::npos);
 }
 
-TEST(StreamingMetrics, CorruptCellsFallBackToFullRecording) {
-  // thm16 cells have a corrupt plan; run_cell must force full recording
-  // (realignment needs the trace) and still produce exact quantiles.
+TEST(StreamingMetrics, CorruptCellsHonorConfiguredRecording) {
+  // thm16 cells have a corrupt plan; run_cell runs them in the configured
+  // mode -- realignment and the recovery scan replay from the
+  // corruption-anchored window -- and still produces exact quantiles.
   const Scenario scenario = builtin_scenario("thm16-stabilization");
   CampaignOptions options;
   options.threads = 2;
   options.recording_override = ComponentSpec::of("streaming");
+  recording_registry().set_param(options.recording_override, "window", Json(32));
   const CampaignResult result = run_campaign(scenario, options);
   for (const CampaignCell& cell : result.cells) {
     ASSERT_TRUE(cell.corrupt.enabled);
     EXPECT_TRUE(cell.result.skew.deviations.exact) << cell.label;
+    EXPECT_TRUE(cell.result.recovery.enabled) << cell.label;
   }
-  // The override must not be stamped into corrupt cells' configs: the
-  // emitted JSONL only ever claims a mode that actually ran.
-  EXPECT_EQ(campaign_jsonl(result).find("\"recording\":\"streaming\""), std::string::npos);
+  // The override IS stamped into corrupt cells' configs -- streaming is
+  // what actually ran, and the emitted JSONL says so.
+  const std::string jsonl = campaign_jsonl(result);
+  EXPECT_NE(jsonl.find("\"kind\":\"streaming\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"recovery\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"realign\""), std::string::npos);
 
   // Same holds when the SCENARIO itself declares streaming on corrupt
-  // cells: the runner rewrites the stored config to the full mode that ran.
+  // cells: the declared mode runs, no silent rewrite to full.
   const Scenario declared = Scenario::from_json(Json::parse(R"({
     "name": "corrupt-streaming",
     "config": {"columns": 5, "layers": 5, "pulses": 40, "self_stabilizing": true,
-               "recording": "streaming"},
+               "recording": {"kind": "streaming", "window": 32}},
     "corrupt": {"wave": 8.0, "fraction": 1.0}
   })"));
   CampaignOptions plain;
@@ -235,8 +283,10 @@ TEST(StreamingMetrics, CorruptCellsFallBackToFullRecording) {
   const CampaignResult declared_result = run_campaign(declared, plain);
   ASSERT_EQ(declared_result.cells.size(), 1u);
   EXPECT_TRUE(declared_result.cells[0].result.skew.deviations.exact);
-  EXPECT_TRUE(declared_result.cells[0].config.recording_spec.empty());
-  EXPECT_EQ(campaign_jsonl(declared_result).find("\"recording\""), std::string::npos);
+  EXPECT_EQ(resolve_recording(declared_result.cells[0].config.recording_spec).mode,
+            RecordingMode::kStreaming);
+  EXPECT_NE(campaign_jsonl(declared_result).find("\"kind\":\"streaming\""),
+            std::string::npos);
 }
 
 TEST(StreamingMetrics, RecordingSpecRoundTripsThroughScenarioJson) {

@@ -1,0 +1,319 @@
+// Differential battery for corruption-anchored windowed realignment.
+//
+// The tentpole contract (docs/scaling.md, "Realignment at scale"): corrupt
+// cells no longer force full-trace recording. Realignment, the post-recovery
+// skew window, the recovery-time scan and windowed conditions all replay
+// from the corruption-anchored look-back (+/-window waves around the
+// corruption wave plus the rolling tail), and the results are BIT-identical
+// to full-trace recording whenever the look-back covers what is read.
+// An under-sized look-back is a hard, mode-qualified error -- never a
+// silently different number.
+//
+// Coverage here:
+//  * every corrupt builtin variant (thm12, thm13, thm16, fig5 with the
+//    Theorem 1.6 corruption plan) x recording modes {windowed, streaming}
+//    x shards {1, 2, 4} x threads {1, 4}, against a full-trace baseline;
+//  * JSONL byte-identity across every (shards, threads) combination;
+//  * windowed conditions on a corrupted-and-realigned world vs full trace;
+//  * a randomized (deterministically seeded) fuzz sweep over corruption
+//    wave/fraction/density and look-back K: either bit-equal to full or a
+//    loud coverage error, with both outcomes required to occur;
+//  * the campaign-level under-sized-window hard error.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runner/campaign.hpp"
+#include "scenario/registry.hpp"
+
+namespace gtrix {
+namespace {
+
+/// Corrupt variants of the fault-story builtins. thm16 ships a corruption
+/// plan; thm12/thm13/fig5 get the same Theorem 1.6 treatment layered onto
+/// their fault models (corruption + clustered faults, corruption + random
+/// faults, corruption + oscillatory start). Sweeps are trimmed and pulse
+/// budgets extended so recovery (corrupt_wave + layers + 6) fits on every
+/// variant at differential-test runtime.
+Json corrupt_variant_doc(const std::string& name) {
+  Json doc = builtin_scenario_doc(name);
+  Json config = doc.at("config");
+  config.set("self_stabilizing", true);
+  Json sweep = Json::object();
+  if (name == "thm12-worstcase-faults") {
+    config.set("pulses", 40);
+    sweep.set("clustered_faults.count", Json::parse("[0, 2]"));
+  } else if (name == "thm13-random-faults") {
+    config.set("pulses", 40);
+    sweep.set("random_faults.probability", Json::parse("[0.0, 0.03125]"));
+  } else if (name == "fig5-jump-ablation") {
+    config.set("layers", 16);
+    config.set("pulses", 40);
+    sweep.set("jump_condition", Json::parse("[true, false]"));
+  } else if (name == "thm16-stabilization") {
+    sweep.set("layers", Json::parse("[6, 14]"));
+  } else {
+    throw std::logic_error("no corrupt variant for " + name);
+  }
+  doc.set("config", std::move(config));
+  doc.set("sweep", std::move(sweep));
+  if (!doc.contains("corrupt")) {
+    Json corrupt = Json::object();
+    corrupt.set("wave", 6.0);
+    corrupt.set("fraction", 1.0);
+    doc.set("corrupt", std::move(corrupt));
+  }
+  doc.set("name", name + std::string("-corrupt"));
+  return doc;
+}
+
+/// Bitwise equality including NaN (same missing-pair markers in the same
+/// places): NaN == NaN here, unlike operator==.
+void expect_same_series(const std::vector<double>& a, const std::vector<double>& b,
+                        const std::string& where) {
+  SCOPED_TRACE(where);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) || std::isnan(b[i])) {
+      EXPECT_TRUE(std::isnan(a[i]) && std::isnan(b[i])) << "wave offset " << i;
+    } else {
+      EXPECT_EQ(a[i], b[i]) << "wave offset " << i;
+    }
+  }
+}
+
+/// Full bit-identity of everything a corrupt cell measures: realigned skew,
+/// realignment stats, the recovery scan, and the engine-invariant counters
+/// (logical events, not the shard-dependent raw execution count).
+void expect_same_measurement(const ExperimentResult& full, const ExperimentResult& other,
+                             const std::string& where) {
+  SCOPED_TRACE(where);
+  EXPECT_EQ(full.skew.max_intra, other.skew.max_intra);
+  EXPECT_EQ(full.skew.max_inter, other.skew.max_inter);
+  EXPECT_EQ(full.skew.local_skew, other.skew.local_skew);
+  EXPECT_EQ(full.skew.global_skew, other.skew.global_skew);
+  EXPECT_EQ(full.skew.intra_by_layer, other.skew.intra_by_layer);
+  EXPECT_EQ(full.skew.inter_by_layer, other.skew.inter_by_layer);
+  EXPECT_EQ(full.skew.spread_by_layer, other.skew.spread_by_layer);
+  EXPECT_EQ(full.skew.sigma_lo, other.skew.sigma_lo);
+  EXPECT_EQ(full.skew.sigma_hi, other.skew.sigma_hi);
+  EXPECT_EQ(full.skew.pairs_checked, other.skew.pairs_checked);
+  EXPECT_EQ(full.skew.pairs_skipped, other.skew.pairs_skipped);
+  EXPECT_EQ(full.skew.deviations.count, other.skew.deviations.count);
+  EXPECT_EQ(full.skew.deviations.mean, other.skew.deviations.mean);
+  EXPECT_EQ(full.skew.deviations.p50, other.skew.deviations.p50);
+  EXPECT_EQ(full.skew.deviations.p90, other.skew.deviations.p90);
+  EXPECT_EQ(full.skew.deviations.p99, other.skew.deviations.p99);
+  EXPECT_EQ(full.skew.deviations.exact, other.skew.deviations.exact);
+  EXPECT_EQ(full.realign.nodes_shifted, other.realign.nodes_shifted);
+  EXPECT_EQ(full.realign.max_abs_shift, other.realign.max_abs_shift);
+  EXPECT_EQ(full.recovery.enabled, other.recovery.enabled);
+  EXPECT_EQ(full.recovery.corrupt_wave, other.recovery.corrupt_wave);
+  EXPECT_EQ(full.recovery.scan_hi, other.recovery.scan_hi);
+  EXPECT_EQ(full.recovery.threshold, other.recovery.threshold);
+  EXPECT_EQ(full.recovery.recovered, other.recovery.recovered);
+  EXPECT_EQ(full.recovery.recovered_wave, other.recovery.recovered_wave);
+  expect_same_series(full.recovery.local_by_wave, other.recovery.local_by_wave,
+                     where + " recovery series");
+  EXPECT_EQ(full.counters.iterations, other.counters.iterations);
+  EXPECT_EQ(full.counters.watchdog_resets, other.counters.watchdog_resets);
+  EXPECT_EQ(full.counters.messages_sent, other.counters.messages_sent);
+  EXPECT_EQ(full.counters.messages_delivered, other.counters.messages_delivered);
+  EXPECT_EQ(full.counters.events_executed - full.counters.delivery_events +
+                full.counters.messages_delivered,
+            other.counters.events_executed - other.counters.delivery_events +
+                other.counters.messages_delivered);
+  EXPECT_EQ(full.thm11_bound, other.thm11_bound);
+  EXPECT_EQ(full.global_bound, other.global_bound);
+  EXPECT_EQ(full.diameter, other.diameter);
+}
+
+ComponentSpec bounded_spec(const std::string& mode, int window) {
+  ComponentSpec spec = ComponentSpec::of(mode);
+  recording_registry().set_param(spec, "window", Json(window));
+  return spec;
+}
+
+TEST(WindowedRealign, BitIdenticalToFullTraceOnEveryCorruptBuiltin) {
+  const char* const kScenarios[] = {"thm12-worstcase-faults", "thm13-random-faults",
+                                    "fig5-jump-ablation", "thm16-stabilization"};
+  for (const char* name : kScenarios) {
+    SCOPED_TRACE(name);
+    const Scenario scenario = Scenario::from_json(corrupt_variant_doc(name));
+    CampaignOptions baseline_options;
+    baseline_options.threads = 2;
+    const CampaignResult baseline = run_campaign(scenario, baseline_options);
+    for (const CampaignCell& cell : baseline.cells) {
+      ASSERT_TRUE(cell.corrupt.enabled);
+      ASSERT_TRUE(cell.result.recovery.enabled) << cell.label;
+    }
+    for (const std::string mode : {"windowed", "streaming"}) {
+      // 48 waves of look-back cover the corruption box and the recovery
+      // tail on every variant (max layers 16 -> recovered wave <= 32,
+      // scan/skew reads end well inside corrupt_wave + 48).
+      CampaignOptions options;
+      options.recording_override = bounded_spec(mode, 48);
+      std::string reference_jsonl;
+      for (const std::uint32_t shards : {1u, 2u, 4u}) {
+        for (const unsigned threads : {1u, 4u}) {
+          const std::string where =
+              std::string(name) + " " + mode + " shards=" + std::to_string(shards) +
+              " threads=" + std::to_string(threads);
+          options.shards = shards;
+          options.threads = threads;
+          const CampaignResult bounded = run_campaign(scenario, options);
+          ASSERT_EQ(baseline.cells.size(), bounded.cells.size());
+          for (std::size_t i = 0; i < baseline.cells.size(); ++i) {
+            expect_same_measurement(baseline.cells[i].result, bounded.cells[i].result,
+                                    where + " cell " + baseline.cells[i].label);
+          }
+          // Byte-identity of the emitted JSONL across every engine shape
+          // running the same mode.
+          const std::string jsonl = campaign_jsonl(bounded);
+          if (reference_jsonl.empty()) {
+            reference_jsonl = jsonl;
+            EXPECT_NE(jsonl.find("\"recovery\""), std::string::npos) << where;
+          } else {
+            EXPECT_EQ(reference_jsonl, jsonl) << where;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(WindowedRealign, ConditionsMatchFullTraceAfterCorruptionAndRealignment) {
+  // Direct world-level differential: corrupt, recover, realign, then check
+  // the paper's conditions over a post-recovery window -- windowed
+  // retention must reproduce the full-trace report field for field.
+  const Json config_doc = Json::parse(R"({
+    "columns": 8, "layers": 6, "pulses": 36, "seed": 17,
+    "self_stabilizing": true
+  })");
+  CorruptPlan corrupt;
+  corrupt.enabled = true;
+  corrupt.wave = 8.0;
+  corrupt.fraction = 1.0;
+
+  const auto run_world = [&](World& world) {
+    world.set_corruption_anchor(corrupt.wave);
+    Rng rng(world.config().seed ^ 0xFEED);
+    world.run_until(corrupt.wave * world.config().params.lambda);
+    world.corrupt_fraction(corrupt.fraction, rng);
+    world.run_to_completion();
+    (void)world.realign_labels();
+  };
+
+  ExperimentConfig full_config = config_from_json(config_doc);
+  World full_world(full_config);
+  run_world(full_world);
+
+  ExperimentConfig windowed_config = config_from_json(config_doc);
+  // 14 waves: tight enough that waves between the corruption box and the
+  // rolling tail exist only via the pin box -- the interesting regime.
+  windowed_config.recording_spec = bounded_spec("windowed", 14);
+  World windowed_world(windowed_config);
+  run_world(windowed_world);
+
+  const Sigma lo = 20;  // recovered wave: 8 + 6 layers + 6
+  const Sigma hi = 30;
+  const ConditionReport full = full_world.conditions_window(2, lo, hi);
+  const ConditionReport windowed = windowed_world.conditions_window(2, lo, hi);
+  EXPECT_GT(full.sc_checked, 0u);
+  EXPECT_EQ(full.sc_checked, windowed.sc_checked);
+  EXPECT_EQ(full.fc_checked, windowed.fc_checked);
+  EXPECT_EQ(full.jc_checked, windowed.jc_checked);
+  EXPECT_EQ(full.lemma_d2_checked, windowed.lemma_d2_checked);
+  EXPECT_EQ(full.lemma_d3_checked, windowed.lemma_d3_checked);
+  EXPECT_EQ(full.sc_violations, windowed.sc_violations);
+  EXPECT_EQ(full.fc_violations, windowed.fc_violations);
+  EXPECT_EQ(full.jc_violations, windowed.jc_violations);
+  EXPECT_EQ(full.lemma_d2_violations, windowed.lemma_d2_violations);
+  EXPECT_EQ(full.lemma_d3_violations, windowed.lemma_d3_violations);
+  EXPECT_EQ(full.median_violations, windowed.median_violations);
+}
+
+TEST(WindowedRealign, FuzzedLookBackEitherMatchesFullOrFailsLoudly) {
+  // Deterministically seeded sweep over corruption wave, corrupted
+  // fraction, random-fault density, recording mode and look-back K. The
+  // invariant under test is the SAFETY property of the bounded look-back:
+  // whenever the bounded run returns numbers, they are bit-identical to
+  // full-trace recording; when K is too small it throws a coverage error
+  // naming the window -- it never silently diverges.
+  Rng fuzz(0xC0FFEE);
+  int matched = 0;
+  int refused = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::int64_t wave = fuzz.uniform_int(5, 12);
+    const double fraction = 0.25 + 0.25 * static_cast<double>(fuzz.uniform_int(0, 3));
+    const double density = 0.02 * static_cast<double>(fuzz.uniform_int(0, 2));
+    const int window = static_cast<int>(fuzz.uniform_int(6, 28));
+    const std::string mode = (trial % 2 == 0) ? "windowed" : "streaming";
+    const std::string where = "trial " + std::to_string(trial) + ": wave " +
+                              std::to_string(wave) + " fraction " +
+                              std::to_string(fraction) + " density " +
+                              std::to_string(density) + " K " + std::to_string(window) +
+                              " mode " + mode;
+    SCOPED_TRACE(where);
+
+    Json doc = Json::parse(R"({
+      "columns": 8, "layers": 6, "pulses": 36,
+      "self_stabilizing": true,
+      "random_faults": {"probability": 0.0, "kinds": ["crash"]}
+    })");
+    Json config_obj = doc;
+    config_obj.set("seed", 40 + trial);
+    Json faults = config_obj.at("random_faults");
+    faults.set("probability", density);
+    config_obj.set("random_faults", std::move(faults));
+
+    CorruptPlan corrupt;
+    corrupt.enabled = true;
+    corrupt.wave = static_cast<double>(wave);
+    corrupt.fraction = fraction;
+
+    const ExperimentConfig full_config = config_from_json(config_obj);
+    const ExperimentResult full = run_cell(full_config, corrupt);
+
+    ExperimentConfig bounded_config = config_from_json(config_obj);
+    bounded_config.recording_spec = bounded_spec(mode, window);
+    try {
+      const ExperimentResult bounded = run_cell(bounded_config, corrupt);
+      expect_same_measurement(full, bounded, where);
+      ++matched;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("window"), std::string::npos) << e.what();
+      ++refused;
+    }
+  }
+  // The trial set must exercise both sides of the coverage boundary, or
+  // the sweep proves nothing.
+  EXPECT_GT(matched, 0);
+  EXPECT_GT(refused, 0);
+}
+
+TEST(WindowedRealign, UnderSizedLookBackIsAHardModeQualifiedError) {
+  const Scenario scenario = Scenario::from_json(Json::parse(R"({
+    "name": "under-k",
+    "config": {"columns": 6, "layers": 6, "pulses": 40, "self_stabilizing": true,
+               "recording": {"kind": "streaming", "window": 8}},
+    "corrupt": {"wave": 10.0, "fraction": 1.0}
+  })"));
+  CampaignOptions options;
+  options.threads = 1;
+  try {
+    (void)run_campaign(scenario, options);
+    FAIL() << "window 8 cannot cover the recovery tail of a 40-pulse corrupt cell";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("window"), std::string::npos) << what;
+    EXPECT_NE(what.find("streaming"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace gtrix

@@ -43,8 +43,12 @@ Usage make_usage(const std::string& program) {
              "concurrency -- results are bit-identical for every shard count");
   usage.flag("--recording=MODE",
              "override every cell's trace retention: full, windowed or streaming "
-             "(see docs/scaling.md; corrupt cells always record full)");
-  usage.flag("--recording-window=K", "waves retained / ring capacity for the override mode");
+             "(see docs/scaling.md; applies to corrupt cells too -- realignment "
+             "replays from a corruption-anchored look-back window)");
+  usage.flag("--recording-window=K",
+             "waves retained / ring capacity for the override mode; on corrupt "
+             "cells also the look-back half-width around the corruption wave -- "
+             "too small is a hard error, never silently wrong numbers");
   usage.flag("--telemetry",
              "harvest engine telemetry: per-cell engine_stats in the JSONL "
              "(engine-invariant counters) and a merged block in the summary "
@@ -103,6 +107,12 @@ int list_builtins() {
   std::printf("\nregistered components (scenario config syntax: \"<dimension>\": \"<kind>\" "
               "or {\"kind\": ..., <params>}):\n%s",
               components.render().c_str());
+  std::printf(
+      "\ncorrupt cells honor the configured recording mode: realignment, conditions\n"
+      "and the recovery scan replay from a corruption-anchored look-back window\n"
+      "(+/-window waves around the corruption wave). An under-sized window is a\n"
+      "hard error naming the lost waves -- there is no silent fallback to full\n"
+      "recording. See docs/scaling.md, 'Realignment at scale'.\n");
 
   Table gates({"engine gate", "fast", "reference", "summary"});
   for (const EngineGateDesc& desc : engine_gate_descs()) {
