@@ -6,6 +6,10 @@
 #include <cstdio>
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "support/check.hpp"
 
 namespace gtrix {
@@ -131,6 +135,7 @@ double CkptCursor::f64() { return std::bit_cast<double>(u64()); }
 std::string CkptCursor::str() {
   const std::uint64_t n = u64();
   need(n);
+  // gtrix-lint: allow(reinterpret-cast) -- uint8_t* to char* for string construction: char may alias any object, and p_ points at live buffer bytes
   std::string s(reinterpret_cast<const char*>(p_), n);
   p_ += n;
   return s;
@@ -175,6 +180,7 @@ CkptFile CkptFile::parse(std::vector<std::uint8_t> bytes, const std::string& pat
   if (body_end - at < header_len) {
     throw CkptError(path + ": truncated checkpoint (header extends past end of file)");
   }
+  // gtrix-lint: allow(reinterpret-cast) -- uint8_t* to char* over the vector's own live bytes; char-level access is defined for any object type
   file.header_.assign(reinterpret_cast<const char*>(b.data() + at), header_len);
   at += header_len;
   while (at < body_end) {
@@ -185,6 +191,7 @@ CkptFile CkptFile::parse(std::vector<std::uint8_t> bytes, const std::string& pat
       throw CkptError(path + ": truncated checkpoint section name");
     }
     Section section;
+    // gtrix-lint: allow(reinterpret-cast) -- same uint8_t* to char* aliasing as the header read above; no alignment or lifetime hazard
     section.name.assign(reinterpret_cast<const char*>(b.data() + at), name_len);
     at += name_len;
     if (body_end - at < 8) throw CkptError(path + ": truncated checkpoint section length");
@@ -244,9 +251,18 @@ void ckpt_write_file_atomic(const std::string& path, const std::vector<std::uint
     throw CkptError(tmp + ": cannot create checkpoint: " + std::strerror(errno));
   }
   const bool wrote = bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  // fflush moves the stdio buffer into the kernel; fsync moves the kernel's
+  // copy to the device. Without the latter the rename can land while the data
+  // blocks are still dirty, and a crash leaves a named-but-empty checkpoint --
+  // exactly the torn file the tmp+rename dance promises to rule out.
   const bool flushed = std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  const bool synced = flushed && fsync(fileno(f)) == 0;
+#else
+  const bool synced = flushed;
+#endif
   std::fclose(f);
-  if (!wrote || !flushed) {
+  if (!wrote || !flushed || !synced) {
     std::remove(tmp.c_str());
     throw CkptError(tmp + ": short write while saving checkpoint");
   }

@@ -1,15 +1,75 @@
 // Shared serializers for small structs that appear in several checkpoint
 // sections (timer handles in every node's arena lanes, iteration records in
-// both the recorder log and a gradient node's staged record).
+// both the recorder log and a gradient node's staged record), plus the
+// field-count guards every codec must carry.
 #pragma once
+
+#include <cstddef>
+#include <utility>
 
 #include "ckpt/codec.hpp"
 #include "metrics/recorder.hpp"
 #include "sim/event_queue.hpp"
 
+namespace gtrix::ckpt::probe {
+
+// Compile-time field counter for aggregates: the largest N for which
+// T{AnyConv, ... N times ...} is well-formed. Each direct member counts
+// once (std::array members count as one -- AnyConv converts to the array
+// wholesale). The same probe idiom tests/test_obs.cpp uses to pin
+// EngineOptions' field count.
+struct AnyConv {
+  template <class T>
+  operator T() const;  // never defined: overload-resolution probe only
+};
+
+template <class T, std::size_t... I>
+constexpr bool constructible_with(std::index_sequence<I...>) {
+  return requires { T{((void)I, AnyConv{})...}; };
+}
+
+template <class T, std::size_t N = 0>
+constexpr std::size_t field_count() {
+  if constexpr (constructible_with<T>(std::make_index_sequence<N + 1>{})) {
+    return field_count<T, N + 1>();
+  } else {
+    return N;
+  }
+}
+
+}  // namespace gtrix::ckpt::probe
+
+// Codec drift guards (tools/gtrix_lint.py rule ckpt-field-guard): every
+// struct serialized by a checkpoint codec carries one of these static
+// asserts INSIDE the codec body -- where private nested types are nameable
+// -- so adding a field without teaching the codec about it fails the BUILD
+// instead of a kill-and-resume differential three PRs later.
+//
+// GTRIX_CKPT_FIELDS pins an aggregate's field count exactly.
+// GTRIX_CKPT_SIZEOF pins a non-aggregate class's object size -- a weaker
+// proxy (a new field swallowed by padding stays invisible), hence the
+// preference for FIELDS wherever the type is an aggregate. The sizes are
+// the x86-64 libstdc++ layout the project targets; other ABIs degrade to a
+// presence-only check rather than guessing their padding.
+// NOLINTBEGIN(bugprone-macro-parentheses): T is a type name, not an expression
+#define GTRIX_CKPT_FIELDS(T, N)                                            \
+  static_assert(::gtrix::ckpt::probe::field_count<T>() == (N),             \
+                #T " changed shape: audit its checkpoint codec right "     \
+                   "here, then update this field count")
+#if defined(__x86_64__) && defined(__GLIBCXX__)
+#define GTRIX_CKPT_SIZEOF(T, N)                                            \
+  static_assert(sizeof(T) == (N),                                         \
+                #T " changed size: audit its checkpoint codec right "      \
+                   "here, then update this size guard")
+#else
+#define GTRIX_CKPT_SIZEOF(T, N) static_assert(sizeof(T) > 0, "")
+#endif
+// NOLINTEND(bugprone-macro-parentheses)
+
 namespace gtrix::ckpt {
 
 inline void write_timer(CkptWriter& w, const TimerHandle& h) {
+  GTRIX_CKPT_FIELDS(TimerHandle, 2);
   w.u32(h.slot);
   w.u32(h.gen);
 }
@@ -22,6 +82,10 @@ inline TimerHandle read_timer(CkptCursor& cur) {
 }
 
 inline void write_iteration(CkptWriter& w, const IterationRecord& rec) {
+  GTRIX_CKPT_FIELDS(IterationRecord, 14);
+  static_assert(IterationRecord::kMaxSlots == 5,
+                "IterationRecord slot arrays changed width: the wire format "
+                "below shifts; bump the checkpoint schema when touching this");
   w.i64(rec.sigma);
   w.f64(rec.correction);
   w.f64(rec.h_own);

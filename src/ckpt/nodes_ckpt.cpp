@@ -30,6 +30,9 @@ void check_slots(std::uint64_t saved, std::size_t now, const char* who) {
 // --- GradientTrixNode --------------------------------------------------------
 
 void GradientTrixNode::checkpoint_save(CkptWriter& w) const {
+  GTRIX_CKPT_SIZEOF(GradientTrixNode, 480);
+  GTRIX_CKPT_FIELDS(PendingMsg, 3);
+  GTRIX_CKPT_FIELDS(Counters, 8);
   w.u8(soa_->phase[i_]);
   w.f64(h_own());
   w.f64(h_min());
@@ -99,6 +102,7 @@ void GradientTrixNode::checkpoint_restore(CkptCursor& cur) {
 // --- Layer0LineNode ----------------------------------------------------------
 
 void Layer0LineNode::checkpoint_save(CkptWriter& w) const {
+  GTRIX_CKPT_SIZEOF(Layer0LineNode, 144);
   w.f64(soa_->stored_h[i_]);
   w.i64(soa_->out_sigma[i_]);
   ckpt::write_timer(w, soa_->broadcast_timer[i_]);
@@ -115,6 +119,8 @@ void Layer0LineNode::checkpoint_restore(CkptCursor& cur) {
 // --- TrixNaiveNode -----------------------------------------------------------
 
 void TrixNaiveNode::checkpoint_save(CkptWriter& w) const {
+  GTRIX_CKPT_SIZEOF(TrixNaiveNode, 240);
+  GTRIX_CKPT_FIELDS(PendingMsg, 3);
   w.u8(soa_->armed[i_]);
   w.u32(soa_->seen_count[i_]);
   ckpt::write_timer(w, soa_->fire_timer[i_]);
@@ -156,6 +162,8 @@ void TrixNaiveNode::checkpoint_restore(CkptCursor& cur) {
 // --- LynchWelchGridNode ------------------------------------------------------
 
 void LynchWelchGridNode::checkpoint_save(CkptWriter& w) const {
+  GTRIX_CKPT_SIZEOF(LynchWelchGridNode, 248);
+  GTRIX_CKPT_FIELDS(PendingMsg, 3);
   w.u32(soa_->seen_count[i_]);
   ckpt::write_timer(w, soa_->fire_timer[i_]);
   w.u64(preds_.size());
@@ -197,6 +205,7 @@ void LynchWelchGridNode::checkpoint_restore(CkptCursor& cur) {
 // --- fault behaviours --------------------------------------------------------
 
 void FixedPeriodRogue::checkpoint_save(CkptWriter& w) const {
+  GTRIX_CKPT_SIZEOF(FixedPeriodRogue, 88);
   w.i64(sigma_);
   w.u64(emitted_);
 }
@@ -206,7 +215,10 @@ void FixedPeriodRogue::checkpoint_restore(CkptCursor& cur) {
   emitted_ = cur.u64();
 }
 
-void CrashSink::checkpoint_save(CkptWriter& w) const { w.u64(absorbed_); }
+void CrashSink::checkpoint_save(CkptWriter& w) const {
+  GTRIX_CKPT_SIZEOF(CrashSink, 16);
+  w.u64(absorbed_);
+}
 
 void CrashSink::checkpoint_restore(CkptCursor& cur) { absorbed_ = cur.u64(); }
 

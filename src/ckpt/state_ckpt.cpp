@@ -23,6 +23,7 @@ namespace gtrix {
 // --- Rng ---------------------------------------------------------------------
 
 void Rng::checkpoint_save(CkptWriter& w) const {
+  GTRIX_CKPT_SIZEOF(Rng, 48);
   for (std::uint64_t word : state_) w.u64(word);
   w.u8(have_cached_normal_ ? 1 : 0);
   w.f64(cached_normal_);
@@ -37,6 +38,7 @@ void Rng::checkpoint_restore(CkptCursor& cur) {
 // --- Summary -----------------------------------------------------------------
 
 void Summary::checkpoint_save(CkptWriter& w) const {
+  GTRIX_CKPT_SIZEOF(Summary, 48);
   w.u64(n_);
   w.f64(mean_);
   w.f64(m2_);
@@ -57,6 +59,7 @@ void Summary::checkpoint_restore(CkptCursor& cur) {
 // --- LogQuantileSketch -------------------------------------------------------
 
 void LogQuantileSketch::checkpoint_save(CkptWriter& w) const {
+  GTRIX_CKPT_SIZEOF(LogQuantileSketch, 72);
   w.u64(counts_.size());
   for (std::uint64_t c : counts_) w.u64(c);
   w.u64(zero_);
@@ -89,6 +92,10 @@ void LogQuantileSketch::checkpoint_restore(CkptCursor& cur) {
 // no influence on the event order.
 
 void EventQueue::checkpoint_save(CkptWriter& w, const CkptTargetMap& targets) const {
+  GTRIX_CKPT_SIZEOF(EventQueue, 248);
+  GTRIX_CKPT_FIELDS(Slot, 7);
+  GTRIX_CKPT_FIELDS(QueueEntry, 5);
+  GTRIX_CKPT_FIELDS(EventPayload, 5);
   w.u64(next_seq_);
   w.u64(scheduled_);
   w.u64(executed_);
@@ -233,6 +240,7 @@ void EventQueue::checkpoint_restore(CkptCursor& cur, const CkptTargetMap& target
 // --- Simulator ---------------------------------------------------------------
 
 void Simulator::checkpoint_save(CkptWriter& w, const CkptTargetMap& targets) const {
+  GTRIX_CKPT_SIZEOF(Simulator, 264);
   w.f64(now_);
   queue_.checkpoint_save(w, targets);
 }
@@ -245,6 +253,10 @@ void Simulator::checkpoint_restore(CkptCursor& cur, const CkptTargetMap& targets
 // --- Network -----------------------------------------------------------------
 
 void Network::checkpoint_save(CkptWriter& w) const {
+  GTRIX_CKPT_SIZEOF(Network, 392);
+  GTRIX_CKPT_FIELDS(DeferCell, 3);
+  GTRIX_CKPT_FIELDS(ShardCounters, 4);
+  GTRIX_CKPT_FIELDS(ShardEnvelope, 5);
   // A kFlushArrivals event never outlives its instant, so no arrival can be
   // deferred at a snapshot barrier; the cells carry no persistent state.
   for (const DeferCell& cell : defer_) {
@@ -329,6 +341,10 @@ void Network::checkpoint_restore(CkptCursor& cur) {
 // --- Recorder ----------------------------------------------------------------
 
 void Recorder::checkpoint_save(CkptWriter& w) const {
+  GTRIX_CKPT_SIZEOF(Recorder, 136);
+  GTRIX_CKPT_FIELDS(NodeLog, 14);
+  GTRIX_CKPT_FIELDS(LostIter, 2);
+  GTRIX_CKPT_FIELDS(IterationRecord, 14);
   w.i64(min_sigma_);
   w.i64(max_sigma_);
   w.u64(pulses_recorded_);
@@ -433,6 +449,8 @@ void check_vec_size(CkptCursor& cur, std::size_t expected, const char* what) {
 }  // namespace
 
 void StreamingSkew::checkpoint_save(CkptWriter& w) const {
+  GTRIX_CKPT_SIZEOF(StreamingSkew, 496);
+  GTRIX_CKPT_FIELDS(WaveExtrema, 3);
   write_vec(w, held_sigma_, [&w](Sigma s) { w.i64(s); });
   write_vec(w, held_time_, [&w](SimTime t) { w.f64(t); });
   write_vec(w, recorded_, [&w](std::int64_t n) { w.i64(n); });

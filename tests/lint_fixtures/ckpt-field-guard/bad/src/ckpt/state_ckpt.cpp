@@ -1,0 +1,19 @@
+
+// Fixture: codec without a field-count guard.
+#include <cstdint>
+
+namespace gtrix {
+
+class CkptWriter;
+
+struct Wobble {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  void checkpoint_save(CkptWriter& w) const;
+};
+
+void Wobble::checkpoint_save(CkptWriter& w) const {
+  (void)w;  // would write a and b; nothing pins the field count
+}
+
+}  // namespace gtrix

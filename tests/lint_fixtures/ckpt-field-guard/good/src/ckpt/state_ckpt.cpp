@@ -1,0 +1,28 @@
+
+// Fixture: codec guarded by GTRIX_CKPT_FIELDS, serialized parts included.
+#include <cstdint>
+#include <vector>
+
+namespace gtrix {
+
+class CkptWriter;
+
+struct Part {
+  std::uint32_t id = 0;
+  double value = 0.0;
+};
+
+struct Wobble {
+  std::uint32_t a = 0;
+  std::vector<Part> parts;
+  void checkpoint_save(CkptWriter& w) const;
+};
+
+void Wobble::checkpoint_save(CkptWriter& w) const {
+  GTRIX_CKPT_FIELDS(Wobble, 2);
+  GTRIX_CKPT_FIELDS(Part, 2);
+  (void)w;
+  for (const Part& p : parts) (void)p;
+}
+
+}  // namespace gtrix

@@ -1,0 +1,13 @@
+
+#include "obs/telemetry.hpp"
+
+namespace gtrix::obs {
+
+constexpr bool kDefaultTag = true;
+
+constexpr ObsCounterInfo kCatalog[] = {
+    {ObsCounter::kEventsExecuted, "events_executed", kDefaultTag, "not a literal"},
+    {ObsCounter::kPeakRssBytes, "peak_rss_bytes", false, "peak resident set"},
+};
+
+}  // namespace gtrix::obs

@@ -1,0 +1,23 @@
+
+// Fixture: ObsCounter catalog tagging.
+#pragma once
+
+#include <cstdint>
+
+namespace gtrix::obs {
+
+enum class ObsCounter : std::uint32_t {
+  kEventsExecuted = 0,
+  kPeakRssBytes,
+  kOrphanCounter,  // no catalog row
+  kCount,
+};
+
+struct ObsCounterInfo {
+  ObsCounter id;
+  const char* name;
+  bool engine_invariant;
+  const char* summary;
+};
+
+}  // namespace gtrix::obs

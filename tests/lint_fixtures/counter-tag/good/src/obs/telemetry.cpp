@@ -1,0 +1,11 @@
+
+#include "obs/telemetry.hpp"
+
+namespace gtrix::obs {
+
+constexpr ObsCounterInfo kCatalog[] = {
+    {ObsCounter::kEventsExecuted, "events_executed", true, "events popped"},
+    {ObsCounter::kPeakRssBytes, "peak_rss_bytes", false, "peak resident set"},
+};
+
+}  // namespace gtrix::obs

@@ -1,0 +1,13 @@
+
+#include "runner/experiment.hpp"
+
+namespace gtrix {
+
+std::vector<EngineGateDesc> engine_gate_descs() {
+  return {
+      {"fast_path", "on", "off", "batched hot loop"},
+      {"shards", "1", "1", "conservative-parallel sharding"},
+  };
+}
+
+}  // namespace gtrix

@@ -1,0 +1,25 @@
+
+// Fixture: every EngineOptions field has a descs row and a docs mention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gtrix {
+
+struct EngineOptions {
+  bool fast_path = true;
+  std::uint32_t shards = 1;
+};
+
+struct EngineGateDesc {
+  std::string name;
+  std::string fast_value;
+  std::string reference_value;
+  std::string summary;
+};
+
+std::vector<EngineGateDesc> engine_gate_descs();
+
+}  // namespace gtrix

@@ -1,0 +1,17 @@
+
+// Fixture: ordered container keyed on a pointer (address-order iteration).
+#include <map>
+
+namespace gtrix {
+
+class TimerTarget;
+
+class DeliveryTracker {
+ public:
+  void note(TimerTarget* t) { ++order_[t]; }
+
+ private:
+  std::map<TimerTarget*, int> order_;  // iteration order = address order
+};
+
+}  // namespace gtrix

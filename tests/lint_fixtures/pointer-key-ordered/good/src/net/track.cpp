@@ -1,0 +1,23 @@
+
+// Fixture: stable-id ordered keys; pointer keys only in lookup tables.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace gtrix {
+
+class TimerTarget;
+
+class DeliveryTracker {
+ public:
+  void note(std::uint32_t id, TimerTarget* t) {
+    ++order_[id];
+    lookup_[t] = id;
+  }
+
+ private:
+  std::map<std::uint32_t, int> order_;  // deterministic id order
+  std::unordered_map<TimerTarget*, std::uint32_t> lookup_;  // never iterated
+};
+
+}  // namespace gtrix

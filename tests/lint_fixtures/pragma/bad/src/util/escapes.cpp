@@ -1,0 +1,16 @@
+
+// Fixture: malformed, unknown-rule and stale allow pragmas.
+
+namespace gtrix {
+
+int f() {
+  // gtrix-lint: allow(wall-clock)
+  int no_reason = 0;
+  // gtrix-lint: allow(no-such-rule) -- the rule id is wrong
+  int unknown_rule = 0;
+  // gtrix-lint: allow(wall-clock) -- suppresses nothing on this line
+  int stale = 0;
+  return no_reason + unknown_rule + stale;
+}
+
+}  // namespace gtrix

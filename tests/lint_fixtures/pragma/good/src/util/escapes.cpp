@@ -1,0 +1,11 @@
+
+// Fixture: a well-formed, justified, in-use allow pragma.
+
+namespace gtrix {
+
+char first_byte(const unsigned char* p) {
+  // gtrix-lint: allow(reinterpret-cast) -- char-level read of live bytes is defined for any object type
+  return *reinterpret_cast<const char*>(p);
+}
+
+}  // namespace gtrix

@@ -1,0 +1,11 @@
+
+// Fixture: reinterpret_cast type punning (UB-adjacent, unannotated).
+#include <cstdint>
+
+namespace gtrix {
+
+double bits_to_double(const std::uint64_t* bits) {
+  return *reinterpret_cast<const double*>(bits);  // strict-aliasing violation
+}
+
+}  // namespace gtrix

@@ -1,0 +1,17 @@
+
+// Fixture: std::bit_cast / std::memcpy for punning, no reinterpret_cast.
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace gtrix {
+
+double bits_to_double(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+std::uint64_t double_to_bits(double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace gtrix

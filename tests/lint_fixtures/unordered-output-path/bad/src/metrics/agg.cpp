@@ -1,0 +1,14 @@
+
+// Fixture: unordered container in an output path (src/metrics).
+#include <cstdint>
+#include <unordered_map>
+
+namespace gtrix {
+
+double sum_by_node(const std::unordered_map<std::uint32_t, double>& by_node) {
+  double total = 0.0;
+  for (const auto& [node, value] : by_node) total += value;  // order leaks
+  return total;
+}
+
+}  // namespace gtrix

@@ -1,0 +1,21 @@
+
+// Fixture: deterministic containers only in the output path.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace gtrix {
+
+double sum_by_node(const std::map<std::uint32_t, double>& by_node) {
+  double total = 0.0;
+  for (const auto& [node, value] : by_node) total += value;  // id order
+  return total;
+}
+
+double sum_dense(const std::vector<double>& by_node) {
+  double total = 0.0;
+  for (double v : by_node) total += v;
+  return total;
+}
+
+}  // namespace gtrix

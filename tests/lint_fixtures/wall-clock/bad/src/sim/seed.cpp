@@ -1,0 +1,15 @@
+
+// Fixture: ambient entropy and wall-clock in engine code.
+#include <chrono>
+#include <cstdint>
+#include <random>
+
+namespace gtrix {
+
+std::uint64_t ambient_seed() {
+  std::random_device rd;  // environment entropy
+  const auto now = std::chrono::system_clock::now();  // wall clock
+  return rd() ^ static_cast<std::uint64_t>(now.time_since_epoch().count());
+}
+
+}  // namespace gtrix

@@ -1,0 +1,15 @@
+
+// Fixture: src/obs is exempt -- wall-clock is telemetry's whole point.
+#include <chrono>
+#include <cstdint>
+
+namespace gtrix::obs {
+
+std::int64_t trace_epoch_micros() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace gtrix::obs

@@ -1,0 +1,17 @@
+
+// Fixture: seeded streams for state, steady_clock for timing work.
+#include <chrono>
+#include <cstdint>
+
+namespace gtrix {
+
+std::uint64_t derived_seed(std::uint64_t config_seed, std::uint32_t stream) {
+  return config_seed * 0x9E3779B97F4A7C15ull + stream;  // splitmix-style
+}
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();  // monotonic: allowed
+  return std::chrono::duration<double>(now - start).count();
+}
+
+}  // namespace gtrix

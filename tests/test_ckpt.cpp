@@ -350,6 +350,35 @@ TEST(Ckpt, CampaignWithCheckpointDirMatchesPlainCampaign) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Ckpt, AtomicWriteReplacesDurablyAndLeavesNoTemp) {
+  // Regression coverage for the write path behind every snapshot: the
+  // documented contract is tmp + fsync + rename (the fsync was missing until
+  // the static-analysis sweep caught the doc/code mismatch). The durability
+  // half is not observable from a unit test, but the atomicity half is:
+  // content round-trips, an overwrite replaces the old bytes, and no .tmp
+  // file survives either the success or the failure path.
+  const auto dir = scratch_dir("atomic-write");
+  const std::string path = (dir / "snap.ckpt").string();
+
+  const std::vector<std::uint8_t> first = {0x01, 0x02, 0x03};
+  ckpt_write_file_atomic(path, first);
+  EXPECT_EQ(ckpt_read_file(path), first);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  const std::vector<std::uint8_t> second = {0xFF, 0xEE, 0xDD, 0xCC};
+  ckpt_write_file_atomic(path, second);
+  EXPECT_EQ(ckpt_read_file(path), second);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  ckpt_write_file_atomic(path, {});  // empty snapshots are legal
+  EXPECT_TRUE(ckpt_read_file(path).empty());
+
+  const std::string bad = (dir / "missing-subdir" / "snap.ckpt").string();
+  EXPECT_THROW(ckpt_write_file_atomic(bad, second), CkptError);
+  EXPECT_FALSE(std::filesystem::exists(bad + ".tmp"));
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Ckpt, CellKeyIsStableAndSanitized) {
   EXPECT_EQ(cell_key(0, "base"), "cell-00000-base");
   EXPECT_EQ(cell_key(12, "layers=6/seed=100"), "cell-00012-layers_6_seed_100");
